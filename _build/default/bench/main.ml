@@ -1,0 +1,387 @@
+(* Benchmark harness.
+
+   The paper has no tables or figures — its evaluation is its sequence of
+   lemmas and theorems, each reproduced by an experiment in
+   lib/analysis (see EXPERIMENTS.md).  Accordingly there is one Bechamel
+   test per experiment kernel: the computation that regenerates the
+   corresponding claim.  A few ablation benches (cache effectiveness,
+   layer growth across substrates) quantify the design choices called out
+   in DESIGN.md. *)
+
+open Bechamel
+open Toolkit
+open Layered_core
+
+let values = [ Value.zero; Value.one ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernels, one per experiment *)
+
+(* E1: classify every initial state of the (3,1) S^t submodel with a cold
+   valence engine. *)
+let e1_classify_initials () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  let v = Valence.create (E.valence_spec ~succ) in
+  List.iter
+    (fun x -> ignore (Valence.classify v ~depth:3 x))
+    (E.initial_states ~n:3 ~values)
+
+(* E2: similarity connectivity of Con_0 (n = 4). *)
+let e2_con0_similarity () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  ignore (Connectivity.connected ~rel:E.similar (E.initial_states ~n:4 ~values))
+
+(* E3: expand one S1 layer of the mobile model (n = 4). *)
+let e3_s1_layer =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
+  fun () -> ignore (E.s1 ~record_failures:false x)
+
+(* E3: valence connectivity of that layer, cold engine. *)
+let e3_layer_valence () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.s1 ~record_failures:false in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  let v = Valence.create (E.valence_spec ~succ) in
+  ignore (Connectivity.valence_connected ~vals:(Valence.vals v ~depth:3) (succ x))
+
+(* E4: the full ever-bivalent chain construction in M^mf. *)
+let e4_bivalent_chain () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.s1 ~record_failures:false in
+  let v = Valence.create (E.valence_spec ~succ) in
+  let classify x = Valence.classify v ~depth:3 x in
+  let x0 =
+    Option.get (Layering.find_bivalent ~classify (E.initial_states ~n:3 ~values))
+  in
+  ignore (Layering.bivalent_chain ~classify ~succ ~length:8 x0)
+
+(* E5: expand one S^rw layer (n = 3). *)
+let e5_srw_layer =
+  let module P = (val Layered_protocols.Sm_voting.make ~horizon:2) in
+  let module E = Layered_async_sm.Engine.Make (P) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  fun () -> ignore (E.srw x)
+
+(* E5: the Lemma 5.3 bridge states. *)
+let e5_bridge =
+  let module P = (val Layered_protocols.Sm_voting.make ~horizon:2) in
+  let module E = Layered_async_sm.Engine.Make (P) in
+  let open Layered_async_sm.Engine in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  fun () ->
+    List.iter
+      (fun j ->
+        let y = E.apply (E.apply x { slow = j; mode = Read_late 3 }) { slow = j; mode = Absent } in
+        let y' = E.apply (E.apply x { slow = j; mode = Absent }) { slow = j; mode = Read_late 0 } in
+        ignore (E.agree_modulo y y' j))
+      [ 1; 2; 3 ]
+
+(* E6: expand one S^per layer (n = 3; 18 schedules). *)
+let e6_sper_layer =
+  let module P = (val Layered_protocols.Mp_floodset.make ~horizon:2) in
+  let module E = Layered_async_mp.Engine.Make (P) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  fun () -> ignore (E.sper x)
+
+(* E6: all six FLP diamonds at the initial state. *)
+let e6_diamond =
+  let module P = (val Layered_protocols.Mp_floodset.make ~horizon:2) in
+  let module E = Layered_async_mp.Engine.Make (P) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  let solo p = List.map (fun i -> Layered_async_mp.Engine.Solo i) p in
+  let perms = Layered_async_mp.Engine.permutations [ 1; 2; 3 ] in
+  fun () ->
+    List.iter
+      (fun p ->
+        let front = List.filteri (fun i _ -> i < 2) p in
+        let last = List.nth p 2 in
+        let lhs = E.apply (E.apply x (solo p)) (solo front) in
+        let rhs = E.apply (E.apply x (solo front)) (solo (last :: front)) in
+        ignore (E.equal lhs rhs))
+      perms
+
+(* E7: exhaustive verification of FloodSet against all (3,1) crash
+   adversaries. *)
+let e7_verify_floodset () =
+  ignore
+    (Layered_analysis.Consensus_check.check
+       ~protocol:(Layered_protocols.Sync_floodset.make ~t:1)
+       ~n:3 ~t:1 ~rounds:3 ())
+
+(* E7: the Lemma 6.1 chain plus the Lemma 6.2 round-t scan, (4,2). *)
+let e7_lower_bound_chain () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:2) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:2 in
+  let v = Valence.create (E.valence_spec ~succ) in
+  let classify x = Valence.classify v ~depth:4 x in
+  let x0 =
+    Option.get (Layering.find_bivalent ~classify (E.initial_states ~n:4 ~values))
+  in
+  let chain = Layering.bivalent_chain ~classify ~succ ~length:2 x0 in
+  match List.rev chain.Layering.states with
+  | last :: _ -> List.iter (fun y -> ignore (E.terminal y)) (succ last)
+  | [] -> ()
+
+(* E8: the clean-round univalence sweep, (3,1). *)
+let e8_clean_round () =
+  let module P = (val Layered_protocols.Sync_early.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  let v = Valence.create (E.valence_spec ~succ) in
+  let spec = { Explore.succ; key = E.key } in
+  List.iter
+    (fun x0 ->
+      List.iter
+        (fun x ->
+          if x.E.round <= 1 then
+            ignore (Valence.classify v ~depth:3 (E.apply ~record_failures:true x [])))
+        (Explore.reachable spec ~depth:1 x0))
+    (E.initial_states ~n:3 ~values)
+
+(* E9: the exhaustive 1-thick-connectivity condition for binary consensus
+   (n = 3: 8 assignments, every similarity-connected subset). *)
+let e9_thick_consensus () =
+  let task = Layered_topology.Task.consensus ~n:3 ~values in
+  ignore (Layered_topology.Solvability.passes_necessary_condition task)
+
+(* E9: same for 2-set agreement over three values (the solvable side). *)
+let e9_thick_kset () =
+  let task =
+    Layered_topology.Task.k_set_agreement ~n:3 ~k:2 ~values:[ 0; 1; 2 ]
+  in
+  ignore (Layered_topology.Solvability.passes_necessary_condition task)
+
+(* E10: level-1 similarity diameter of the (4,1) S^t image. *)
+let e10_diameter () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  let layers = List.concat_map succ (E.initial_states ~n:4 ~values) in
+  let seen = Hashtbl.create 256 in
+  let x1 =
+    List.filter
+      (fun x ->
+        let k = E.key x in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      layers
+  in
+  ignore (Connectivity.diameter ~rel:E.similar x1)
+
+(* E11: explore the 2-set agreement protocol from one mixed input. *)
+let e11_kset_explore () =
+  let module P = (val Layered_protocols.Mp_kset.make ~n:3) in
+  let module E = Layered_async_mp.Engine.Make (P) in
+  let spec = { Explore.succ = E.sper; key = E.key } in
+  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 2 |]))
+
+(* E12: one covering-valence classification over three-valued inputs. *)
+let e12_covering_classify () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  let all = Pid.all 3 in
+  let unanimous v =
+    Layered_topology.Simplex.of_assoc (List.map (fun p -> (p, v)) all)
+  in
+  let cover =
+    Layered_topology.Covering.of_complexes
+      (Layered_topology.Complex.of_simplexes [ unanimous 0; unanimous 1 ])
+      (Layered_topology.Complex.of_simplexes [ unanimous 2 ])
+  in
+  let output x =
+    let decs = E.decisions x in
+    Layered_topology.Simplex.of_assoc
+      (List.filter_map
+         (fun i ->
+           if x.E.failed.(i - 1) then None
+           else match decs.(i - 1) with Some v -> Some (i, v) | None -> None)
+         all)
+  in
+  let engine =
+    Layered_topology.Covering.create
+      { Layered_topology.Covering.succ; key = E.key; terminal = E.terminal; output }
+      cover
+  in
+  ignore
+    (Layered_topology.Covering.classify engine ~depth:3
+       (E.initial ~inputs:[| 1; 2; 2 |]))
+
+(* E13: expand one IIS layer (13 ordered partitions at n = 3). *)
+let e13_iis_layer =
+  let module P = (val Layered_protocols.Iis_voting.make ~horizon:2) in
+  let module E = Layered_iis.Engine.Make (P) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  fun () -> ignore (E.layer x)
+
+(* E14: a full-information valence classification (views, not digests). *)
+let e14_full_info_classify () =
+  let module P = (val Layered_protocols.Full_info.sync ~horizon:2) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.s1 ~record_failures:false in
+  let v = Valence.create (E.valence_spec ~succ) in
+  ignore (Valence.classify v ~depth:3 (E.initial ~inputs:[| 0; 1; 1 |]))
+
+(* E15: build the Kripke structure and one common-belief fixpoint. *)
+let e15_common_belief () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let worlds = ref [] in
+  let seen = Hashtbl.create 1024 in
+  let rec explore x =
+    let k = E.key x in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      worlds := x :: !worlds;
+      if x.E.round < 3 then
+        List.iter
+          (fun a -> explore (E.apply ~record_failures:true x a))
+          (E.all_actions ~max_new:2 ~remaining_failures:(1 - E.failed_count x) x)
+    end
+  in
+  List.iter explore (E.initial_states ~n:3 ~values);
+  let module Kripke = Layered_knowledge.Kripke in
+  let kr =
+    Kripke.create ~n:3 ~key:E.key
+      ~local_key:(fun i (x : E.state) -> P.key x.E.locals.(i - 1))
+      !worlds
+  in
+  let phi =
+    Kripke.prop_of kr (fun x -> Vset.cardinal (E.decided_vset x) <= 1)
+  in
+  ignore
+    (Kripke.common_belief kr ~members:E.nonfailed
+       ~alive:(fun i (x : E.state) -> not x.E.failed.(i - 1))
+       phi)
+
+(* E16: exhaustive verification of the clean-round protocol. *)
+let e16_clean_verify () =
+  ignore
+    (Layered_analysis.Consensus_check.check
+       ~protocol:(Layered_protocols.Sync_clean.make ~t:1)
+       ~n:3 ~t:1 ~rounds:3 ())
+
+(* E17: expand one two-omitter mobile layer. *)
+let e17_multi_layer =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  fun () -> ignore (E.s_multi ~omitters:2 x)
+
+(* E18: exhaustive verification of the coordinator under send-omission. *)
+let e18_omission_verify () =
+  ignore
+    (Layered_analysis.Omission_check.check
+       ~protocol:(Layered_protocols.Sync_coordinator.make ~t:1)
+       ~n:3 ~t:1 ~rounds:7 ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+(* Valence memoisation: cold engine per call vs shared engine. *)
+let ablation_valence_cold () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  let v = Valence.create (E.valence_spec ~succ) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  ignore (Valence.classify v ~depth:3 x)
+
+let ablation_valence_warm =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  let v = Valence.create (E.valence_spec ~succ) in
+  let x = E.initial ~inputs:[| 0; 1; 1 |] in
+  ignore (Valence.classify v ~depth:3 x);
+  fun () -> ignore (Valence.classify v ~depth:3 x)
+
+(* Layer growth: states reachable in two layers, per substrate. *)
+let ablation_growth_sync () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let spec = { Explore.succ = E.st ~t:1; key = E.key } in
+  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
+
+let ablation_growth_sm () =
+  let module P = (val Layered_protocols.Sm_voting.make ~horizon:2) in
+  let module E = Layered_async_sm.Engine.Make (P) in
+  let spec = { Explore.succ = E.srw; key = E.key } in
+  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
+
+let ablation_growth_mp () =
+  let module P = (val Layered_protocols.Mp_floodset.make ~horizon:2) in
+  let module E = Layered_async_mp.Engine.Make (P) in
+  let spec = { Explore.succ = E.sper; key = E.key } in
+  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Harness *)
+
+let tests =
+  [
+    Test.make ~name:"E1/classify-initials" (Staged.stage e1_classify_initials);
+    Test.make ~name:"E2/con0-similarity" (Staged.stage e2_con0_similarity);
+    Test.make ~name:"E3/s1-layer" (Staged.stage e3_s1_layer);
+    Test.make ~name:"E3/layer-valence" (Staged.stage e3_layer_valence);
+    Test.make ~name:"E4/bivalent-chain" (Staged.stage e4_bivalent_chain);
+    Test.make ~name:"E5/srw-layer" (Staged.stage e5_srw_layer);
+    Test.make ~name:"E5/bridge" (Staged.stage e5_bridge);
+    Test.make ~name:"E6/sper-layer" (Staged.stage e6_sper_layer);
+    Test.make ~name:"E6/diamond" (Staged.stage e6_diamond);
+    Test.make ~name:"E7/verify-floodset" (Staged.stage e7_verify_floodset);
+    Test.make ~name:"E7/lower-bound-chain" (Staged.stage e7_lower_bound_chain);
+    Test.make ~name:"E8/clean-round" (Staged.stage e8_clean_round);
+    Test.make ~name:"E9/thick-consensus" (Staged.stage e9_thick_consensus);
+    Test.make ~name:"E9/thick-kset" (Staged.stage e9_thick_kset);
+    Test.make ~name:"E10/diameter" (Staged.stage e10_diameter);
+    Test.make ~name:"E11/kset-explore" (Staged.stage e11_kset_explore);
+    Test.make ~name:"E12/covering-classify" (Staged.stage e12_covering_classify);
+    Test.make ~name:"E13/iis-layer" (Staged.stage e13_iis_layer);
+    Test.make ~name:"E14/full-info-classify" (Staged.stage e14_full_info_classify);
+    Test.make ~name:"E15/common-belief" (Staged.stage e15_common_belief);
+    Test.make ~name:"E16/clean-verify" (Staged.stage e16_clean_verify);
+    Test.make ~name:"E17/multi-layer" (Staged.stage e17_multi_layer);
+    Test.make ~name:"E18/omission-verify" (Staged.stage e18_omission_verify);
+    Test.make ~name:"ablation/valence-cold" (Staged.stage ablation_valence_cold);
+    Test.make ~name:"ablation/valence-warm" (Staged.stage ablation_valence_warm);
+    Test.make ~name:"ablation/growth-sync" (Staged.stage ablation_growth_sync);
+    Test.make ~name:"ablation/growth-sm" (Staged.stage ablation_growth_sm);
+    Test.make ~name:"ablation/growth-mp" (Staged.stage ablation_growth_mp);
+  ]
+
+let () =
+  let grouped = Test.make_grouped ~name:"layered" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-32s  %14s@." "benchmark" "ns/run";
+  Format.printf "%-32s  %14s@." (String.make 32 '-') (String.make 14 '-');
+  List.iter
+    (fun (name, ns) -> Format.printf "%-32s  %14.1f@." name ns)
+    rows

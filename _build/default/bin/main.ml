@@ -1,0 +1,211 @@
+(* Command-line driver: run the paper-reproduction experiments.
+
+   Usage:
+     layered list              enumerate experiments
+     layered run E7 [E9 ...]   run selected experiments
+     layered all               run everything and summarise
+     layered all --markdown    emit the EXPERIMENTS.md table body
+     layered verify -p early -n 4 -t 2
+                               exhaustively verify a consensus protocol
+     layered layers -m mp -n 3 -d 2
+                               state-growth / layer-size sweep
+     layered chain -m iis -n 3 -l 6
+                               print an ever-bivalent adversary strategy
+     layered graph con0 -n 3   DOT export of an analysed structure *)
+
+open Layered_core
+open Layered_analysis
+
+let print_rows ~markdown rows =
+  if markdown then print_string (Report.to_markdown rows)
+  else Format.printf "%a" Report.pp_table rows
+
+let run_experiments ids markdown =
+  let experiments =
+    match ids with
+    | [] -> Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> e
+            | None -> Fmt.failwith "unknown experiment %s (try `layered list`)" id)
+          ids
+  in
+  let rows =
+    List.concat_map
+      (fun (e : Registry.experiment) ->
+        Format.printf "== %s: %s@." e.id e.title;
+        let rows = e.run () in
+        print_rows ~markdown rows;
+        Format.printf "@.";
+        rows)
+      experiments
+  in
+  if Report.all_pass rows then begin
+    Format.printf "All %d checks passed.@." (List.length rows);
+    0
+  end
+  else begin
+    Format.printf "FAILURES among %d checks.@." (List.length rows);
+    1
+  end
+
+open Cmdliner
+
+let markdown =
+  Arg.(value & flag & info [ "markdown" ] ~doc:"Print result tables as markdown.")
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let f () =
+    List.iter
+      (fun (e : Registry.experiment) -> Format.printf "%-4s %s@." e.id e.title)
+      Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const f $ const ())
+
+let run_cmd =
+  let doc = "Run selected experiments (by id, e.g. E7)." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ ids $ markdown)
+
+let all_cmd =
+  let doc = "Run every experiment." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run_experiments $ const [] $ markdown)
+
+let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Resilience / horizon.")
+
+let verify_cmd =
+  let doc =
+    "Exhaustively verify a synchronous consensus protocol against every adversary of the \
+     chosen failure model."
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("floodset", `Floodset); ("eig", `Eig); ("early", `Early);
+               ("clean", `Clean); ("uniform", `Uniform); ("coordinator", `Coordinator);
+             ])
+          `Floodset
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"floodset | eig | early | clean | uniform | coordinator")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("crash", `Crash); ("omission", `Omission); ("general", `General) ]) `Crash
+      & info [ "model" ] ~docv:"MODEL" ~doc:"crash | omission | general (omission)")
+  in
+  let rounds =
+    Arg.(value & opt (some int) None & info [ "r"; "rounds" ] ~docv:"R"
+           ~doc:"Rounds to explore (default: the protocol's decision round + 1).")
+  in
+  let max_new =
+    Arg.(value & opt int 2 & info [ "m"; "max-new" ] ~docv:"M"
+           ~doc:"Maximum fresh failures per round.")
+  in
+  let f protocol model n t rounds max_new =
+    let protocol, default_rounds =
+      match protocol with
+      | `Floodset -> (Layered_protocols.Sync_floodset.make ~t, t + 2)
+      | `Eig -> (Layered_protocols.Sync_eig.make ~t, t + 2)
+      | `Early -> (Layered_protocols.Sync_early.make ~t, t + 2)
+      | `Clean -> (Layered_protocols.Sync_clean.make ~t, t + 2)
+      | `Uniform -> (Layered_protocols.Sync_uniform.make ~t, t + 3)
+      | `Coordinator -> (Layered_protocols.Sync_coordinator.make ~t, (3 * (t + 1)) + 1)
+    in
+    let rounds = Option.value rounds ~default:default_rounds in
+    let ok =
+      match model with
+      | `Crash ->
+          let r = Consensus_check.check ~protocol ~n ~t ~rounds ~max_new () in
+          Format.printf "%a@." Consensus_check.pp_result r;
+          r.Consensus_check.agreement_ok && r.Consensus_check.validity_ok
+          && r.Consensus_check.termination_ok
+      | `Omission | `General ->
+          let general = model = `General in
+          let r = Omission_check.check ~protocol ~n ~t ~rounds ~max_new ~general () in
+          Format.printf "%a@." Omission_check.pp_result r;
+          r.Omission_check.agreement_ok && r.Omission_check.validity_ok
+          && r.Omission_check.termination_ok
+    in
+    if ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const f $ protocol $ model $ n_arg $ t_arg $ rounds $ max_new)
+
+let layers_cmd =
+  let doc = "Sweep a substrate: reachable states and layer sizes per depth." in
+  let model =
+    Arg.(
+      value
+      & opt (enum (List.map (fun m -> (m, m)) Sweep.models)) "sync"
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"mobile | sync | sm | mp | smp | iis")
+  in
+  let depth =
+    Arg.(value & opt int 2 & info [ "d"; "depth" ] ~docv:"D" ~doc:"Layers to explore.")
+  in
+  let f model n t depth =
+    Format.printf "%a" Sweep.pp (Sweep.run ~model ~n ~t ~depth);
+    0
+  in
+  Cmd.v (Cmd.info "layers" ~doc) Term.(const f $ model $ n_arg $ t_arg $ depth)
+
+let chain_cmd =
+  let doc =
+    "Construct an ever-bivalent run (Theorem 4.2) and print the adversary's strategy."
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum (List.map (fun m -> (m, m)) Sweep.models)) "mobile"
+      & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"mobile | sync | sm | mp | smp | iis")
+  in
+  let length =
+    Arg.(value & opt int 6 & info [ "l"; "length" ] ~docv:"L" ~doc:"Chain length (states).")
+  in
+  let f model n t length =
+    Format.printf "%a" Chains.pp (Chains.run ~model ~n ~t ~length);
+    0
+  in
+  Cmd.v (Cmd.info "chain" ~doc) Term.(const f $ model $ n_arg $ t_arg $ length)
+
+let graph_cmd =
+  let doc = "Emit a Graphviz (DOT) rendering of an analysed structure." in
+  let what =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("con0", `Con0); ("layer", `Layer); ("task", `Task) ])) None
+      & info [] ~docv:"WHAT" ~doc:"con0 | layer | task")
+  in
+  let task =
+    Arg.(value & opt string "consensus"
+         & info [ "task" ] ~docv:"TASK"
+             ~doc:"consensus | election | weak-consensus | identity | kset2")
+  in
+  let f what n t task =
+    let dot =
+      match what with
+      | `Con0 -> Export.con0_similarity ~n ~t
+      | `Layer -> Export.st_layer ~n ~t
+      | `Task -> Export.task_thickness ~name:task ~n
+    in
+    print_string dot;
+    0
+  in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const f $ what $ n_arg $ t_arg $ task)
+
+let () =
+  let doc = "layered-analysis reproduction of Moses & Rajsbaum (PODC 1998)" in
+  let info = Cmd.info "layered" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; verify_cmd; layers_cmd; chain_cmd; graph_cmd ]))

@@ -1,0 +1,1 @@
+examples/knowledge.ml: Array Format Hashtbl Layered_core Layered_knowledge Layered_protocols Layered_sync List Value Vset

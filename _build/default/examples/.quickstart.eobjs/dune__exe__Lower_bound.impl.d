@@ -1,0 +1,1 @@
+examples/lower_bound.ml: Array Format Layered_analysis Layered_core Layered_protocols Layered_sync Layering List Option Valence Value

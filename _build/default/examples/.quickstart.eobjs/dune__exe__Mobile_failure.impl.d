@@ -1,0 +1,1 @@
+examples/mobile_failure.ml: Format Layered_core Layered_protocols Layered_sync Layering List Option Valence Value Vset

@@ -1,0 +1,1 @@
+examples/omission.ml: Format Layered_core Layered_protocols Layered_sync List Vset

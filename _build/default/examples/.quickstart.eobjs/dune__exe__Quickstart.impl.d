@@ -1,0 +1,1 @@
+examples/quickstart.ml: Connectivity Format Layered_analysis Layered_core Layered_protocols Layered_sync Layering List Option String Valence Value

@@ -1,0 +1,1 @@
+examples/task_solvability.ml: Complex Format Layered_topology List Option Simplex Solvability Task Thick

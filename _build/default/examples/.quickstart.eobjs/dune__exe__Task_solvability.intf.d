@@ -1,0 +1,1 @@
+examples/task_solvability.mli:

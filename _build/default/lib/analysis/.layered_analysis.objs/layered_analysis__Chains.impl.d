@@ -1,0 +1,1 @@
+lib/analysis/chains.ml: Format Layered_async_mp Layered_async_sm Layered_core Layered_iis Layered_protocols Layered_sync Layering List Printf Valence Value Vset

@@ -1,0 +1,1 @@
+lib/analysis/chains.mli: Format

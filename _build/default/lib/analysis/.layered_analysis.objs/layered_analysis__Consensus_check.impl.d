@@ -1,0 +1,1 @@
+lib/analysis/consensus_check.ml: Array Format Hashtbl Inputs Layered_core Layered_sync List Value Vset

@@ -1,0 +1,1 @@
+lib/analysis/consensus_check.mli: Format Layered_sync

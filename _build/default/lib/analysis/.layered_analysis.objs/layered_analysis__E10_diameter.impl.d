@@ -1,0 +1,1 @@
+lib/analysis/e10_diameter.ml: Connectivity Hashtbl Layered_core Layered_protocols Layered_sync List Printf Report Value

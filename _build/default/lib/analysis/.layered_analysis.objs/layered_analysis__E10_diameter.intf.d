@@ -1,0 +1,1 @@
+lib/analysis/e10_diameter.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e11_kset_protocol.ml: Array Explore Inputs Layered_async_mp Layered_core Layered_protocols List Pid Printf Report Value Vset

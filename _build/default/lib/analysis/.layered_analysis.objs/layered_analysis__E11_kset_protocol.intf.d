@@ -1,0 +1,1 @@
+lib/analysis/e11_kset_protocol.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e12_covering_chain.ml: Array Complex Connectivity Covering Format Layered_core Layered_protocols Layered_sync Layered_topology Layering List Pid Printf Report Simplex Value Vset

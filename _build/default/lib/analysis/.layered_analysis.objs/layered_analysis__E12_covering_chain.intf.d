@@ -1,0 +1,1 @@
+lib/analysis/e12_covering_chain.mli: Layered_core

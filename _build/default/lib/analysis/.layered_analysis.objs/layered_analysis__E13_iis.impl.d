@@ -1,0 +1,1 @@
+lib/analysis/e13_iis.ml: Connectivity Explore Layered_core Layered_iis Layered_protocols Layering List Printf Report Valence Value

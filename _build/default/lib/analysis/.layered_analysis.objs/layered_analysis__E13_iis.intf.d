@@ -1,0 +1,1 @@
+lib/analysis/e13_iis.mli: Layered_core

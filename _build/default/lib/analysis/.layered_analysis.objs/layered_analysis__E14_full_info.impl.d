@@ -1,0 +1,1 @@
+lib/analysis/e14_full_info.ml: Connectivity Layered_async_mp Layered_async_sm Layered_core Layered_iis Layered_protocols Layered_sync Layering List Pid Printf Report Valence Value

@@ -1,0 +1,1 @@
+lib/analysis/e14_full_info.mli: Layered_core

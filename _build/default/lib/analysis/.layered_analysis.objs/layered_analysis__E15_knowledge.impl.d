@@ -1,0 +1,1 @@
+lib/analysis/e15_knowledge.ml: Array Hashtbl Layered_core Layered_knowledge Layered_protocols Layered_sync List Printf Report Value Vset

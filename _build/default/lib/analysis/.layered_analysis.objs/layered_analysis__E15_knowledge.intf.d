@@ -1,0 +1,1 @@
+lib/analysis/e15_knowledge.mli: Layered_core

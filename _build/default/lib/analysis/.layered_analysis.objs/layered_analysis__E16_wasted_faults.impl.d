@@ -1,0 +1,1 @@
+lib/analysis/e16_wasted_faults.ml: Consensus_check Format Fun Hashtbl Inputs Layered_core Layered_protocols Layered_sync List Pid Printf Report Value

@@ -1,0 +1,1 @@
+lib/analysis/e16_wasted_faults.mli: Layered_core

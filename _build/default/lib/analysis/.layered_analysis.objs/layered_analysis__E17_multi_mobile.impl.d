@@ -1,0 +1,1 @@
+lib/analysis/e17_multi_mobile.ml: Connectivity Layered_core Layered_protocols Layered_sync Layering List Printf Report Valence Value Vset

@@ -1,0 +1,1 @@
+lib/analysis/e17_multi_mobile.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e18_omission.ml: Format Layered_core Layered_protocols Omission_check Printf Report

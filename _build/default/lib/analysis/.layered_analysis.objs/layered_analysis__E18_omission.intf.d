@@ -1,0 +1,1 @@
+lib/analysis/e18_omission.mli: Layered_core

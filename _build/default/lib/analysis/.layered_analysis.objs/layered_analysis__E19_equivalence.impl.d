@@ -1,0 +1,1 @@
+lib/analysis/e19_equivalence.ml: Array Explore Inputs Layered_async_mp Layered_async_sm Layered_core Layered_iis Layered_protocols List Pid Printf Report Value Vset

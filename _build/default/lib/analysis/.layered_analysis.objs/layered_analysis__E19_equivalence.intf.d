@@ -1,0 +1,1 @@
+lib/analysis/e19_equivalence.mli: Layered_core

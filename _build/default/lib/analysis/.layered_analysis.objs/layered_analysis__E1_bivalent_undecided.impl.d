@@ -1,0 +1,1 @@
+lib/analysis/e1_bivalent_undecided.ml: Array Explore Layered_async_mp Layered_core Layered_protocols Layered_sync List Printf Report Valence Value Vset

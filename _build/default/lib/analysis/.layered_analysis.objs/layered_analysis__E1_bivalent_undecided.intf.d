@@ -1,0 +1,1 @@
+lib/analysis/e1_bivalent_undecided.mli: Layered_core

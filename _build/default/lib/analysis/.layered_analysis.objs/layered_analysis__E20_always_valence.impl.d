@@ -1,0 +1,1 @@
+lib/analysis/e20_always_valence.ml: Array Complex Connectivity Covering Layered_core Layered_protocols Layered_sync Layered_topology Layering List Option Pid Printf Report Simplex Valence Value Vset

@@ -1,0 +1,1 @@
+lib/analysis/e20_always_valence.mli: Layered_core

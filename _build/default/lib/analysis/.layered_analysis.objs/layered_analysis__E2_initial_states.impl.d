@@ -1,0 +1,1 @@
+lib/analysis/e2_initial_states.ml: Connectivity Layered_async_mp Layered_async_sm Layered_core Layered_protocols Layered_sync List Printf Report Valence Value Vset

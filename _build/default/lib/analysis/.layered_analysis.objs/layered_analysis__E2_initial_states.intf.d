@@ -1,0 +1,1 @@
+lib/analysis/e2_initial_states.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e3_s1_layer.ml: Connectivity Explore Layered_core Layered_protocols Layered_sync Layering List Pid Printf Report Valence Value Vset

@@ -1,0 +1,1 @@
+lib/analysis/e3_s1_layer.mli: Layered_core

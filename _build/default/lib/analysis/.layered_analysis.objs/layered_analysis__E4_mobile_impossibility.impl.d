@@ -1,0 +1,1 @@
+lib/analysis/e4_mobile_impossibility.ml: Layered_core Layered_protocols Layered_sync Layering List Printf Report Valence Value Vset

@@ -1,0 +1,1 @@
+lib/analysis/e4_mobile_impossibility.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e5_shared_memory.ml: Connectivity Explore Layered_async_sm Layered_core Layered_protocols Layering List Pid Printf Report Valence Value

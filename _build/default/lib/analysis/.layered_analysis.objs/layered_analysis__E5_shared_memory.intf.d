@@ -1,0 +1,1 @@
+lib/analysis/e5_shared_memory.mli: Layered_core

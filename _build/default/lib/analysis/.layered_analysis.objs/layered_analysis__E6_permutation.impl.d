@@ -1,0 +1,1 @@
+lib/analysis/e6_permutation.ml: Connectivity Explore Fun Layered_async_mp Layered_core Layered_protocols Layering List Pid Printf Report Valence Value

@@ -1,0 +1,1 @@
+lib/analysis/e6_permutation.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e7_lower_bound.ml: Array Bool Consensus_check Format Layered_core Layered_protocols Layered_sync Layering List Printf Report Valence Value

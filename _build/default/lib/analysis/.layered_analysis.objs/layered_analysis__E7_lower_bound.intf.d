@@ -1,0 +1,1 @@
+lib/analysis/e7_lower_bound.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e8_fast_univalence.ml: Explore Layered_core Layered_protocols Layered_sync List Printf Report Valence Value

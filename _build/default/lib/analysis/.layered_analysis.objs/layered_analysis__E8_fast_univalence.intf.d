@@ -1,0 +1,1 @@
+lib/analysis/e8_fast_univalence.mli: Layered_core

@@ -1,0 +1,1 @@
+lib/analysis/e9_task_solvability.ml: Array Complex Covering Layered_async_mp Layered_core Layered_protocols Layered_topology List Pid Printf Report Simplex Solvability Task Valence Value Vset

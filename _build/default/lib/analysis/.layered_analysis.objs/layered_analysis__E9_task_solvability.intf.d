@@ -1,0 +1,1 @@
+lib/analysis/e9_task_solvability.mli: Layered_core

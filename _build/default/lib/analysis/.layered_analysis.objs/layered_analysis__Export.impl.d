@@ -1,0 +1,1 @@
+lib/analysis/export.ml: Array Buffer Complex Format Layered_core Layered_protocols Layered_sync Layered_topology Layering List Printf Simplex String Task Valence Value

@@ -1,0 +1,1 @@
+lib/analysis/omission_check.mli: Format Layered_sync

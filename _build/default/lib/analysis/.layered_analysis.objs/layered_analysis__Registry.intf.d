@@ -1,0 +1,1 @@
+lib/analysis/registry.mli: Layered_core

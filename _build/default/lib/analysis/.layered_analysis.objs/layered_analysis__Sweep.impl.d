@@ -1,0 +1,1 @@
+lib/analysis/sweep.ml: Array Explore Format Fun Hashtbl Layered_async_mp Layered_async_sm Layered_core Layered_iis Layered_protocols Layered_sync List Printf Value

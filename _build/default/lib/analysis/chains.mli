@@ -1,0 +1,26 @@
+(** Parametric bivalent-chain construction with the adversary's strategy
+    rendered per round — the Theorem 4.2 construction as a CLI-visible
+    artifact, for any substrate. *)
+
+type line = {
+  round : int;
+  action : string;  (** the environment action chosen at this layer *)
+  decided : string;  (** the set of decided values at the state *)
+  violation : bool;  (** at least two distinct values decided *)
+}
+
+type t = {
+  model : string;
+  n : int;
+  horizon : int;  (** the driving protocol's decision deadline *)
+  complete : bool;  (** the chain reached the requested length *)
+  lines : line list;
+}
+
+(** Model names as in {!Sweep.models}: ["mobile"], ["sync"] (with [t] the
+    resilience), ["sm"], ["mp"], ["smp"], ["iis"].  For ["sync"] the chain
+    is the Lemma 6.1 one (length capped at [t] states, bivalence dying at
+    round t-1); for all others the ever-bivalent Theorem 4.2 chain. *)
+val run : model:string -> n:int -> t:int -> length:int -> t
+
+val pp : Format.formatter -> t -> unit

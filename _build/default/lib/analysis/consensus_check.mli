@@ -1,0 +1,37 @@
+(** Exhaustive verification of synchronous consensus protocols against
+    every crash-adversary strategy of the Section 6 model.
+
+    The checker explores all runs of a protocol under all adversary actions
+    with at most [max_new] fresh crashes per round (each crash losing an
+    arbitrary subset of that round's messages, including none — a
+    "declaration" crash at the round boundary) and at most [t] crashes in
+    total, for [rounds] rounds.  It reports whether Agreement, Validity and
+    Decision-by-[rounds] hold among non-failed processes, and the
+    worst-case decision round. *)
+
+type result = {
+  agreement_ok : bool;  (** among non-failed processes (plain consensus) *)
+  uniform_agreement_ok : bool;
+      (** among {e all} deciders, failed ones included (uniform
+          consensus).  The classical (t+1)-round protocols achieve plain
+          but not uniform agreement: a process that crashes mid-delivery
+          may have decided on a value the survivors never see.  Reported
+          for comparison; no experiment expects it to hold. *)
+  validity_ok : bool;
+  termination_ok : bool;  (** all non-failed decided by [rounds] everywhere *)
+  worst_decision_round : int;
+      (** smallest [r] such that every reachable state at round [r] is
+          terminal (equals [rounds + 1] if termination failed) *)
+  states_explored : int;
+}
+
+val check :
+  protocol:(module Layered_sync.Protocol.S) ->
+  n:int ->
+  t:int ->
+  rounds:int ->
+  ?max_new:int ->
+  unit ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,17 @@
+(** Experiment E10 — Lemma 7.6 / Theorem 7.7: similarity-diameter
+    composition.
+
+    If [X] is similarity connected and every layer [S(x)] is similarity
+    connected (with an arbitrary crash failure displayed on [X]), then
+    [S(X)] is similarity connected with
+    [diam(S(X)) <= dX * dY + dX + dY].
+
+    We iterate the [S^t] layering of the t-resilient synchronous model
+    level by level from [Con_0] (levels [m <= t], where one more crash is
+    still affordable and the lemma's display condition holds), measuring
+    the exact similarity diameters of the level sets and of every layer,
+    and checking connectivity and the composed bound.  The per-level
+    maximum layer diameter (the paper's [d_Y^m = 2(n - m)] estimate) is
+    reported alongside. *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,20 @@
+(** Experiment E11 — the constructive side of Corollary 7.3.
+
+    E9 establishes by geometry that 2-set agreement passes the 1-thick
+    connectivity condition (hence is 1-resiliently solvable) while
+    consensus fails it.  E11 closes the loop operationally: a concrete
+    wait-for-(n-1) protocol ({!Layered_protocols.Mp_kset}) is explored
+    over the permutation submodel and verified to satisfy, at every
+    reachable state,
+
+    - {e k-agreement}: at most two distinct decided values;
+    - {e validity}: decisions are input values;
+    - {e liveness}: full schedules decide everyone within two layers, and
+      in every explored state at least [n - 1] processes can still reach
+      a decision;
+
+    and — matching the k = 1 side of the crossover — some run does
+    exhibit two distinct decisions, so the same protocol does {e not}
+    solve consensus. *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,17 @@
+(** Experiment E12 — Lemma 7.1 / Lemma 7.4: generalized valence drives the
+    same round-by-round constructions as binary valence.
+
+    Over three-valued inputs in the t-resilient synchronous model, the
+    covering (O0, O1) = ("everyone decides a value <= 1", "everyone
+    decides 2") is a genuine non-binary covering of the runs of FloodSet.
+    We verify that
+
+    - some initial state is bivalent with respect to the covering;
+    - the generalized Lemma 6.1/7.4 chain exists: covering-bivalent
+      states through round t-1 with at most m failures at round m;
+    - each layer along the chain is valence connected with respect to the
+      covering;
+    - a round-t successor still has a non-failed undecided process
+      (the generalized Lemma 6.2 step of Lemma 7.4's t-round analysis). *)
+
+val run : unit -> Layered_core.Report.row list

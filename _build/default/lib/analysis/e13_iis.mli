@@ -1,0 +1,19 @@
+(** Experiment E13 — the layering machinery on the iterated
+    immediate-snapshot model (Borowsky-Gafni), to which Section 7 notes
+    the paper's equivalences extend and which inspired the permutation
+    layering.
+
+    One layer = one ordered partition of the processes (Fubini-number
+    many).  Checks:
+
+    - partition enumeration matches the Fubini numbers (3, 13, 75);
+    - every layer is similarity connected — merging or splitting adjacent
+      concurrency classes changes the view of a single process — hence
+      valence connected;
+    - the ever-bivalent chain exists (the wait-free impossibility of
+      consensus, in exactly the paper's Theorem 4.2 form);
+    - the block structure behaves: the all-singletons partition in pid
+      order equals sequential execution, and the one-block partition
+      gives every process the full view. *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,18 @@
+(** Experiment E14 — protocol independence: the layer structure survives
+    full information.
+
+    The paper's results quantify over all deterministic protocols, and its
+    pictures are usually drawn for full-information ones.  E14 replays the
+    structural checks of E3, E5, E6 and E13 against the full-information
+    protocols of {!Layered_protocols.Full_info} — where nothing is ever
+    forgotten, so every indistinguishability found is intrinsic to the
+    model rather than an artifact of the protocol discarding state:
+
+    - mobile synchronous: every [S_1] layer valence connected; the
+      ever-bivalent chain extends;
+    - shared memory: the Lemma 5.3 bridge and layer valence connectivity;
+    - message passing: the FLP diamond (state equality) and layer valence
+      connectivity;
+    - IIS: layer similarity connectivity. *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,22 @@
+(** Experiment E15 — the knowledge-theoretic reading of Section 6
+    (following Dwork-Moses [11], which the paper's lower-bound discussion
+    builds on).
+
+    Over the full crash-adversary state space of the verified protocols:
+
+    - a non-failed process that has decided [v] always {e believes}
+      (knows, relativized to its own correctness) that every non-failed
+      decision is [v] — the epistemic form of Agreement;
+    - yet it does not {e know} it: worlds where the process itself has
+      been failed and others decide differently are indistinguishable to
+      it — the epistemic form of the measured uniform-agreement failure
+      (E7's [uniform=false]);
+    - FloodSet decides simultaneously (everyone at round t+1), and at
+      decision time the decided value is {e common belief} among the
+      non-failed — while plain common knowledge fails at some worlds, so
+      the non-faulty relativization is essential;
+    - the early-deciding protocol decides non-simultaneously, and common
+      belief of the value at its first decisions fails, matching the
+      classical simultaneity/common-knowledge correspondence. *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,17 @@
+(** Experiment E16 — "the environment has wasted w faults": the paper's
+    closing discussion of Section 6 (after Lemma 6.4, citing
+    Dwork-Moses [11]): if [k + w] crashes are detected by the end of round
+    [k], agreement can be secured by round [t + 1 - w]; Lemma 6.1
+    guarantees the adversary loses no more than those [w] rounds.
+
+    We run the clean-round protocol ({!Layered_protocols.Sync_clean}) —
+    first verifying it exhaustively against every crash adversary — and
+    then measure the worst-case decision round over adversaries forced to
+    spend [c] crashes silently (fully visibly) in round 1:
+
+    - [c = t]: every fault wasted at once — decision by round 2
+      ([t + 1 - (t - 1)]);
+    - [c < t]: the remaining budget still buys the adversary delay —
+      decision only by round [t + 1 - max(0, c - 1)]. *)
+
+val run : unit -> Layered_core.Report.row list

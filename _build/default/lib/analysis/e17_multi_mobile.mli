@@ -1,0 +1,16 @@
+(** Experiment E17 — the generalised mobile adversary (Santoro-Widmayer's
+    setting, of which the paper's Corollary 5.2 treats the single-failure
+    case).
+
+    With up to [k] mobile omitters per round the submodel only gains
+    schedules, so the impossibility analysis goes through a fortiori.
+    Checks, for k = 1, 2:
+
+    - the k-omitter layer contains the 1-omitter layer (submodel
+      monotonicity, literally as state-set inclusion);
+    - every layer remains valence connected;
+    - the ever-bivalent chain still extends — and under the stronger
+      adversary the Agreement violation is forced no later than under the
+      weaker one. *)
+
+val run : unit -> Layered_core.Report.row list

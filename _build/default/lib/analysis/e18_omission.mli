@@ -1,0 +1,20 @@
+(** Experiment E18 — the send-omission failure model (the second failure
+    type named in the paper's introduction: "sending omissions ... a
+    faulty processor can fail to send messages altogether from some point
+    on, and thus behave as if it has crashed").
+
+    Crash runs are the omission runs that drop everything from the first
+    drop onward, so the model strictly contains Section 6's and all lower
+    bounds transfer a fortiori.  The new content is on the upper-bound
+    side:
+
+    - min-flooding (FloodSet), exhaustively correct in the crash model
+      (E7), {e breaks} under send-omission — the checker finds a
+      last-round-injection witness;
+    - a rotating-coordinator protocol with locked votes and a claim round
+      ({!Layered_protocols.Sync_coordinator}) is exhaustively correct for
+      [n > 2t], deciding in exactly [3(t+1)] rounds;
+    - at the boundary [n = 2t] its guarantee genuinely fails, and the
+      checker exhibits it. *)
+
+val run : unit -> Layered_core.Report.row list

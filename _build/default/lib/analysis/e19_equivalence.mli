@@ -1,0 +1,18 @@
+(** Experiment E19 — Corollary 7.3's equivalence, operationally: "in all
+    these models, the same problems are solvable 1-resiliently".
+
+    One algorithm — collect (pid, input) pairs, decide the minimum once
+    [n - 1] inputs are known — is run on three substrates (asynchronous
+    message passing, read/write shared memory, iterated immediate
+    snapshot) and verified by exhaustive depth-bounded exploration to
+    satisfy, at every reachable state of the respective layered submodel:
+
+    - k-agreement: at most two distinct decided values;
+    - validity: decisions are inputs;
+    - liveness on the fair schedules of each substrate;
+
+    while in each substrate some schedule exhibits two decisions (it does
+    not solve consensus — the k = 1 crossover, uniformly across
+    models). *)
+
+val run : unit -> Layered_core.Report.row list

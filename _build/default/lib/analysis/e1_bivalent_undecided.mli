@@ -1,0 +1,13 @@
+(** Experiment E1 — Lemma 3.1 / Lemma 3.2.
+
+    Lemma 3.1: in a system where at most [t < n] processes fail and
+    Agreement holds, every bivalent state has at least [n - t] non-failed
+    processes that have not decided.  Lemma 3.2: with no finite failure,
+    {e no} process has decided at a bivalent state.
+
+    We check the implication over every reachable state of the [S^t]
+    submodel for protocols whose Agreement was verified exhaustively
+    (FloodSet, EIG, early-deciding FloodSet), and the Lemma 3.2 form over
+    the asynchronous message-passing model before its decision horizon. *)
+
+val run : unit -> Layered_core.Report.row list

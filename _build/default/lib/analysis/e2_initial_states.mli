@@ -1,0 +1,15 @@
+(** Experiment E2 — Lemma 3.6.
+
+    The set [Con_0] of initial states for binary consensus is similarity
+    connected in every model; given the decision requirement and an
+    arbitrary crash failure display it is valence connected; and with
+    Validity there is a bivalent initial state.  We additionally confirm
+    the two Validity anchors: the all-zeros initial state is 0-univalent
+    and the all-ones state is 1-univalent.
+
+    Checked in all five substrates: mobile-failure synchronous,
+    t-resilient synchronous, asynchronous read/write shared memory,
+    asynchronous message passing (permutation layering), and the
+    message-passing synchronic submodel. *)
+
+val run : unit -> Layered_core.Report.row list

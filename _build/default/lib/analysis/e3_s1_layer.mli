@@ -1,0 +1,14 @@
+(** Experiment E3 — Lemma 5.1.
+
+    In the single-mobile-failure synchronous model [M^mf]:
+    (i) [S_1] is a layering of [R(A, M^mf)] — every [S_1]-successor is a
+    legal one-round successor under some environment action [(j, G)];
+    (ii) the model displays an arbitrary crash failure — checked through
+    its operative consequence, Lemma 3.3: similar states in a layer share
+    a valence;
+    (iii) every layer [S_1(x)] is valence connected.
+
+    All three are checked over the states reachable in a few layers from
+    every initial state, and along a bivalent chain. *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,13 @@
+(** Experiment E4 — Corollary 5.2 (Santoro-Widmayer): consensus is
+    impossible with a single mobile failure per round.
+
+    The executable form: take a protocol that satisfies Decision (it
+    always decides by a horizon) and Validity; construct, layer by layer,
+    a run all of whose states are bivalent (Theorem 4.2's construction).
+    The chain never gets stuck — and once the protocol's decision deadline
+    passes, its bivalent states are literal Agreement violations (both
+    values decided), exhibiting {e why} no protocol can satisfy all three
+    requirements.  Before the deadline, bivalent states have no decided
+    process (Lemma 3.2: the model displays no finite failure). *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,16 @@
+(** Experiment E5 — Lemma 5.3 / Corollary 5.4.
+
+    The synchronic layering [S^rw] of the asynchronous read/write model:
+
+    - every compiled layer is a legal interleaving of local phases (one
+      write then one scan per participating process);
+    - the proper part [Y = {x(j,k)}] of each layer is similarity
+      connected, and the bridge of Lemma 5.3 holds: [x(j,n)(j,A)] and
+      [x(j,A)(j,0)] agree modulo [j] — checked as state equality outside
+      [j];
+    - every layer [S^rw(x)] is valence connected, and a deciding protocol
+      can be kept bivalent for arbitrarily many layers (the FLP-style
+      impossibility, Corollary 5.4, in a submodel with only "a small
+      degree of asynchrony"). *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,15 @@
+(** Experiment E6 — Section 5.1, the permutation layering [S^per] for
+    asynchronous message passing (the message-passing analogue of
+    immediate-snapshot executions).
+
+    Checks:
+    - the FLP diamond collapsed to state equality:
+      [x[p1..pn][p1..p_{n-1}] = x[p1..p_{n-1}][pn, p1..p_{n-1}]];
+    - the transposition bridge: the state reached by a full permutation is
+      similar to the one with an adjacent pair made concurrent, which is
+      similar to the transposed permutation — whence the full-action part
+      of every layer is similarity connected;
+    - every layer [S^per(x)] is valence connected, and the ever-bivalent
+      chain (the FLP impossibility in this submodel). *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,18 @@
+(** Experiment E7 — Lemmas 6.1, 6.2 and Corollary 6.3: the (t+1)-round
+    lower bound for t-resilient synchronous consensus.
+
+    For each protocol and instance (n, t):
+
+    - the protocol is first verified {e exhaustively} against every crash
+      adversary of the Section 6 model (Agreement, Validity, Decision);
+    - Lemma 6.1: starting from a bivalent initial state, a bivalent
+      [S^t]-chain [x^0, ..., x^{t-1}] exists with at most [m] processes
+      failed at [x^m] (bivalence need not survive to round [t], as the
+      paper notes);
+    - Lemma 6.2 / Corollary 6.3: some layer successor of the bivalent
+      round-[t-1] state — a round-[t] state — still has a non-failed
+      undecided process, so some run decides only after round [t];
+    - tightness: the measured worst-case decision round equals [t + 1]
+      exactly. *)
+
+val run : unit -> Layered_core.Report.row list

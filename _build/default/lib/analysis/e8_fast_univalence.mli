@@ -1,0 +1,11 @@
+(** Experiment E8 — Lemma 6.4: in a fast (always <= t+1 rounds) consensus
+    protocol, any state reached after [k] failures and a subsequent
+    failure-free round is univalent.
+
+    We enumerate every [S^t]-reachable state at the end of each round
+    [k <= t] (all have at most [k] failures), apply the failure-free
+    action, and verify the result classifies as univalent.  Checked for
+    both fast protocols in the suite: FloodSet (decides in exactly [t+1]
+    rounds) and early-deciding FloodSet (decides by round [f+2]). *)
+
+val run : unit -> Layered_core.Report.row list

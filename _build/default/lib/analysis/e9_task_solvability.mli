@@ -1,0 +1,17 @@
+(** Experiment E9 — Theorem 7.2 / Corollary 7.3: 1-thick connectivity
+    characterises 1-resilient solvability.
+
+    Over the task zoo ({!Layered_topology.Task}):
+    - solvable tasks (weak consensus, identity, fixed value, k-set
+      agreement for k >= 2) pass the necessary condition — [C_Delta(I)] is
+      1-thick connected for {e every} similarity-connected input set [I];
+    - unsolvable tasks (consensus, volunteer election, 1-set agreement)
+      exhibit {e forced fragmentation}: output simplexes forced by
+      unanimous-style inputs lie in distinct 1-thickness components, so no
+      subproblem of [Delta] can pass — a sound unsolvability certificate;
+    - the k-set agreement sweep locates the solvability crossover at
+      k = 2, matching the known 1-resilient asynchronous landscape;
+    - generalized (covering) valence over the message-passing model agrees
+      with binary valence on consensus coverings (Section 7's machinery). *)
+
+val run : unit -> Layered_core.Report.row list

@@ -1,0 +1,60 @@
+open Layered_core
+
+type result = {
+  agreement_ok : bool;
+  validity_ok : bool;
+  termination_ok : bool;
+  worst_decision_round : int;
+  states_explored : int;
+}
+
+let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new = 1)
+    ?(general = false) () =
+  let module E = Layered_sync.Omission.Make (P) in
+  let agreement_ok = ref true
+  and validity_ok = ref true
+  and termination_ok = ref true
+  and worst = ref 0
+  and explored = ref 0 in
+  let check_state allowed x =
+    incr explored;
+    let decided = E.decided_vset x in
+    if Vset.cardinal decided > 1 then agreement_ok := false;
+    if not (Vset.subset decided allowed) then validity_ok := false;
+    if not (E.terminal x) then begin
+      if x.E.round >= rounds then termination_ok := false
+      else worst := max !worst (x.E.round + 1)
+    end
+  in
+  let explore_from allowed x0 =
+    let seen = Hashtbl.create 4096 in
+    let rec explore x =
+      let k = E.key x in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        check_state allowed x;
+        if x.E.round < rounds then
+          List.iter
+            (fun a -> explore (E.apply x a))
+            (E.all_actions ~general ~max_new ~remaining_failures:(t - E.faulty_count x) x)
+      end
+    in
+    explore x0
+  in
+  List.iter
+    (fun inputs ->
+      let allowed = Vset.of_list (Array.to_list inputs) in
+      explore_from allowed (E.initial ~inputs))
+    (Inputs.vectors ~n ~values:[ Value.zero; Value.one ]);
+  {
+    agreement_ok = !agreement_ok;
+    validity_ok = !validity_ok;
+    termination_ok = !termination_ok;
+    worst_decision_round = (if !termination_ok then !worst else rounds + 1);
+    states_explored = !explored;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "agreement=%b validity=%b termination=%b worst-round=%d states=%d"
+    r.agreement_ok r.validity_ok r.termination_ok r.worst_decision_round
+    r.states_explored

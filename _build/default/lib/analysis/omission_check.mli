@@ -1,0 +1,28 @@
+(** Exhaustive verification against the send-omission adversary
+    ({!Layered_sync.Omission}): up to [t] processes marked faulty
+    (adaptively, at most [max_new] fresh per round), each dropping an
+    arbitrary subset of its outgoing messages every round.
+
+    Properties are judged on the non-faulty processes, as in the paper's
+    treatment ("a faulty processor can fail to send messages altogether
+    ... and thus behave as if it has crashed"). *)
+
+type result = {
+  agreement_ok : bool;
+  validity_ok : bool;
+  termination_ok : bool;
+  worst_decision_round : int;
+  states_explored : int;
+}
+
+val check :
+  protocol:(module Layered_sync.Protocol.S) ->
+  n:int ->
+  t:int ->
+  rounds:int ->
+  ?max_new:int ->
+  ?general:bool ->
+  unit ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

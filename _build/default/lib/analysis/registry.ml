@@ -1,0 +1,112 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : unit -> Layered_core.Report.row list;
+}
+
+let all =
+  [
+    {
+      id = "E1";
+      title = "Lemma 3.1/3.2: bivalent states have >= n-t non-failed undecided";
+      run = E1_bivalent_undecided.run;
+    };
+    {
+      id = "E2";
+      title = "Lemma 3.6: Con_0 connectivity and the bivalent initial state";
+      run = E2_initial_states.run;
+    };
+    {
+      id = "E3";
+      title = "Lemma 5.1: the S1 layering of the mobile-failure model";
+      run = E3_s1_layer.run;
+    };
+    {
+      id = "E4";
+      title = "Cor 5.2: consensus impossible with one mobile failure";
+      run = E4_mobile_impossibility.run;
+    };
+    {
+      id = "E5";
+      title = "Lemma 5.3/Cor 5.4: the synchronic layering of shared memory";
+      run = E5_shared_memory.run;
+    };
+    {
+      id = "E6";
+      title = "Sec 5.1: the permutation layering of message passing";
+      run = E6_permutation.run;
+    };
+    {
+      id = "E7";
+      title = "Cor 6.3: the (t+1)-round synchronous lower bound, and tightness";
+      run = E7_lower_bound.run;
+    };
+    {
+      id = "E8";
+      title = "Lemma 6.4: fast protocols are univalent after a clean round";
+      run = E8_fast_univalence.run;
+    };
+    {
+      id = "E9";
+      title = "Thm 7.2/Cor 7.3: 1-thick connectivity and task solvability";
+      run = E9_task_solvability.run;
+    };
+    {
+      id = "E10";
+      title = "Lemma 7.6: similarity-diameter composition bound";
+      run = E10_diameter.run;
+    };
+    {
+      id = "E11";
+      title = "Cor 7.3 constructive: a 1-resilient 2-set agreement protocol";
+      run = E11_kset_protocol.run;
+    };
+    {
+      id = "E12";
+      title = "Lemma 7.1/7.4: covering valence drives the same chains";
+      run = E12_covering_chain.run;
+    };
+    {
+      id = "E13";
+      title = "Sec 7 extensions: the iterated immediate-snapshot model";
+      run = E13_iis.run;
+    };
+    {
+      id = "E14";
+      title = "Protocol independence: layer structure under full information";
+      run = E14_full_info.run;
+    };
+    {
+      id = "E15";
+      title = "Dwork-Moses: knowledge, belief and simultaneity in the crash model";
+      run = E15_knowledge.run;
+    };
+    {
+      id = "E16";
+      title = "Sec 6 coda: wasted faults buy decision rounds (clean-round protocol)";
+      run = E16_wasted_faults.run;
+    };
+    {
+      id = "E17";
+      title = "Santoro-Widmayer generalised: several mobile omitters per round";
+      run = E17_multi_mobile.run;
+    };
+    {
+      id = "E18";
+      title = "Send-omission failures: min-flooding breaks, coordinators survive";
+      run = E18_omission.run;
+    };
+    {
+      id = "E19";
+      title = "Cor 7.3 operationally: one 2-set algorithm, three substrates";
+      run = E19_equivalence.run;
+    };
+    {
+      id = "E20";
+      title = "Sec 7: always-valence-connected layers (every covering)";
+      run = E20_always_valence.run;
+    };
+  ]
+
+let find id =
+  List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all

@@ -1,0 +1,10 @@
+(** Registry of experiments: id, one-line description, and driver. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : unit -> Layered_core.Report.row list;
+}
+
+val all : experiment list
+val find : string -> experiment option

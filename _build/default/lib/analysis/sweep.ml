@@ -1,0 +1,82 @@
+open Layered_core
+
+type level = { depth : int; reachable : int; layer_min : int; layer_max : int }
+type t = { model : string; n : int; levels : level list }
+
+let models = [ "mobile"; "sync"; "sm"; "mp"; "smp"; "iis" ]
+
+(* A mixed input vector: process 1 gets 0, the rest 1. *)
+let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.one)
+
+let sweep_generic (type a) ~(succ : a -> a list) ~(key : a -> string) ~(x0 : a) ~depth =
+  let spec = { Explore.succ; key } in
+  List.map
+    (fun d ->
+      let states = Explore.reachable spec ~depth:d x0 in
+      let boundary =
+        (* States first reached at depth d: approximate by all reachable
+           states at depth d minus depth d-1. *)
+        if d = 0 then states
+        else begin
+          let prev = Hashtbl.create 64 in
+          List.iter (fun x -> Hashtbl.replace prev (key x) ())
+            (Explore.reachable spec ~depth:(d - 1) x0);
+          List.filter (fun x -> not (Hashtbl.mem prev (key x))) states
+        end
+      in
+      let sizes = List.map (fun x -> List.length (succ x)) boundary in
+      let layer_min = List.fold_left min max_int sizes in
+      let layer_max = List.fold_left max 0 sizes in
+      {
+        depth = d;
+        reachable = List.length states;
+        layer_min = (if sizes = [] then 0 else layer_min);
+        layer_max;
+      })
+    (List.init (depth + 1) Fun.id)
+
+let run ~model ~n ~t ~depth =
+  let levels =
+    match model with
+    | "mobile" ->
+        let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+        let module E = Layered_sync.Engine.Make (P) in
+        sweep_generic ~succ:(E.s1 ~record_failures:false) ~key:E.key
+          ~x0:(E.initial ~inputs:(mixed_inputs n)) ~depth
+    | "sync" ->
+        let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+        let module E = Layered_sync.Engine.Make (P) in
+        sweep_generic ~succ:(E.st ~t) ~key:E.key
+          ~x0:(E.initial ~inputs:(mixed_inputs n)) ~depth
+    | "sm" ->
+        let module P = (val Layered_protocols.Sm_voting.make ~horizon:(t + 1)) in
+        let module E = Layered_async_sm.Engine.Make (P) in
+        sweep_generic ~succ:E.srw ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
+          ~depth
+    | "mp" ->
+        let module P = (val Layered_protocols.Mp_floodset.make ~horizon:(t + 1)) in
+        let module E = Layered_async_mp.Engine.Make (P) in
+        sweep_generic ~succ:E.sper ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
+          ~depth
+    | "smp" ->
+        let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+        let module E = Layered_async_mp.Synchronic.Make (P) in
+        sweep_generic ~succ:E.smp ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
+          ~depth
+    | "iis" ->
+        let module P = (val Layered_protocols.Iis_voting.make ~horizon:(t + 1)) in
+        let module E = Layered_iis.Engine.Make (P) in
+        sweep_generic ~succ:E.layer ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
+          ~depth
+    | other -> invalid_arg (Printf.sprintf "Sweep.run: unknown model %S" other)
+  in
+  { model; n; levels }
+
+let pp ppf t =
+  Format.fprintf ppf "model=%s n=%d@." t.model t.n;
+  Format.fprintf ppf "%8s  %10s  %10s  %10s@." "depth" "reachable" "layer-min" "layer-max";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%8d  %10d  %10d  %10d@." l.depth l.reachable l.layer_min
+        l.layer_max)
+    t.levels

@@ -1,0 +1,24 @@
+(** State-space shape sweeps: how fast each substrate's layered submodel
+    grows, and how big its layers are.  Backs the CLI [layers] command and
+    the growth ablation benches. *)
+
+type level = {
+  depth : int;
+  reachable : int;  (** distinct states reachable within [depth] layers *)
+  layer_min : int;  (** smallest layer among depth-boundary states *)
+  layer_max : int;  (** largest layer *)
+}
+
+type t = { model : string; n : int; levels : level list }
+
+(** Available model names: ["mobile"], ["sync"] (t-resilient, takes [t]),
+    ["sm"], ["mp"], ["smp"] (synchronic message passing), ["iis"]. *)
+val models : string list
+
+(** [run ~model ~n ~t ~depth] sweeps the given substrate from one mixed
+    initial state.  [t] is used by ["sync"] (resilience) and as the
+    decision horizon elsewhere.  Raises [Invalid_argument] on an unknown
+    model name. *)
+val run : model:string -> n:int -> t:int -> depth:int -> t
+
+val pp : Format.formatter -> t -> unit

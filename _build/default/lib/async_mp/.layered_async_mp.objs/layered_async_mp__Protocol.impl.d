@@ -1,0 +1,1 @@
+lib/async_mp/protocol.ml: Format Layered_core Pid Value

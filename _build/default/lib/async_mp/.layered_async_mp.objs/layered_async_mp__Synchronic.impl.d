@@ -1,0 +1,1 @@
+lib/async_mp/synchronic.ml: Array Buffer Explore Format Hashtbl Inputs Layered_core Layered_sync List Pid Printf String Valence Value Vset

@@ -1,0 +1,1 @@
+lib/async_mp/synchronic.mli: Explore Format Layered_core Layered_sync Pid Valence Value Vset

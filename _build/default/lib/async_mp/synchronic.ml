@@ -1,0 +1,156 @@
+open Layered_core
+
+type slowness = Absent | Late of int
+type action = { slow : Pid.t; mode : slowness }
+
+module Make (P : Layered_sync.Protocol.S) = struct
+  type packet = { src : Pid.t; dst : Pid.t; msg : P.msg; sent : int }
+  type state = { round : int; locals : P.local array; transit : packet list }
+
+  let n_of x = Array.length x.locals
+
+  let initial ~inputs =
+    let n = Array.length inputs in
+    {
+      round = 0;
+      locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
+      transit = [];
+    }
+
+  let initial_states ~n ~values =
+    List.map (fun inputs -> initial ~inputs) (Inputs.vectors ~n ~values)
+
+  let actions ~n =
+    List.concat_map
+      (fun j ->
+        { slow = j; mode = Absent }
+        :: List.map (fun k -> { slow = j; mode = Late k }) (0 :: Pid.all n))
+      (Pid.all n)
+
+  let apply x { slow = j; mode } =
+    let n = n_of x in
+    let round = x.round + 1 in
+    let sends i = not (i = j && mode = Absent) in
+    let fresh =
+      List.concat_map
+        (fun i ->
+          if not (sends i) then []
+          else
+            List.filter_map
+              (fun d ->
+                match P.send ~n ~round ~pid:i x.locals.(i - 1) ~dest:d with
+                | Some msg -> Some { src = i; dst = d; msg; sent = round }
+                | None -> None)
+              (Pid.others n i))
+        (Pid.all n)
+    in
+    let transit = x.transit @ fresh in
+    let receives i = not (i = j && mode = Absent) in
+    (* Early proper readers miss the slow process's fresh message. *)
+    let eligible i p =
+      p.dst = i
+      &&
+      match mode with
+      | Late k when i <> j && i <= k -> not (p.src = j && p.sent = round)
+      | Late _ | Absent -> true
+    in
+    (* FIFO: deliver the oldest eligible packet per source. *)
+    let indexed = List.mapi (fun idx p -> (idx, p)) transit in
+    let delivered = Hashtbl.create 16 in
+    let received_by i =
+      let inbox = Array.make n None in
+      List.iter
+        (fun (idx, p) ->
+          if eligible i p && inbox.(p.src - 1) = None then begin
+            inbox.(p.src - 1) <- Some p.msg;
+            Hashtbl.replace delivered idx ()
+          end)
+        indexed;
+      inbox
+    in
+    let locals =
+      Array.init n (fun idx ->
+          let i = idx + 1 in
+          if receives i then P.step ~n ~round ~pid:i x.locals.(idx) ~received:(received_by i)
+          else x.locals.(idx))
+    in
+    let transit =
+      List.filter_map
+        (fun (idx, p) -> if Hashtbl.mem delivered idx then None else Some p)
+        indexed
+    in
+    { round; locals; transit }
+
+  let key x =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (string_of_int x.round);
+    List.iter
+      (fun p ->
+        Buffer.add_char buf '|';
+        Buffer.add_string buf
+          (Printf.sprintf "%d>%d@%d:%s" p.src p.dst p.sent (P.msg_key p.msg)))
+      x.transit;
+    Array.iter
+      (fun l ->
+        Buffer.add_char buf '!';
+        Buffer.add_string buf (P.key l))
+      x.locals;
+    Buffer.contents buf
+
+  let equal x y = String.equal (key x) (key y)
+
+  let smp x =
+    let seen = Hashtbl.create 64 in
+    List.filter_map
+      (fun a ->
+        let y = apply x a in
+        let k = key y in
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.add seen k ();
+          Some y
+        end)
+      (actions ~n:(n_of x))
+
+  let decisions x = Array.map P.decision x.locals
+
+  let decided_vset x =
+    Array.fold_left
+      (fun acc l -> match P.decision l with Some v -> Vset.add v acc | None -> acc)
+      Vset.empty x.locals
+
+  let terminal x = Array.for_all (fun l -> P.decision l <> None) x.locals
+  let in_transit x = List.length x.transit
+
+  let packet_key p = Printf.sprintf "%d>%d@%d:%s" p.src p.dst p.sent (P.msg_key p.msg)
+
+  let agree_modulo x y j =
+    let n = n_of x in
+    x.round = y.round
+    && n = n_of y
+    && List.equal (fun p q -> String.equal (packet_key p) (packet_key q)) x.transit y.transit
+    && List.for_all
+         (fun i ->
+           i = j || String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1)))
+         (Pid.all n)
+
+  let similar x y = List.exists (agree_modulo x y) (Pid.all (n_of x))
+  let explore_spec = { Explore.succ = smp; key }
+  let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }
+
+  let pp ppf x =
+    Format.fprintf ppf "@[<v>round %d, %d in transit@," x.round (in_transit x);
+    Array.iteri
+      (fun idx l ->
+        Format.fprintf ppf "  p%d: %a%s@," (idx + 1) P.pp l
+          (match P.decision l with
+          | Some v -> Printf.sprintf "  [decided %s]" (Value.to_string v)
+          | None -> ""))
+      x.locals;
+    Format.fprintf ppf "@]"
+end
+
+let pp_action ppf { slow; mode } =
+  match mode with
+  | Absent -> Format.fprintf ppf "(%d,A)" slow
+  | Late k -> Format.fprintf ppf "(%d,k=%d)" slow k

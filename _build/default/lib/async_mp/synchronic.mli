@@ -1,0 +1,63 @@
+(** The synchronic layering for asynchronous {e message passing}.
+
+    Section 5.1 proves the shared-memory impossibility via the synchronic
+    layering [S^rw] and remarks that "a completely analogous impossibility
+    proof can be given for asynchronous message passing as well", with the
+    same layering structure.  This module realises that analogue: virtual
+    rounds in which all but at most one process send and receive, with the
+    slow process [j] either absent or late — its fresh round-[r] message
+    is missed by the [k] "early" readers and stays in transit, to be
+    delivered in a later round (asynchrony: unlike the mobile-failure
+    model, nothing is ever lost).
+
+    Delivery is FIFO per (source, destination): each receiving process gets
+    the oldest eligible in-transit message from every source, so the
+    {!Layered_sync.Protocol.S} one-message-per-sender interface fits.
+
+    The Lemma 5.3 bridge [x(j,n)(j,A) = x(j,A)(j,0) modulo j] requires
+    round-oblivious message content (the analogue of writes depending only
+    on the local state); the bundled protocols satisfy this. *)
+
+open Layered_core
+
+type slowness =
+  | Absent  (** [(j, A)]: [j] neither sends nor receives this round *)
+  | Late of int
+      (** [(j, k)]: [j] sends late; early readers [i <= k] miss [j]'s fresh
+          message this round *)
+
+type action = { slow : Pid.t; mode : slowness }
+
+module Make (P : Layered_sync.Protocol.S) : sig
+  type packet = private { src : Pid.t; dst : Pid.t; msg : P.msg; sent : int }
+
+  type state = private {
+    round : int;
+    locals : P.local array;
+    transit : packet list;  (** in-transit messages, oldest first *)
+  }
+
+  val n_of : state -> int
+  val initial : inputs:Value.t array -> state
+  val initial_states : n:int -> values:Value.t list -> state list
+  val actions : n:int -> action list
+  val apply : state -> action -> state
+
+  (** The synchronic layering: de-duplicated [apply x] over {!actions}. *)
+  val smp : state -> state list
+
+  val key : state -> string
+  val equal : state -> state -> bool
+  val decisions : state -> Value.t option array
+  val decided_vset : state -> Vset.t
+  val terminal : state -> bool
+  val in_transit : state -> int
+  val agree_modulo : state -> state -> Pid.t -> bool
+  val similar : state -> state -> bool
+  val explore_spec : state Explore.spec
+  val valence_spec : succ:(state -> state list) -> state Valence.spec
+  val pp : Format.formatter -> state -> unit
+end
+
+(** Render an action, e.g. ["(2,A)"] or ["(2,k=1)"]. *)
+val pp_action : Format.formatter -> action -> unit

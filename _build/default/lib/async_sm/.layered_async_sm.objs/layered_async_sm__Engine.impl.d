@@ -1,0 +1,1 @@
+lib/async_sm/engine.ml: Array Buffer Explore Format Hashtbl Inputs Layered_core List Pid Printf Protocol String Valence Value Vset

@@ -1,0 +1,1 @@
+lib/async_sm/protocol.ml: Format Layered_core Pid Value

@@ -1,0 +1,1 @@
+lib/core/connectivity.ml: Array Graph List Option Valence Vset

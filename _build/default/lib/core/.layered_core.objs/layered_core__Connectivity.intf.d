@@ -1,0 +1,1 @@
+lib/core/connectivity.mli: Valence Vset

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Hashtbl List Option Queue

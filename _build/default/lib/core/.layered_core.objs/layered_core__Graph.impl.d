@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array List Queue Union_find

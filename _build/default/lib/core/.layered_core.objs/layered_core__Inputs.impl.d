@@ -1,0 +1,1 @@
+lib/core/inputs.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/layering.ml: Explore List String Valence

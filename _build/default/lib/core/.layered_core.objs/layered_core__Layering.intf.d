@@ -1,0 +1,1 @@
+lib/core/layering.mli: Valence

@@ -1,0 +1,1 @@
+lib/core/pid.ml: Format Int List

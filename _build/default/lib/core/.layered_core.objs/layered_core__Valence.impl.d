@@ -1,0 +1,1 @@
+lib/core/valence.ml: Format Hashtbl List Value Vset

@@ -1,0 +1,1 @@
+lib/core/valence.mli: Format Value Vset

@@ -1,0 +1,1 @@
+lib/core/vset.ml: Format Int List Value

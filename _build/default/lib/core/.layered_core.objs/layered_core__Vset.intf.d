@@ -1,0 +1,1 @@
+lib/core/vset.mli: Format Value

@@ -1,0 +1,54 @@
+type 'a spec = { succ : 'a -> 'a list; key : 'a -> string }
+
+(* Generic bounded BFS.  [stop] may short-circuit the traversal by returning
+   [Some _] for a state of interest. *)
+let bfs spec ~depth ~visit ~stop x =
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let found = ref None in
+  let push d y =
+    let k = spec.key y in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      Queue.add (d, y) queue
+    end
+  in
+  push 0 x;
+  (try
+     while not (Queue.is_empty queue) do
+       let d, y = Queue.pop queue in
+       visit y;
+       (match stop y with
+       | Some _ as r ->
+           found := r;
+           raise Exit
+       | None -> ());
+       if d < depth then List.iter (push (d + 1)) (spec.succ y)
+     done
+   with Exit -> ());
+  !found
+
+let reachable spec ~depth x =
+  let acc = ref [] in
+  let (_ : 'a option) =
+    bfs spec ~depth ~visit:(fun y -> acc := y :: !acc) ~stop:(fun _ -> None) x
+  in
+  List.rev !acc
+
+let count_reachable spec ~depth x =
+  let n = ref 0 in
+  let (_ : 'a option) = bfs spec ~depth ~visit:(fun _ -> incr n) ~stop:(fun _ -> None) x in
+  !n
+
+let iter_runs spec ~depth x ~f =
+  let rec go prefix d y =
+    if d = 0 then f (List.rev (y :: prefix))
+    else List.iter (go (y :: prefix) (d - 1)) (spec.succ y)
+  in
+  go [] depth x
+
+let find_reachable spec ~depth ~pred x =
+  bfs spec ~depth ~visit:ignore ~stop:(fun y -> if pred y then Some y else None) x
+
+let exists_reachable spec ~depth ~pred x =
+  Option.is_some (find_reachable spec ~depth ~pred x)

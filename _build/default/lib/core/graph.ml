@@ -1,0 +1,91 @@
+type t = { adj : int list array }
+
+let of_edges ~size edges =
+  let adj = Array.make size [] in
+  let add i j =
+    if i < 0 || i >= size || j < 0 || j >= size then invalid_arg "Graph.of_edges";
+    adj.(i) <- j :: adj.(i)
+  in
+  List.iter
+    (fun (i, j) ->
+      if i <> j then begin
+        add i j;
+        add j i
+      end)
+    edges;
+  { adj = Array.map (List.sort_uniq compare) adj }
+
+let of_pred ~size rel =
+  let edges = ref [] in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      if rel i j then edges := (i, j) :: !edges
+    done
+  done;
+  of_edges ~size !edges
+
+let size t = Array.length t.adj
+let neighbours t i = t.adj.(i)
+let edge_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.adj / 2
+
+(* BFS from [src]; returns the distance array (-1 = unreachable) and a
+   predecessor array for path reconstruction. *)
+let bfs t src =
+  let n = size t in
+  let dist = Array.make n (-1) and pred = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit v =
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        pred.(v) <- u;
+        Queue.add v queue
+      end
+    in
+    List.iter visit t.adj.(u)
+  done;
+  (dist, pred)
+
+let is_connected t =
+  let n = size t in
+  n = 0
+  ||
+  let dist, _ = bfs t 0 in
+  Array.for_all (fun d -> d >= 0) dist
+
+let components t =
+  let n = size t in
+  let uf = Union_find.create n in
+  Array.iteri (fun i adj -> List.iter (fun j -> ignore (Union_find.union uf i j)) adj) t.adj;
+  Union_find.classes uf
+
+let path t src dst =
+  let _, pred = bfs t src in
+  if src = dst then Some [ src ]
+  else if pred.(dst) < 0 then None
+  else begin
+    let rec walk acc v = if v = src then src :: acc else walk (v :: acc) pred.(v) in
+    Some (walk [] dst)
+  end
+
+let eccentricity t i =
+  let dist, _ = bfs t i in
+  if Array.exists (fun d -> d < 0) dist then None
+  else Some (Array.fold_left max 0 dist)
+
+let diameter t =
+  let n = size t in
+  if n = 0 then None
+  else begin
+    let rec widest acc i =
+      if i >= n then Some acc
+      else
+        match eccentricity t i with
+        | None -> None
+        | Some e -> widest (max acc e) (i + 1)
+    in
+    widest 0 0
+  end

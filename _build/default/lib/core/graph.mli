@@ -1,0 +1,35 @@
+(** Finite undirected graphs over the nodes [0 .. size - 1].
+
+    The connectivity notions of the paper (similarity connectivity, valence
+    connectivity, the [~s]-diameter of Section 7) are all properties of
+    finite graphs whose nodes are global states; this module provides the
+    graph algorithms and {!Connectivity} maps states onto them. *)
+
+type t
+
+val of_edges : size:int -> (int * int) list -> t
+
+(** [of_pred ~size rel] builds the graph with an edge [(i, j)] for every
+    [i < j] with [rel i j].  [rel] is queried once per unordered pair. *)
+val of_pred : size:int -> (int -> int -> bool) -> t
+
+val size : t -> int
+val neighbours : t -> int -> int list
+val edge_count : t -> int
+val is_connected : t -> bool
+
+(** Connected components, each sorted ascending, ordered by smallest
+    member. *)
+val components : t -> int list list
+
+(** [path t src dst] is a shortest path from [src] to [dst] (inclusive), or
+    [None] if disconnected. *)
+val path : t -> int -> int -> int list option
+
+(** [eccentricity t i] is the greatest BFS distance from [i], or [None] if
+    some node is unreachable from [i]. *)
+val eccentricity : t -> int -> int option
+
+(** Diameter of the graph: greatest shortest-path distance over all pairs.
+    [None] if the graph is disconnected or empty. *)
+val diameter : t -> int option

@@ -1,0 +1,7 @@
+let vectors ~n ~values =
+  if n < 1 then invalid_arg "Inputs.vectors";
+  let rec build acc i =
+    if i = n then [ Array.of_list (List.rev acc) ]
+    else List.concat_map (fun v -> build (v :: acc) (i + 1)) values
+  in
+  build [] 0

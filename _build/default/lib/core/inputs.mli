@@ -1,0 +1,10 @@
+(** Enumeration of initial input assignments.
+
+    [Con_0] (Section 3) has one initial state per assignment of values to
+    processes; every substrate engine builds its initial states from these
+    vectors.  The enumeration is lexicographic with process 1 most
+    significant, so the all-[v0] assignment comes first and the all-[vk]
+    assignment last — experiment code relies on this order for the
+    Validity anchors. *)
+
+val vectors : n:int -> values:Value.t list -> Value.t array list

@@ -1,0 +1,10 @@
+type t = int
+
+let all n =
+  if n < 2 then invalid_arg "Pid.all: need at least two processes";
+  List.init n (fun i -> i + 1)
+
+let others n i = List.filter (fun j -> j <> i) (all n)
+let equal = Int.equal
+let compare = Int.compare
+let pp = Format.pp_print_int

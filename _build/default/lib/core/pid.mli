@@ -1,0 +1,17 @@
+(** Process identifiers.
+
+    The paper fixes a finite set of [n >= 2] processes named [1 .. n]; the
+    environment [e] is handled separately by each model and never appears as
+    a {!t}. *)
+
+type t = int
+
+(** [all n] is [[1; ...; n]].  Raises [Invalid_argument] if [n < 2]. *)
+val all : int -> t list
+
+(** [others n i] is [all n] without [i]. *)
+val others : int -> t -> t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

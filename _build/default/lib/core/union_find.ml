@@ -1,0 +1,44 @@
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let size t = Array.length t.parent
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end;
+    t.count <- t.count - 1;
+    true
+  end
+
+let same t i j = find t i = find t j
+let count t = t.count
+
+let classes t =
+  let n = size t in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,22 @@
+(** Disjoint-set forests over the integers [0 .. size - 1], with union by
+    rank and path compression.  Used by the connectivity engines. *)
+
+type t
+
+val create : int -> t
+val size : t -> int
+
+(** [find t i] is the canonical representative of [i]'s class. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the classes of [i] and [j]; returns [true] iff the
+    classes were distinct. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** Number of distinct classes. *)
+val count : t -> int
+
+(** Classes as lists of members, each sorted ascending. *)
+val classes : t -> int list list

@@ -1,0 +1,73 @@
+type verdict = Univalent of Value.t | Bivalent | Unknown
+
+let verdict_equal a b =
+  match (a, b) with
+  | Univalent v, Univalent w -> Value.equal v w
+  | Bivalent, Bivalent | Unknown, Unknown -> true
+  | (Univalent _ | Bivalent | Unknown), _ -> false
+
+let pp_verdict ppf = function
+  | Univalent v -> Format.fprintf ppf "%a-univalent" Value.pp v
+  | Bivalent -> Format.pp_print_string ppf "bivalent"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
+type 'a spec = {
+  succ : 'a -> 'a list;
+  key : 'a -> string;
+  decided : 'a -> Vset.t;
+  terminal : 'a -> bool;
+}
+
+type outcome = { vals : Vset.t; complete : bool }
+
+type 'a t = {
+  spec : 'a spec;
+  cache : (string, int * outcome) Hashtbl.t;
+      (* key -> (depth explored, outcome at that depth).  A [complete]
+         outcome is valid for every depth >= the cached one; an incomplete
+         outcome is only reused for exactly the cached depth. *)
+}
+
+let create spec = { spec; cache = Hashtbl.create 4096 }
+
+let rec compute t ~depth x =
+  let spec = t.spec in
+  if spec.terminal x then { vals = spec.decided x; complete = true }
+  else if depth = 0 then { vals = spec.decided x; complete = false }
+  else begin
+    let k = spec.key x in
+    match Hashtbl.find_opt t.cache k with
+    | Some (d, res) when (res.complete && d <= depth) || d = depth -> res
+    | Some _ | None ->
+        let children = spec.succ x in
+        let res =
+          List.fold_left
+            (fun acc y ->
+              let o = compute t ~depth:(depth - 1) y in
+              { vals = Vset.union acc.vals o.vals; complete = acc.complete && o.complete })
+            { vals = spec.decided x; complete = true }
+            children
+        in
+        let res = if children = [] then { res with complete = spec.terminal x } else res in
+        Hashtbl.replace t.cache k (depth, res);
+        res
+  end
+
+let outcome t ~depth x =
+  if depth < 0 then invalid_arg "Valence.outcome: negative depth";
+  compute t ~depth x
+
+let classify t ~depth x =
+  let o = outcome t ~depth x in
+  match Vset.elements o.vals with
+  | [] -> Unknown
+  | [ v ] -> if o.complete then Univalent v else Unknown
+  | _ :: _ :: _ -> Bivalent
+
+let is_bivalent t ~depth x =
+  match classify t ~depth x with
+  | Bivalent -> true
+  | Univalent _ | Unknown -> false
+
+let vals t ~depth x = (outcome t ~depth x).vals
+let cache_entries t = Hashtbl.length t.cache

@@ -1,0 +1,13 @@
+type t = int
+
+let zero = 0
+let one = 1
+
+let of_int v =
+  if v < 0 || v >= 62 then invalid_arg "Value.of_int: out of range";
+  v
+
+let equal = Int.equal
+let compare = Int.compare
+let to_string = string_of_int
+let pp = Format.pp_print_int

@@ -1,0 +1,19 @@
+(** Decision values.
+
+    The paper treats binary consensus ({!zero}/{!one}) in Sections 3-6 and
+    values from an arbitrary finite range in Section 7.  We represent values
+    as small non-negative integers so that sets of values fit in a {!Vset.t}
+    bitmask. *)
+
+type t = int
+
+val zero : t
+val one : t
+
+(** [of_int v] checks [0 <= v < Vset.max_value] and returns [v]. *)
+val of_int : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

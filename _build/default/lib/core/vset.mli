@@ -1,0 +1,29 @@
+(** Small sets of {!Value.t}, represented as bitmasks.
+
+    Valence analysis manipulates sets of decision values reachable from a
+    state; those sets are tiny (binary consensus uses two values) and are
+    built and intersected in inner loops, so a bitmask representation keeps
+    the valence engine allocation-free. *)
+
+type t
+
+(** Values must be in [0 .. max_value - 1]. *)
+val max_value : int
+
+val empty : t
+val singleton : Value.t -> t
+val add : Value.t -> t -> t
+val mem : Value.t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val is_empty : t -> bool
+val cardinal : t -> int
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val elements : t -> Value.t list
+val of_list : Value.t list -> t
+
+(** [intersects a b] is [not (is_empty (inter a b))]. *)
+val intersects : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/iis/engine.mli: Explore Format Layered_core Pid Protocol Valence Value Vset

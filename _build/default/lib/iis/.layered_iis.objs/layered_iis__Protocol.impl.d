@@ -1,0 +1,1 @@
+lib/iis/protocol.ml: Format Layered_core Pid Value

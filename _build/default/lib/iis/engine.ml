@@ -1,0 +1,167 @@
+open Layered_core
+
+type partition = Pid.t list list
+
+let nonempty_subsets l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = go rest in
+        s @ List.map (fun sub -> x :: sub) s
+  in
+  List.filter (fun s -> s <> []) (go l)
+
+let partitions ~n =
+  let rec go remaining =
+    match remaining with
+    | [] -> [ [] ]
+    | _ :: _ ->
+        List.concat_map
+          (fun block ->
+            let rest = List.filter (fun i -> not (List.mem i block)) remaining in
+            List.map (fun tail -> block :: tail) (go rest))
+          (nonempty_subsets remaining)
+  in
+  go (Pid.all n)
+
+let rec binomial n k =
+  if k = 0 || k = n then 1
+  else if k < 0 || k > n then 0
+  else binomial (n - 1) (k - 1) + binomial (n - 1) k
+
+let fubini n =
+  let memo = Array.make (n + 1) 0 in
+  memo.(0) <- 1;
+  for m = 1 to n do
+    let total = ref 0 in
+    for k = 1 to m do
+      total := !total + (binomial m k * memo.(m - k))
+    done;
+    memo.(m) <- !total
+  done;
+  memo.(n)
+
+module Make (P : Protocol.S) = struct
+  type state = { round : int; locals : P.local array }
+
+  let n_of x = Array.length x.locals
+
+  let initial ~inputs =
+    let n = Array.length inputs in
+    {
+      round = 0;
+      locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
+    }
+
+  let initial_states ~n ~values =
+    List.map (fun inputs -> initial ~inputs) (Inputs.vectors ~n ~values)
+
+  let validate_partition n blocks =
+    let members = List.concat blocks in
+    if List.exists (fun b -> b = []) blocks then invalid_arg "Iis: empty block";
+    if List.sort compare members <> Pid.all n then
+      invalid_arg "Iis: blocks must partition {1..n}"
+
+  let apply x blocks =
+    let n = n_of x in
+    validate_partition n blocks;
+    let round = x.round + 1 in
+    let write i = P.write ~n ~pid:i x.locals.(i - 1) in
+    let writes = Array.init n (fun idx -> write (idx + 1)) in
+    (* Prefix-union views: a process in block k sees blocks 1..k. *)
+    let locals = Array.copy x.locals in
+    let rec run_blocks seen = function
+      | [] -> ()
+      | block :: rest ->
+          let seen = List.sort compare (seen @ block) in
+          let snapshot = List.map (fun i -> (i, writes.(i - 1))) seen in
+          List.iter
+            (fun i ->
+              let before = P.decision locals.(i - 1) in
+              locals.(i - 1) <- P.step ~n ~pid:i x.locals.(i - 1) ~snapshot;
+              match (before, P.decision locals.(i - 1)) with
+              | Some v, Some w when not (Value.equal v w) ->
+                  invalid_arg "Iis: protocol violated write-once decision"
+              | Some _, None -> invalid_arg "Iis: protocol erased a decision"
+              | (Some _ | None), _ -> ())
+            block;
+          run_blocks seen rest
+    in
+    run_blocks [] blocks;
+    { round; locals }
+
+  let key x =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (string_of_int x.round);
+    Array.iter
+      (fun l ->
+        Buffer.add_char buf '|';
+        Buffer.add_string buf (P.key l))
+      x.locals;
+    Buffer.contents buf
+
+  let equal x y = String.equal (key x) (key y)
+
+  let layer =
+    let table = Hashtbl.create 4 in
+    fun x ->
+      let n = n_of x in
+      let parts =
+        match Hashtbl.find_opt table n with
+        | Some ps -> ps
+        | None ->
+            let ps = partitions ~n in
+            Hashtbl.add table n ps;
+            ps
+      in
+      let seen = Hashtbl.create 64 in
+      List.filter_map
+        (fun p ->
+          let y = apply x p in
+          let k = key y in
+          if Hashtbl.mem seen k then None
+          else begin
+            Hashtbl.add seen k ();
+            Some y
+          end)
+        parts
+
+  let decisions x = Array.map P.decision x.locals
+
+  let decided_vset x =
+    Array.fold_left
+      (fun acc l -> match P.decision l with Some v -> Vset.add v acc | None -> acc)
+      Vset.empty x.locals
+
+  let terminal x = Array.for_all (fun l -> P.decision l <> None) x.locals
+
+  let agree_modulo x y j =
+    let n = n_of x in
+    x.round = y.round
+    && n = n_of y
+    && List.for_all
+         (fun i ->
+           i = j || String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1)))
+         (Pid.all n)
+
+  let similar x y = List.exists (agree_modulo x y) (Pid.all (n_of x))
+  let explore_spec = { Explore.succ = layer; key }
+  let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }
+
+  let pp ppf x =
+    Format.fprintf ppf "@[<v>round %d@," x.round;
+    Array.iteri
+      (fun idx l ->
+        Format.fprintf ppf "  p%d: %a%s@," (idx + 1) P.pp l
+          (match P.decision l with
+          | Some v -> Printf.sprintf "  [decided %s]" (Value.to_string v)
+          | None -> ""))
+      x.locals;
+    Format.fprintf ppf "@]"
+end
+
+let pp_partition ppf blocks =
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int b)))
+    blocks

@@ -1,0 +1,66 @@
+(** The iterated immediate-snapshot (IIS) model and its canonical
+    layering: one layer per {e ordered partition} of the processes.
+
+    Round [r] uses a fresh one-shot memory: every process writes (value
+    fixed at round start) and snapshots.  The environment schedules the
+    round as an ordered partition [B1, ..., Bm] of [{1..n}]: a process in
+    block [Bk] sees exactly the writes of [B1 U ... U Bk].  Since each
+    memory is one-shot and fully resolved within its round, the global
+    state is just the vector of local states — the environment carries
+    nothing across rounds, which is what makes this the simplest substrate
+    of the family.
+
+    The number of layers per state is the Fubini (ordered-Bell) number:
+    3, 13, 75 for n = 2, 3, 4.
+
+    The model is wait-free-flavoured (every process moves every round);
+    the paper's connectivity machinery applies verbatim: each layer is
+    similarity connected (adjacent-block merges and splits differ in the
+    view of a single process), hence valence connected, hence consensus is
+    unsolvable — experiment E13. *)
+
+open Layered_core
+
+(** An ordered partition: pairwise-disjoint non-empty blocks covering
+    [{1..n}], earlier blocks snapshot-before later ones. *)
+type partition = Pid.t list list
+
+(** All ordered partitions of [{1..n}] (Fubini-number many). *)
+val partitions : n:int -> partition list
+
+(** Number of ordered partitions (for sanity checks and sizing). *)
+val fubini : int -> int
+
+module Make (P : Protocol.S) : sig
+  type state = private { round : int; locals : P.local array }
+
+  val n_of : state -> int
+  val initial : inputs:Value.t array -> state
+  val initial_states : n:int -> values:Value.t list -> state list
+
+  (** Execute one IIS round under the given ordered partition (validated:
+      blocks non-empty, disjoint, covering). *)
+  val apply : state -> partition -> state
+
+  (** The layering: de-duplicated [apply x] over all ordered
+      partitions. *)
+  val layer : state -> state list
+
+  val key : state -> string
+  val equal : state -> state -> bool
+  val decisions : state -> Value.t option array
+  val decided_vset : state -> Vset.t
+  val terminal : state -> bool
+
+  (** [agree_modulo x y j]: rounds equal and locals of every [i <> j]
+      equal (the environment is empty in this model). *)
+  val agree_modulo : state -> state -> Pid.t -> bool
+
+  val similar : state -> state -> bool
+  val explore_spec : state Explore.spec
+  val valence_spec : succ:(state -> state list) -> state Valence.spec
+  val pp : Format.formatter -> state -> unit
+end
+
+(** Render an ordered partition, e.g. ["{1}{2,3}"]. *)
+val pp_partition : Format.formatter -> partition -> unit

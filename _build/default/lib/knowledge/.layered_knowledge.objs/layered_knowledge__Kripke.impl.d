@@ -1,0 +1,1 @@
+lib/knowledge/kripke.ml: Array Hashtbl List

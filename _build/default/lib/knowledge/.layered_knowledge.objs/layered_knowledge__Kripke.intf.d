@@ -1,0 +1,1 @@
+lib/knowledge/kripke.mli: Layered_core Pid

@@ -1,0 +1,118 @@
+
+
+type 'a t = {
+  n : int;
+  worlds : 'a array;
+  index : (string, int) Hashtbl.t;
+  key : 'a -> string;
+  (* classes.(i - 1): map from process i's local key to the worlds
+     sharing it. *)
+  classes : (string, int list) Hashtbl.t array;
+}
+
+let create ~n ~key ~local_key worlds =
+  let index = Hashtbl.create 1024 in
+  let distinct =
+    List.filter
+      (fun w ->
+        let k = key w in
+        if Hashtbl.mem index k then false
+        else begin
+          Hashtbl.add index k (Hashtbl.length index);
+          true
+        end)
+      worlds
+  in
+  let worlds = Array.of_list distinct in
+  let classes =
+    Array.init n (fun idx ->
+        let tbl = Hashtbl.create 256 in
+        Array.iteri
+          (fun wi w ->
+            let lk = local_key (idx + 1) w in
+            let existing = try Hashtbl.find tbl lk with Not_found -> [] in
+            Hashtbl.replace tbl lk (wi :: existing))
+          worlds;
+        tbl)
+  in
+  (* Rebuild the index so it maps keys to array positions. *)
+  Hashtbl.reset index;
+  Array.iteri (fun wi w -> Hashtbl.replace index (key w) wi) worlds;
+  { n; worlds; index; key; classes }
+
+let world_count t = Array.length t.worlds
+let worlds t = Array.to_list t.worlds
+
+type prop = bool array
+
+let prop_of t pred = Array.map pred t.worlds
+
+let holds_at t prop w =
+  match Hashtbl.find_opt t.index (t.key w) with
+  | Some wi -> prop.(wi)
+  | None -> invalid_arg "Kripke.holds_at: unknown world"
+
+let extension_size prop = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 prop
+
+let negate _t prop = Array.map not prop
+let conj a b = Array.map2 ( && ) a b
+
+let local_classes t i = t.classes.(i - 1)
+
+let knows t i prop =
+  let result = Array.make (Array.length t.worlds) false in
+  Hashtbl.iter
+    (fun _ members ->
+      let all = List.for_all (fun wi -> prop.(wi)) members in
+      if all then List.iter (fun wi -> result.(wi) <- true) members)
+    (local_classes t i);
+  result
+
+let everyone t ~members prop =
+  let per_process = Array.init t.n (fun idx -> knows t (idx + 1) prop) in
+  Array.mapi
+    (fun wi w -> List.for_all (fun i -> per_process.(i - 1).(wi)) (members w))
+    t.worlds
+
+let common t ~members prop =
+  let rec fix current =
+    let next = conj current (everyone t ~members current) in
+    if next = current then current else fix next
+  in
+  fix (conj prop (everyone t ~members prop))
+
+let indistinguishable t i w =
+  match Hashtbl.find_opt t.index (t.key w) with
+  | None -> invalid_arg "Kripke.indistinguishable: unknown world"
+  | Some wi ->
+      let result = ref [] in
+      Hashtbl.iter
+        (fun _ members ->
+          if List.mem wi members then
+            result := List.map (fun j -> t.worlds.(j)) members)
+        (local_classes t i);
+      !result
+
+let believes t i ~alive prop =
+  let result = Array.make (Array.length t.worlds) false in
+  Hashtbl.iter
+    (fun _ members ->
+      let all =
+        List.for_all (fun wi -> (not (alive i t.worlds.(wi))) || prop.(wi)) members
+      in
+      if all then List.iter (fun wi -> result.(wi) <- true) members)
+    (local_classes t i);
+  result
+
+let everyone_believes t ~members ~alive prop =
+  let per_process = Array.init t.n (fun idx -> believes t (idx + 1) ~alive prop) in
+  Array.mapi
+    (fun wi w -> List.for_all (fun i -> per_process.(i - 1).(wi)) (members w))
+    t.worlds
+
+let common_belief t ~members ~alive prop =
+  let rec fix current =
+    let next = conj current (everyone_believes t ~members ~alive current) in
+    if next = current then current else fix next
+  in
+  fix (conj prop (everyone_believes t ~members ~alive prop))

@@ -1,0 +1,75 @@
+(** Finite Kripke structures over explored state spaces, for the
+    knowledge-theoretic reading of the synchronous results (the paper's
+    Section 6 discussion follows Dwork-Moses [11], where decision times in
+    the crash model are characterised by states of knowledge).
+
+    Worlds are the distinct global states of an explored system; process
+    [i] considers [u] possible at [w] when its local state is the same in
+    both (the standard synchronous interpreted-systems view — local states
+    include the round, so knowledge never crosses rounds).
+
+    Propositions are extensional (bit-vectors over worlds); [K i], [E G]
+    and the greatest-fixpoint [C G] are computed by set operations. *)
+
+open Layered_core
+
+type 'a t
+
+(** [create ~n ~key ~local_key worlds] de-duplicates [worlds] by [key] and
+    indexes process views by [local_key]. *)
+val create :
+  n:int -> key:('a -> string) -> local_key:(Pid.t -> 'a -> string) -> 'a list -> 'a t
+
+val world_count : 'a t -> int
+val worlds : 'a t -> 'a list
+
+(** A proposition, as its extension. *)
+type prop
+
+val prop_of : 'a t -> ('a -> bool) -> prop
+val holds_at : 'a t -> prop -> 'a -> bool
+
+(** Number of worlds satisfying the proposition. *)
+val extension_size : prop -> int
+
+val negate : 'a t -> prop -> prop
+val conj : prop -> prop -> prop
+
+(** [knows t i p]: the worlds where process [i] knows [p] — all worlds
+    [i]-indistinguishable from them satisfy [p]. *)
+val knows : 'a t -> Pid.t -> prop -> prop
+
+(** Worlds process [i] considers possible at [w] (its equivalence class,
+    [w] included) — for exhibiting epistemic witnesses. *)
+val indistinguishable : 'a t -> Pid.t -> 'a -> 'a list
+
+(** [everyone t members p]: worlds [w] where every process in
+    [members w] knows [p].  The membership function supports the
+    Dwork-Moses "non-faulty" indexical groups (e.g. the processes not
+    failed at [w]). *)
+val everyone : 'a t -> members:('a -> Pid.t list) -> prop -> prop
+
+(** Greatest fixpoint of {!everyone}: common knowledge among the
+    (indexical) group. *)
+val common : 'a t -> members:('a -> Pid.t list) -> prop -> prop
+
+(** {1 Nonfaulty-relativized belief (Dwork-Moses)}
+
+    In the crash model a process cannot distinguish worlds in which it has
+    itself been failed by the environment, so plain [K i] is too strong:
+    a correctly deciding process does not {e know} its decision is safe,
+    it knows it {e conditional on its own correctness}.  [believes] is
+    knowledge relativized to a world/process predicate (typically "[i] is
+    not failed"): [B_i p] holds at [w] iff [p] holds at every
+    [i]-indistinguishable world where [alive i] holds. *)
+
+val believes : 'a t -> Pid.t -> alive:(Pid.t -> 'a -> bool) -> prop -> prop
+
+(** [everyone_believes t ~members ~alive p]: every member believes. *)
+val everyone_believes :
+  'a t -> members:('a -> Pid.t list) -> alive:(Pid.t -> 'a -> bool) -> prop -> prop
+
+(** Greatest fixpoint of {!everyone_believes}: the Dwork-Moses style
+    common belief among the non-faulty. *)
+val common_belief :
+  'a t -> members:('a -> Pid.t list) -> alive:(Pid.t -> 'a -> bool) -> prop -> prop

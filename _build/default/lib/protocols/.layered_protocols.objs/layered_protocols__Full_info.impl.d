@@ -1,0 +1,1 @@
+lib/protocols/full_info.ml: Array Layered_async_mp Layered_async_sm Layered_core Layered_iis Layered_sync List Pid Printf View

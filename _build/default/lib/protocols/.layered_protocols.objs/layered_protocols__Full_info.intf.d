@@ -1,0 +1,1 @@
+lib/protocols/full_info.mli: Layered_async_mp Layered_async_sm Layered_iis Layered_sync

@@ -1,0 +1,1 @@
+lib/protocols/iis_kset.ml: Format Layered_core Layered_iis List Pid Printf String Value

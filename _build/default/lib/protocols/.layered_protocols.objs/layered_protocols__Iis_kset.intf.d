@@ -1,0 +1,1 @@
+lib/protocols/iis_kset.mli: Layered_iis

@@ -1,0 +1,1 @@
+lib/protocols/iis_voting.ml: Format Layered_core Layered_iis List Printf Value

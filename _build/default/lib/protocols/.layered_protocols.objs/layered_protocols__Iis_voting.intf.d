@@ -1,0 +1,1 @@
+lib/protocols/iis_voting.mli: Layered_iis

@@ -1,0 +1,1 @@
+lib/protocols/mp_floodset.ml: Format Layered_async_mp Layered_core List Pid Printf String Value Vset

@@ -1,0 +1,1 @@
+lib/protocols/mp_floodset.mli: Layered_async_mp

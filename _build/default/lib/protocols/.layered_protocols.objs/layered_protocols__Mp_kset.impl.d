@@ -1,0 +1,1 @@
+lib/protocols/mp_kset.ml: Format Layered_async_mp Layered_core List Pid Printf String Value

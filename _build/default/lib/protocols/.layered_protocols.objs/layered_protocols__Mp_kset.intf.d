@@ -1,0 +1,1 @@
+lib/protocols/mp_kset.mli: Layered_async_mp

@@ -1,0 +1,1 @@
+lib/protocols/sm_kset.ml: Array Format Layered_async_sm Layered_core List Pid Printf String Value

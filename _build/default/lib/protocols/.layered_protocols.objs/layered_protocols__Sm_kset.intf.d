@@ -1,0 +1,1 @@
+lib/protocols/sm_kset.mli: Layered_async_sm

@@ -1,0 +1,1 @@
+lib/protocols/sm_voting.ml: Array Format Layered_async_sm Layered_core Printf Value

@@ -1,0 +1,1 @@
+lib/protocols/sm_voting.mli: Layered_async_sm

@@ -1,0 +1,1 @@
+lib/protocols/sync_clean.ml: Array Format Layered_core Layered_sync List Printf String Value Vset

@@ -1,0 +1,1 @@
+lib/protocols/sync_clean.mli: Layered_sync

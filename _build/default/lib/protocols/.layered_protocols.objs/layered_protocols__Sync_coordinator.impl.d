@@ -1,0 +1,1 @@
+lib/protocols/sync_coordinator.ml: Array Format Layered_core Layered_sync List Printf Value

@@ -1,0 +1,1 @@
+lib/protocols/sync_coordinator.mli: Layered_sync

@@ -1,0 +1,1 @@
+lib/protocols/sync_early.mli: Layered_sync

@@ -1,0 +1,1 @@
+lib/protocols/sync_eig.ml: Array Char Format Layered_core Layered_sync List Printf String Value

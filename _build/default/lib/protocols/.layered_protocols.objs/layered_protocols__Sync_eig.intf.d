@@ -1,0 +1,1 @@
+lib/protocols/sync_eig.mli: Layered_sync

@@ -1,0 +1,1 @@
+lib/protocols/sync_floodset.mli: Layered_sync

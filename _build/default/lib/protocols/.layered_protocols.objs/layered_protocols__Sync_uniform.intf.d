@@ -1,0 +1,1 @@
+lib/protocols/sync_uniform.mli: Layered_sync

@@ -1,0 +1,1 @@
+lib/protocols/view.ml: Format Layered_core List Printf String Value Vset

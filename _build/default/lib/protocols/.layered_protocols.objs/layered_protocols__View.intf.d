@@ -1,0 +1,1 @@
+lib/protocols/view.mli: Format Layered_core Pid Value Vset

@@ -1,0 +1,90 @@
+open Layered_core
+
+let sync ~horizon =
+  (module struct
+    type local = View.t
+    type msg = View.obs
+
+    let name = Printf.sprintf "full-info-sync(h=%d)" horizon
+    let init ~n:_ ~pid ~input = View.init ~pid ~input
+
+    let send ~n:_ ~round:_ ~pid:_ local ~dest:_ =
+      match View.decision local with Some _ -> None | None -> Some (View.observe local)
+
+    let step ~n ~round:_ ~pid:_ local ~received =
+      let observations =
+        List.filter_map
+          (fun i ->
+            match received.(i - 1) with Some o -> Some (i, o) | None -> None)
+          (Pid.all n)
+      in
+      View.advance ~horizon local observations
+
+    let decision = View.decision
+    let key = View.key
+    let msg_key = View.obs_key
+    let pp = View.pp
+  end : Layered_sync.Protocol.S)
+
+let shared_memory ~horizon =
+  (module struct
+    type local = View.t
+    type reg = View.obs
+
+    let name = Printf.sprintf "full-info-sm(h=%d)" horizon
+    let init ~n:_ ~pid ~input = View.init ~pid ~input
+
+    let write ~n:_ ~pid:_ local =
+      match View.decision local with Some _ -> None | None -> Some (View.observe local)
+
+    let step ~n ~pid:_ local ~reads =
+      let observations =
+        List.filter_map
+          (fun i -> match reads.(i - 1) with Some o -> Some (i, o) | None -> None)
+          (Pid.all n)
+      in
+      View.advance ~horizon local observations
+
+    let decision = View.decision
+    let key = View.key
+    let reg_key = View.obs_key
+    let pp = View.pp
+  end : Layered_async_sm.Protocol.S)
+
+let message_passing ~horizon =
+  (module struct
+    type local = View.t
+    type msg = View.obs
+
+    let name = Printf.sprintf "full-info-mp(h=%d)" horizon
+    let init ~n:_ ~pid ~input = View.init ~pid ~input
+
+    let send ~n ~pid local =
+      match View.decision local with
+      | Some _ -> []
+      | None -> List.map (fun d -> (d, View.observe local)) (Pid.others n pid)
+
+    let step ~n:_ ~pid:_ local ~inbox =
+      (* The engine delivers mailboxes sorted by source. *)
+      View.advance ~horizon local inbox
+
+    let decision = View.decision
+    let key = View.key
+    let msg_key = View.obs_key
+    let pp = View.pp
+  end : Layered_async_mp.Protocol.S)
+
+let iis ~horizon =
+  (module struct
+    type local = View.t
+    type reg = View.obs
+
+    let name = Printf.sprintf "full-info-iis(h=%d)" horizon
+    let init ~n:_ ~pid ~input = View.init ~pid ~input
+    let write ~n:_ ~pid:_ local = View.observe local
+    let step ~n:_ ~pid:_ local ~snapshot = View.advance ~horizon local snapshot
+    let decision = View.decision
+    let key = View.key
+    let reg_key = View.obs_key
+    let pp = View.pp
+  end : Layered_iis.Protocol.S)

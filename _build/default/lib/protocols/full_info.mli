@@ -1,0 +1,21 @@
+(** Full-information protocols for every substrate: processes exchange
+    their entire {!View} history and decide the minimum input seen at a
+    horizon.
+
+    These are the protocols the paper's adversary arguments are usually
+    pictured against — nothing is forgotten, so any indistinguishability
+    the analysis finds is intrinsic to the model, not an artifact of a
+    protocol discarding information.  Experiment E14 replays the layer
+    structure checks of E3/E5/E6/E13 against them. *)
+
+(** Synchronous message passing (mobile or t-resilient). *)
+val sync : horizon:int -> (module Layered_sync.Protocol.S)
+
+(** Asynchronous read/write shared memory. *)
+val shared_memory : horizon:int -> (module Layered_async_sm.Protocol.S)
+
+(** Asynchronous message passing (permutation layering). *)
+val message_passing : horizon:int -> (module Layered_async_mp.Protocol.S)
+
+(** Iterated immediate snapshot. *)
+val iis : horizon:int -> (module Layered_iis.Protocol.S)

@@ -1,0 +1,8 @@
+(** The wait-for-(n-1) 2-set agreement algorithm of {!Mp_kset}, ported to
+    the iterated immediate-snapshot substrate: each round writes the set
+    of (pid, input) pairs known so far, the snapshot merges the visible
+    ones, and knowing [n - 1] inputs triggers deciding their minimum.  A
+    process scheduled alone in the first concurrency class every round is
+    the model's analogue of the one starved process.  Used by E19. *)
+
+val make : unit -> (module Layered_iis.Protocol.S)

@@ -1,0 +1,30 @@
+open Layered_core
+
+let make ~horizon =
+  (module struct
+    type local = { pref : Value.t; round : int; dec : Value.t option }
+    type reg = Value.t
+
+    let name = Printf.sprintf "iis-voting(h=%d)" horizon
+    let init ~n:_ ~pid:_ ~input = { pref = input; round = 0; dec = None }
+    let write ~n:_ ~pid:_ local = local.pref
+
+    let step ~n:_ ~pid:_ local ~snapshot =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          let pref = List.fold_left (fun acc (_, v) -> min acc v) local.pref snapshot in
+          let round = local.round + 1 in
+          let dec = if round >= horizon then Some pref else None in
+          { pref; round; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%d" local.round local.pref
+        (match local.dec with Some v -> v | None -> -1)
+
+    let reg_key = Value.to_string
+
+    let pp ppf local = Format.fprintf ppf "r%d pref=%a" local.round Value.pp local.pref
+  end : Layered_iis.Protocol.S)

@@ -1,0 +1,9 @@
+(** A deciding consensus attempt for the iterated immediate-snapshot
+    model: write the current preference, adopt the minimum preference in
+    the snapshot, decide unconditionally at round [horizon].
+
+    Decision and Validity hold by construction; Agreement therefore fails
+    on adversarial ordered partitions (experiment E13's ever-bivalent
+    chain), mirroring the wait-free impossibility. *)
+
+val make : horizon:int -> (module Layered_iis.Protocol.S)

@@ -1,0 +1,42 @@
+open Layered_core
+
+let make ~horizon =
+  (module struct
+    type local = { seen : Vset.t; phase : int; dec : Value.t option }
+    type msg = Vset.t
+
+    let name = Printf.sprintf "mp-floodset(h=%d)" horizon
+    let init ~n:_ ~pid:_ ~input = { seen = Vset.singleton input; phase = 0; dec = None }
+
+    let send ~n ~pid local =
+      match local.dec with
+      | Some _ -> []
+      | None -> List.map (fun d -> (d, local.seen)) (Pid.others n pid)
+
+    let step ~n:_ ~pid:_ local ~inbox =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          let seen =
+            List.fold_left (fun acc (_, w) -> Vset.union acc w) local.seen inbox
+          in
+          let phase = local.phase + 1 in
+          let dec =
+            if phase >= horizon then
+              match Vset.elements seen with v :: _ -> Some v | [] -> assert false
+            else None
+          in
+          { seen; phase; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%s" local.phase
+        (match local.dec with Some v -> v | None -> -1)
+        (String.concat "" (List.map string_of_int (Vset.elements local.seen)))
+
+    let msg_key w = String.concat "" (List.map string_of_int (Vset.elements w))
+
+    let pp ppf local =
+      Format.fprintf ppf "ph%d W=%a" local.phase Vset.pp local.seen
+  end : Layered_async_mp.Protocol.S)

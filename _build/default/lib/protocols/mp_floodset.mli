@@ -1,0 +1,14 @@
+(** A deciding flooding protocol for the asynchronous message-passing
+    model, used by the permutation-layering experiments (E6).
+
+    Each local phase sends the current value set [W] to everyone (content
+    fixed at phase start, per the model), merges the inbox into [W], bumps
+    the phase counter, and decides [min W] unconditionally at phase
+    [horizon] (after which the process sends nothing, keeping the state
+    space small).
+
+    As with {!Sm_voting}: Decision and Validity hold, so Agreement must
+    fail on adversarial schedules (FLP / Section 5.1), which is what the
+    ever-bivalent chain exhibits. *)
+
+val make : horizon:int -> (module Layered_async_mp.Protocol.S)

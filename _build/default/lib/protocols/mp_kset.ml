@@ -1,0 +1,49 @@
+open Layered_core
+
+let make ~n:threshold_n =
+  (module struct
+    (* [seen] maps pids to their inputs, as a sorted assoc list so that
+       [key] is canonical. *)
+    type local = { seen : (Pid.t * Value.t) list; dec : Value.t option }
+    type msg = (Pid.t * Value.t) list
+
+    let name = Printf.sprintf "mp-2set(n=%d)" threshold_n
+
+    let init ~n:_ ~pid ~input = { seen = [ (pid, input) ]; dec = None }
+
+    let send ~n ~pid local =
+      match local.dec with
+      | Some _ -> []
+      | None -> List.map (fun d -> (d, local.seen)) (Pid.others n pid)
+
+    let merge a b =
+      List.sort_uniq compare (a @ b)
+
+    let step ~n ~pid:_ local ~inbox =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          let seen =
+            List.fold_left (fun acc (_, m) -> merge acc m) local.seen inbox
+          in
+          let dec =
+            if List.length seen >= n - 1 then
+              Some (List.fold_left (fun acc (_, v) -> min acc v) max_int seen)
+            else None
+          in
+          { seen; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%s|%d"
+        (String.concat ";"
+           (List.map (fun (p, v) -> Printf.sprintf "%d:%d" p v) local.seen))
+        (match local.dec with Some v -> v | None -> -1)
+
+    let msg_key m =
+      String.concat ";" (List.map (fun (p, v) -> Printf.sprintf "%d:%d" p v) m)
+
+    let pp ppf local =
+      Format.fprintf ppf "knows %d inputs" (List.length local.seen)
+  end : Layered_async_mp.Protocol.S)

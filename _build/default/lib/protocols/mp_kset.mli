@@ -1,0 +1,21 @@
+(** A 1-resilient k-set agreement protocol (k = 2) for asynchronous
+    message passing — the constructive side of Corollary 7.3.
+
+    Experiment E9 shows 2-set agreement {e passes} the 1-thick
+    connectivity condition; by the cited Biran-Moran-Zaks sufficiency it
+    must be solvable 1-resiliently, and this protocol realises it:
+
+    every process repeatedly broadcasts the map of (pid, input) pairs it
+    has collected; once it knows the inputs of at least [n - 1] processes
+    (its own included) it decides the minimum value it has seen and goes
+    quiet.
+
+    Why at most two distinct decisions: each decision is the minimum over
+    all inputs except at most one, so it is either the global minimum or
+    — only when the unique minimum-holder is the excluded process — the
+    minimum of the rest.  Validity is immediate, and in every run of the
+    permutation submodel all but at most one process eventually hears
+    [n - 1] inputs.  Experiment E11 verifies all three properties by
+    exhaustive exploration. *)
+
+val make : n:int -> (module Layered_async_mp.Protocol.S)

@@ -1,0 +1,45 @@
+open Layered_core
+
+let make () =
+  (module struct
+    type local = { seen : (Pid.t * Value.t) list; dec : Value.t option }
+    type reg = (Pid.t * Value.t) list
+
+    let name = "sm-2set"
+    let init ~n:_ ~pid ~input = { seen = [ (pid, input) ]; dec = None }
+
+    let write ~n:_ ~pid:_ local =
+      match local.dec with Some _ -> None | None -> Some local.seen
+
+    let step ~n ~pid:_ local ~reads =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          let seen =
+            Array.fold_left
+              (fun acc r ->
+                match r with
+                | Some pairs -> List.sort_uniq compare (acc @ pairs)
+                | None -> acc)
+              local.seen reads
+          in
+          let dec =
+            if List.length seen >= n - 1 then
+              Some (List.fold_left (fun acc (_, v) -> min acc v) max_int seen)
+            else None
+          in
+          { seen; dec }
+
+    let decision local = local.dec
+
+    let pairs_key pairs =
+      String.concat ";" (List.map (fun (p, v) -> Printf.sprintf "%d:%d" p v) pairs)
+
+    let key local =
+      Printf.sprintf "%s|%d" (pairs_key local.seen)
+        (match local.dec with Some v -> v | None -> -1)
+
+    let reg_key = pairs_key
+
+    let pp ppf local = Format.fprintf ppf "knows %d inputs" (List.length local.seen)
+  end : Layered_async_sm.Protocol.S)

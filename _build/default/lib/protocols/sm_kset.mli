@@ -1,0 +1,8 @@
+(** The wait-for-(n-1) 2-set agreement algorithm of {!Mp_kset}, ported to
+    the asynchronous read/write shared-memory substrate: each process
+    keeps the set of (pid, input) pairs it knows in its register; a scan
+    merges all registers; knowing [n - 1] inputs triggers deciding their
+    minimum.  Used by E19 to exhibit Corollary 7.3's model equivalence
+    operationally: one algorithm, three substrates. *)
+
+val make : unit -> (module Layered_async_sm.Protocol.S)

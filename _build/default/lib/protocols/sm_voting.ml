@@ -1,0 +1,44 @@
+open Layered_core
+
+let make ~horizon =
+  (module struct
+    type local = { pref : Value.t; phase : int; dec : Value.t option }
+    type reg = { r_phase : int; r_pref : Value.t }
+
+    let name = Printf.sprintf "sm-voting(h=%d)" horizon
+    let init ~n:_ ~pid:_ ~input = { pref = input; phase = 0; dec = None }
+
+    let write ~n:_ ~pid:_ local =
+      match local.dec with
+      | Some _ -> None (* stable after deciding *)
+      | None -> Some { r_phase = local.phase; r_pref = local.pref }
+
+    let step ~n:_ ~pid:_ local ~reads =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          (* Adopt the minimum preference among the freshest register
+             entries (phase >= own), own included. *)
+          let freshest =
+            Array.fold_left
+              (fun acc r ->
+                match r with
+                | Some { r_phase; r_pref } when r_phase >= local.phase -> min acc r_pref
+                | Some _ | None -> acc)
+              local.pref reads
+          in
+          let phase = local.phase + 1 in
+          let dec = if phase >= horizon then Some freshest else None in
+          { pref = freshest; phase; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%d" local.phase local.pref
+        (match local.dec with Some v -> v | None -> -1)
+
+    let reg_key { r_phase; r_pref } = Printf.sprintf "%d:%d" r_phase r_pref
+
+    let pp ppf local =
+      Format.fprintf ppf "ph%d pref=%a" local.phase Value.pp local.pref
+  end : Layered_async_sm.Protocol.S)

@@ -1,0 +1,15 @@
+(** A deciding consensus attempt for the asynchronous read/write
+    shared-memory model [M^rw], used by the synchronic-layering
+    experiments (E5).
+
+    Each process writes its (phase, preference) into its register, scans,
+    adopts the minimum preference among the freshest entries it sees, and
+    decides its preference unconditionally at phase [horizon].
+
+    The protocol satisfies Decision (every process decides by its
+    [horizon]-th phase) and Validity (preferences are always inputs), so —
+    by the very impossibility it is used to demonstrate (Corollary 5.4) —
+    it must violate Agreement on some [S^rw]-schedules; the bivalent-chain
+    construction of experiment E5 drives it to exactly those schedules. *)
+
+val make : horizon:int -> (module Layered_async_sm.Protocol.S)

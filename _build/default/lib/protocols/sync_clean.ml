@@ -1,0 +1,56 @@
+open Layered_core
+
+let make ~t =
+  (module struct
+    type local = {
+      seen : Vset.t;
+      silent : int;  (** bitmask of processes ever found silent *)
+      round : int;
+      dec : Value.t option;
+    }
+
+    type msg = Vset.t
+
+    let name = Printf.sprintf "clean-floodset(t=%d)" t
+
+    let init ~n:_ ~pid:_ ~input =
+      { seen = Vset.singleton input; silent = 0; round = 0; dec = None }
+
+    let send ~n:_ ~round:_ ~pid:_ local ~dest:_ = Some local.seen
+
+    let step ~n:_ ~round:_ ~pid local ~received =
+      let seen = ref local.seen and fresh_silence = ref 0 in
+      Array.iteri
+        (fun idx m ->
+          let src = idx + 1 in
+          match m with
+          | Some w -> seen := Vset.union !seen w
+          | None -> if src <> pid then fresh_silence := !fresh_silence lor (1 lsl src))
+        received;
+      let round = local.round + 1 in
+      let new_silence = !fresh_silence land lnot local.silent in
+      let silent = local.silent lor !fresh_silence in
+      let dec =
+        match local.dec with
+        | Some _ as d -> d
+        | None ->
+            if new_silence = 0 || round >= t + 1 then
+              match Vset.elements !seen with
+              | v :: _ -> Some v
+              | [] -> assert false
+            else None
+      in
+      { seen = !seen; silent; round; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%d,%s" local.round local.silent
+        (match local.dec with Some v -> v | None -> -1)
+        (String.concat "" (List.map string_of_int (Vset.elements local.seen)))
+
+    let msg_key w = String.concat "" (List.map string_of_int (Vset.elements w))
+
+    let pp ppf local =
+      Format.fprintf ppf "r%d W=%a silent=%d" local.round Vset.pp local.seen local.silent
+  end : Layered_sync.Protocol.S)

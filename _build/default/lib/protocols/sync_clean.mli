@@ -1,0 +1,17 @@
+(** Clean-round early-stopping FloodSet, for the "wasted faults"
+    discussion closing Section 6.
+
+    Processes flood value sets and track the set of processes they have
+    ever found silent.  A process decides [min W] at the end of the first
+    round in which it observed {e no new silence} (a locally clean round),
+    or unconditionally at round [t + 1].
+
+    A failure-free run decides in one round; more generally, when the
+    environment "wastes" its faults — spends several crashes early and
+    visibly — a clean round arrives early and so does decision, matching
+    the [k + w] crashes by round [k] => decide by [t + 1 - w] account of
+    Dwork-Moses that the paper cites after Lemma 6.4 (experiment E16).
+    Correctness under every crash adversary is established exhaustively in
+    the test suite and E16. *)
+
+val make : t:int -> (module Layered_sync.Protocol.S)

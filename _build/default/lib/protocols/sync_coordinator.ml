@@ -1,0 +1,120 @@
+open Layered_core
+
+(* Rotating-coordinator consensus for the send-omission model, n > 2t.
+
+   Phase k (three rounds):
+   - vote:  everyone broadcasts its preference; a process seeing some
+     value v with at least n - t votes (its own included) locks v
+     (strong); otherwise it tentatively keeps the minimum vote.
+   - claim: everyone broadcasts (preference, locked?).  Omission faults
+     drop messages but never corrupt them, so a received lock claim is
+     genuine; and two locks on different values are impossible (each is
+     backed by n - t votes, which would overlap in n - 2t > 0 voters).
+     The phase king adopts the value of any lock claim it sees.
+   - king:  process k broadcasts its preference; unlocked processes adopt
+     it.
+
+   After t + 1 phases some king was non-faulty and that phase ended with
+   all correct processes agreed (a correct king hears every correct lock
+   claim); locks make agreement persist.  Decide after round 3(t + 1).
+
+   The claim round is not an optimisation: the two-round variant (no
+   claim) lets a weak king decide its own minority value, and the
+   exhaustive checker exhibits a 3-process run doing exactly that — see
+   the test suite, which pins both this design's correctness and the
+   two-round design's failure. *)
+let make ~t =
+  (module struct
+    type local = {
+      pref : Value.t;
+      strong : bool;
+      round : int;
+      dec : Value.t option;
+    }
+
+    type msg = Vote of Value.t | Claim of Value.t * bool | King of Value.t
+
+    let name = Printf.sprintf "coordinator(t=%d)" t
+
+    let init ~n:_ ~pid:_ ~input = { pref = input; strong = false; round = 0; dec = None }
+
+    let phase_of round = ((round - 1) / 3) + 1
+    let sub_of round = (round - 1) mod 3 (* 0 = vote, 1 = claim, 2 = king *)
+
+    let send ~n:_ ~round ~pid local ~dest:_ =
+      match local.dec with
+      | Some _ -> None
+      | None -> (
+          match sub_of round with
+          | 0 -> Some (Vote local.pref)
+          | 1 -> Some (Claim (local.pref, local.strong))
+          | _ -> if pid = phase_of round then Some (King local.pref) else None)
+
+    let step ~n ~round ~pid local ~received =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          let local =
+            match sub_of round with
+            | 0 ->
+                let votes = ref [ local.pref ] in
+                Array.iteri
+                  (fun idx m ->
+                    match m with
+                    | Some (Vote v) when idx + 1 <> pid -> votes := v :: !votes
+                    | Some (Vote _ | Claim _ | King _) | None -> ())
+                  received;
+                let votes = !votes in
+                let count v = List.length (List.filter (Value.equal v) votes) in
+                let candidates = List.sort_uniq compare votes in
+                (match List.find_opt (fun v -> count v >= n - t) candidates with
+                | Some v -> { local with pref = v; strong = true }
+                | None ->
+                    {
+                      local with
+                      pref = List.fold_left min (List.hd votes) votes;
+                      strong = false;
+                    })
+            | 1 ->
+                (* Only the upcoming king acts on claims. *)
+                if pid <> phase_of round then local
+                else if local.strong then local
+                else begin
+                  let locked = ref None in
+                  Array.iter
+                    (fun m ->
+                      match m with
+                      | Some (Claim (v, true)) when !locked = None -> locked := Some v
+                      | Some (Claim _ | Vote _ | King _) | None -> ())
+                    received;
+                  match !locked with
+                  | Some v -> { local with pref = v }
+                  | None -> local
+                end
+            | _ -> (
+                let king = phase_of round in
+                if pid = king then local
+                else
+                  match received.(king - 1) with
+                  | Some (King w) when not local.strong -> { local with pref = w }
+                  | Some (King _ | Vote _ | Claim _) | None -> local)
+          in
+          let round' = local.round + 1 in
+          let dec = if round' >= 3 * (t + 1) then Some local.pref else None in
+          { local with round = round'; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%b,%d" local.round local.pref local.strong
+        (match local.dec with Some v -> v | None -> -1)
+
+    let msg_key = function
+      | Vote v -> "V" ^ Value.to_string v
+      | Claim (v, s) -> Printf.sprintf "C%d%b" v s
+      | King v -> "K" ^ Value.to_string v
+
+    let pp ppf local =
+      Format.fprintf ppf "r%d pref=%a%s" local.round Value.pp local.pref
+        (if local.strong then " strong" else "")
+  end : Layered_sync.Protocol.S)

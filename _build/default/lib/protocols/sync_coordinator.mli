@@ -1,0 +1,17 @@
+(** Rotating-coordinator consensus for the send-omission model, [n > 2t]
+    (experiment E18).
+
+    [t + 1] phases of three rounds each — vote (lock a value backed by
+    [n - t] votes), claim (broadcast lock status; omission faults drop
+    but never corrupt, so the phase king can safely adopt any lock claim
+    it sees), king (unlocked processes adopt the king's value).  Decides
+    after round [3(t + 1)].
+
+    Correct under send-omission and general (send+receive) omission for
+    [n > 2t], verified exhaustively; at the boundary [n = 2t] the
+    guarantee genuinely fails and the checker exhibits it.  The claim
+    round is essential: the two-round variant lets a weak king decide its
+    own minority value (the checker found the 3-process counterexample
+    during development). *)
+
+val make : t:int -> (module Layered_sync.Protocol.S)

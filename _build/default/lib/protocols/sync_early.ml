@@ -1,0 +1,62 @@
+open Layered_core
+
+let make ~t =
+  (module struct
+    type local = {
+      seen : Vset.t;
+      crashed : int;  (** bitmask of processes observed crashed *)
+      round : int;
+      dec : Value.t option;
+    }
+
+    type msg = Vset.t
+
+    let name = Printf.sprintf "early-floodset(t=%d)" t
+
+    let init ~n:_ ~pid:_ ~input =
+      { seen = Vset.singleton input; crashed = 0; round = 0; dec = None }
+
+    (* Keep flooding after deciding so that late deciders still receive
+       every value the early ones saw. *)
+    let send ~n:_ ~round:_ ~pid:_ local ~dest:_ = Some local.seen
+
+    let popcount bits =
+      let rec go acc b = if b = 0 then acc else go (acc + (b land 1)) (b lsr 1) in
+      go 0 bits
+
+    let step ~n ~round:_ ~pid local ~received =
+      let seen = ref local.seen and crashed = ref local.crashed in
+      Array.iteri
+        (fun idx m ->
+          let src = idx + 1 in
+          match m with
+          | Some w -> seen := Vset.union !seen w
+          | None -> if src <> pid then crashed := !crashed lor (1 lsl src))
+        received;
+      ignore n;
+      let round = local.round + 1 in
+      let dec =
+        match local.dec with
+        | Some _ as d -> d
+        | None ->
+            if popcount !crashed < round || round >= t + 1 then
+              match Vset.elements !seen with
+              | v :: _ -> Some v
+              | [] -> assert false
+            else None
+      in
+      { seen = !seen; crashed = !crashed; round; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%d,%s" local.round local.crashed
+        (match local.dec with Some v -> v | None -> -1)
+        (String.concat "" (List.map string_of_int (Vset.elements local.seen)))
+
+    let msg_key w = String.concat "" (List.map string_of_int (Vset.elements w))
+
+    let pp ppf local =
+      Format.fprintf ppf "r%d W=%a crashed=%d" local.round Vset.pp local.seen
+        (popcount local.crashed)
+  end : Layered_sync.Protocol.S)

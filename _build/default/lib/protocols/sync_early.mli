@@ -1,0 +1,15 @@
+(** Early-deciding FloodSet for the synchronous crash model: the "fast"
+    protocol of Lemma 6.4.
+
+    Processes flood value sets as in {!Sync_floodset} and additionally
+    track the set of processes they have observed to crash (no message
+    received in some round).  A process decides [min W] at the end of the
+    first round [r] in which its observed-crash count is smaller than [r]
+    — by pigeonhole such a round occurs by [t + 1], and in a failure-free
+    run decision takes a single round.  Decisions therefore always happen
+    within [t + 1] rounds (the protocol is {e fast} in the paper's sense),
+    and by round [f + 2] when only [f] processes actually crash.
+    Correctness under every [S^t] adversary is established exhaustively in
+    the test suite. *)
+
+val make : t:int -> (module Layered_sync.Protocol.S)

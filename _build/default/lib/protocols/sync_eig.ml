@@ -1,0 +1,70 @@
+open Layered_core
+
+(* Tree nodes as an association list from the path (a string of pid
+   digits, most recent relay last) to the reported value, kept sorted by
+   path for canonical keys.  Processes are single digits in all our
+   instances; guard in [init]. *)
+
+let make ~t =
+  (module struct
+    type local = { tree : (string * Value.t) list; round : int; dec : Value.t option }
+    type msg = (string * Value.t) list
+
+    let name = Printf.sprintf "eig(t=%d)" t
+
+    let init ~n ~pid ~input =
+      if n > 9 then invalid_arg "eig: at most 9 processes";
+      ignore pid;
+      { tree = [ ("", input) ]; round = 0; dec = None }
+
+    let level local r =
+      List.filter (fun (path, _) -> String.length path = r) local.tree
+
+    let send ~n:_ ~round ~pid:_ local ~dest:_ =
+      match local.dec with
+      | Some _ -> None (* halt after deciding; the tree is complete *)
+      | None -> Some (level local (round - 1))
+
+    let path_mem pid path = String.contains path (Char.chr (Char.code '0' + pid))
+
+    let step ~n:_ ~round ~pid:_ local ~received =
+      let additions =
+        Array.to_list received
+        |> List.mapi (fun idx m -> (idx + 1, m))
+        |> List.concat_map (fun (src, m) ->
+               match m with
+               | None -> []
+               | Some nodes ->
+                   List.filter_map
+                     (fun (path, v) ->
+                       if path_mem src path then None
+                       else Some (path ^ string_of_int src, v))
+                     nodes)
+      in
+      let tree =
+        List.sort_uniq compare (local.tree @ additions)
+      in
+      let dec =
+        match local.dec with
+        | Some _ as d -> d
+        | None ->
+            if round >= t + 1 then
+              Some (List.fold_left (fun acc (_, v) -> min acc v) max_int tree)
+            else None
+      in
+      { tree; round = local.round + 1; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d|%s" local.round
+        (match local.dec with Some v -> v | None -> -1)
+        (String.concat ";"
+           (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) local.tree))
+
+    let msg_key nodes =
+      String.concat ";" (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) nodes)
+
+    let pp ppf local =
+      Format.fprintf ppf "r%d |tree|=%d" local.round (List.length local.tree)
+  end : Layered_sync.Protocol.S)

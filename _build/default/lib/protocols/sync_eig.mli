@@ -1,0 +1,13 @@
+(** EIGStop: consensus by Exponential Information Gathering, for the
+    synchronous crash model of Section 6.
+
+    Each process maintains a tree of relayed values indexed by sequences of
+    distinct process ids ("[p_k] told me that [p_{k-1}] told me ... that
+    [p_1]'s input was [v]").  In round [r] it forwards its level-[r-1]
+    nodes; after round [t + 1] it decides the minimum value in its tree.
+    Under crash failures this decides exactly like {!Sync_floodset} but
+    carries the full relay structure — it is the ablation baseline showing
+    the experiments' conclusions do not depend on the protocol's state
+    representation. *)
+
+val make : t:int -> (module Layered_sync.Protocol.S)

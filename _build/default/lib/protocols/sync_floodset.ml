@@ -1,0 +1,45 @@
+open Layered_core
+
+let make ~t =
+  (module struct
+    type local = { seen : Vset.t; round : int; dec : Value.t option }
+    type msg = Vset.t
+
+    let name = Printf.sprintf "floodset(t=%d)" t
+    let init ~n:_ ~pid:_ ~input = { seen = Vset.singleton input; round = 0; dec = None }
+
+    (* Keep flooding after deciding: the local state is then stable, which
+       keeps the reachable state space small. *)
+    let send ~n:_ ~round:_ ~pid:_ local ~dest:_ = Some local.seen
+
+    let step ~n:_ ~round:_ ~pid:_ local ~received =
+      let seen =
+        Array.fold_left
+          (fun acc m -> match m with Some w -> Vset.union acc w | None -> acc)
+          local.seen received
+      in
+      let round = local.round + 1 in
+      let dec =
+        match local.dec with
+        | Some _ as d -> d
+        | None ->
+            if round >= t + 1 then
+              match Vset.elements seen with
+              | v :: _ -> Some v (* elements are sorted: min *)
+              | [] -> assert false
+            else None
+      in
+      { seen; round; dec }
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%s" local.round
+        (match local.dec with Some v -> v | None -> -1)
+        (String.concat "" (List.map string_of_int (Vset.elements local.seen)))
+
+    let msg_key w = String.concat "" (List.map string_of_int (Vset.elements w))
+
+    let pp ppf local =
+      Format.fprintf ppf "r%d W=%a" local.round Vset.pp local.seen
+  end : Layered_sync.Protocol.S)

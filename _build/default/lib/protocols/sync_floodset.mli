@@ -1,0 +1,19 @@
+(** FloodSet: the classical (t+1)-round consensus protocol for the
+    synchronous crash model of Section 6.
+
+    Every process floods the set [W] of values it has seen; at the end of
+    round [t + 1] it decides [min W].  Correct (Decision, Agreement,
+    Validity) under at most [t] crashes, where a crashing process may
+    deliver an arbitrary subset of its final round's messages — exactly
+    the adversary of the [S^t] layering; verified exhaustively in the test
+    suite.  Its worst-case decision round is exactly [t + 1], witnessing
+    tightness of the lower bound (Corollary 6.3).
+
+    In the mobile-failure model [M^mf] (where omissions recur and are
+    never recorded) the same protocol still satisfies Decision and
+    Validity but — necessarily, by Corollary 5.2 — violates Agreement on
+    adversarial runs; experiment E4 exhibits this via an ever-bivalent
+    chain. *)
+
+(** [make ~t] decides at the end of round [t + 1]. *)
+val make : t:int -> (module Layered_sync.Protocol.S)

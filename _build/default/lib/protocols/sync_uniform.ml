@@ -1,0 +1,97 @@
+open Layered_core
+
+(* Phase 1 (rounds 1..t+1): FloodSet, producing a tentative value.
+   Phase 2 (round t+2): echo tentatives; decide the minimum tentative
+   RECEIVED (own tentative only when isolated).
+
+   Why this is uniform: if all t crashes happen by round t+1 the echo
+   round is crash-free and every process — even long-crashed ones, which
+   still receive — decides the survivors' common tentative.  If a crash
+   happens in the echo round itself, at most t-1 crashes preceded it, so
+   every process alive through round t+1 holds the same tentative; the
+   echo-round crasher both spreads and decides that same value.  A
+   process that crashed earlier is silenced and cannot pollute the echo
+   with its possibly-smaller private tentative — which is exactly the
+   flaw that makes plain FloodSet non-uniform. *)
+let make ~t =
+  (module struct
+    type local = {
+      seen : Vset.t;
+      tentative : Value.t option;
+      round : int;
+      dec : Value.t option;
+    }
+
+    type msg = Flood of Vset.t | Echo of Value.t
+
+    let name = Printf.sprintf "uniform-floodset(t=%d)" t
+
+    let init ~n:_ ~pid:_ ~input =
+      { seen = Vset.singleton input; tentative = None; round = 0; dec = None }
+
+    let send ~n:_ ~round:_ ~pid:_ local ~dest:_ =
+      match (local.dec, local.tentative) with
+      | Some _, _ -> None
+      | None, Some v -> Some (Echo v)
+      | None, None -> Some (Flood local.seen)
+
+    let step ~n:_ ~round:_ ~pid:_ local ~received =
+      match local.dec with
+      | Some _ -> local
+      | None ->
+          let round = local.round + 1 in
+          if round <= t + 1 then begin
+            let seen =
+              Array.fold_left
+                (fun acc m ->
+                  match m with
+                  | Some (Flood w) -> Vset.union acc w
+                  | Some (Echo _) | None -> acc)
+                local.seen received
+            in
+            let tentative =
+              if round = t + 1 then
+                match Vset.elements seen with v :: _ -> Some v | [] -> assert false
+              else None
+            in
+            { seen; tentative; round; dec = None }
+          end
+          else begin
+            let echoes =
+              Array.fold_left
+                (fun acc m ->
+                  match m with
+                  | Some (Echo v) -> Vset.add v acc
+                  | Some (Flood _) | None -> acc)
+                Vset.empty received
+            in
+            let basis =
+              if Vset.is_empty echoes then
+                match local.tentative with Some v -> Vset.singleton v | None -> assert false
+              else echoes
+            in
+            let dec = match Vset.elements basis with
+              | v :: _ -> Some v
+              | [] -> assert false
+            in
+            { local with round; dec }
+          end
+
+    let decision local = local.dec
+
+    let key local =
+      Printf.sprintf "%d,%d,%d,%s" local.round
+        (match local.tentative with Some v -> v | None -> -1)
+        (match local.dec with Some v -> v | None -> -1)
+        (String.concat "" (List.map string_of_int (Vset.elements local.seen)))
+
+    let msg_key = function
+      | Flood w -> "F" ^ String.concat "" (List.map string_of_int (Vset.elements w))
+      | Echo v -> "E" ^ Value.to_string v
+
+    let pp ppf local =
+      Format.fprintf ppf "r%d W=%a%s" local.round Vset.pp local.seen
+        (match local.tentative with
+        | Some v -> Printf.sprintf " tent=%d" v
+        | None -> "")
+  end : Layered_sync.Protocol.S)

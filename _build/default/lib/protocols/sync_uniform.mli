@@ -1,0 +1,20 @@
+(** Uniform consensus in t+2 rounds for the crash model.
+
+    FloodSet for rounds [1 .. t+1] yields a tentative value; one further
+    {e echo} round then has everyone decide the minimum tentative it
+    {e received} (its own only when isolated).  A process that crashed
+    early is silenced, so its possibly-smaller private tentative — exactly
+    what makes plain FloodSet non-uniform (E7's [uniform=false], E15's
+    epistemic witness) — never reaches the echo.  Agreement thus extends
+    to all deciders, failed ones included, at the price of one extra
+    round: the measured worst-case decision round is [t + 2], an empirical
+    view of the classical "uniform consensus is harder" gap.
+
+    (A one-phase variant deciding on the {e final-round} received sets
+    looks plausible and is refuted by the exhaustive checker — a stale
+    receiver can out-vote a fresh one; see the test suite.)
+
+    Verified exhaustively (including the uniform flag) in E7 and the test
+    suite. *)
+
+val make : t:int -> (module Layered_sync.Protocol.S)

@@ -1,0 +1,46 @@
+open Layered_core
+
+type t = { view : string; seen : Vset.t; round : int; dec : Value.t option }
+type obs = { oview : string; oseen : Vset.t }
+
+let init ~pid ~input =
+  {
+    view = Printf.sprintf "%d=%d" pid input;
+    seen = Vset.singleton input;
+    round = 0;
+    dec = None;
+  }
+
+let observe v = { oview = v.view; oseen = v.seen }
+
+let advance ~horizon v observations =
+  match v.dec with
+  | Some _ -> v
+  | None ->
+      let view =
+        Printf.sprintf "%s[%s]" v.view
+          (String.concat ","
+             (List.map (fun (p, o) -> Printf.sprintf "%d:%s" p o.oview) observations))
+      in
+      let seen =
+        List.fold_left (fun acc (_, o) -> Vset.union acc o.oseen) v.seen observations
+      in
+      let round = v.round + 1 in
+      let dec =
+        if round >= horizon then
+          match Vset.elements seen with w :: _ -> Some w | [] -> assert false
+        else None
+      in
+      { view; seen; round; dec }
+
+let decision v = v.dec
+
+let key v =
+  Printf.sprintf "%d,%d,%s" v.round
+    (match v.dec with Some w -> w | None -> -1)
+    v.view
+
+let obs_key o = o.oview
+
+let pp ppf v =
+  Format.fprintf ppf "r%d seen=%a |view|=%d" v.round Vset.pp v.seen (String.length v.view)

@@ -1,0 +1,38 @@
+(** Full-information views.
+
+    The paper's adversary arguments are usually pictured against
+    full-information protocols — processes that remember their entire
+    history and send it around.  This module provides the shared view
+    structure; the [*_full_info] protocols adapt it to each substrate.
+
+    A view is a canonical string recording everything observed so far,
+    together with the set of input values gleaned (for the decision rule)
+    and the local round count.  The decision rule is the usual one: decide
+    the minimum input seen once [horizon] observation steps have
+    happened. *)
+
+open Layered_core
+
+type t = private {
+  view : string;  (** canonical full history *)
+  seen : Vset.t;  (** input values occurring in the view *)
+  round : int;
+  dec : Value.t option;
+}
+
+(** What a process exposes to others (its full view). *)
+type obs = { oview : string; oseen : Vset.t }
+
+val init : pid:Pid.t -> input:Value.t -> t
+val observe : t -> obs
+
+(** [advance ~horizon v observations] appends one observation step: the
+    (pid, view) pairs received this round, sorted by pid by the caller.
+    Decides [min seen] when the new round reaches [horizon] (write-once:
+    further advances keep the decision and stop growing the view). *)
+val advance : horizon:int -> t -> (Pid.t * obs) list -> t
+
+val decision : t -> Value.t option
+val key : t -> string
+val obs_key : obs -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sync/engine.ml: Array Bool Buffer Explore Format Hashtbl Inputs Layered_core List Pid Printf Protocol String Valence Value Vset

@@ -1,0 +1,1 @@
+lib/sync/engine.mli: Explore Format Layered_core Pid Protocol Valence Value Vset

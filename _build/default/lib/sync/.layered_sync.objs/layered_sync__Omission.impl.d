@@ -1,0 +1,1 @@
+lib/sync/omission.ml: Array Buffer Format Inputs Layered_core List Pid Printf Protocol String Value Vset

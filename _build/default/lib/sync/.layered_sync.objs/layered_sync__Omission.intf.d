@@ -1,0 +1,1 @@
+lib/sync/omission.mli: Format Layered_core Pid Protocol Value Vset

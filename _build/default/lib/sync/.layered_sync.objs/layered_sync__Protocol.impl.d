@@ -1,0 +1,1 @@
+lib/sync/protocol.ml: Format Layered_core Pid Value

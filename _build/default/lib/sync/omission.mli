@@ -1,0 +1,70 @@
+(** The t-resilient {e send-omission} model — the second failure type the
+    paper's introduction names ("sending omissions or Byzantine failures:
+    a faulty processor can fail to send messages altogether from some
+    point on, and thus behave as if it has crashed").
+
+    The adversary marks up to [t] processes omission-faulty (adaptively,
+    mid-run); in every round it may drop any subset of each faulty
+    process's outgoing messages.  Unlike the crash model of Section 6 a
+    faulty process is {e not} silenced — it keeps sending whatever the
+    adversary lets through, and keeps receiving everything — and unlike
+    the mobile model the faulty set only grows.  Crash runs are exactly
+    the omission runs that drop everything from the first drop on, so this
+    model strictly contains the Section 6 model and all its lower bounds
+    apply a fortiori.
+
+    Agreement/Validity/Decision are judged on the non-faulty processes.
+    Experiment E18 shows min-flooding consensus breaks here (the checker
+    finds a last-round injection witness) and verifies a coordinator-based
+    protocol that survives it for [n > 2t]. *)
+
+open Layered_core
+
+module Make (P : Protocol.S) : sig
+  type state = private {
+    round : int;
+    locals : P.local array;
+    faulty : bool array;  (** adversary's omission-faulty marks *)
+  }
+
+  type action = {
+    corrupt : Pid.t list;  (** processes freshly marked faulty this round *)
+    drops : (Pid.t * Pid.t list) list;
+        (** send omissions — per (already or freshly) faulty sender:
+            receivers missing its message this round *)
+    rdrops : (Pid.t * Pid.t list) list;
+        (** receive omissions — per faulty receiver: senders whose
+            messages it misses this round.  Empty for the pure
+            send-omission model; non-empty actions give the {e general}
+            omission model. *)
+  }
+
+  val n_of : state -> int
+  val initial : inputs:Value.t array -> state
+  val initial_states : n:int -> values:Value.t list -> state list
+
+  (** Execute one round.  Raises [Invalid_argument] if a drop names a
+      non-faulty sender or [corrupt] repeats/overlaps existing faults. *)
+  val apply : state -> action -> state
+
+  (** Every action with at most [max_new] fresh corruptions within
+      [remaining_failures], and arbitrary per-faulty send-drop subsets;
+      with [general:true] also arbitrary per-faulty receive-drop
+      subsets. *)
+  val all_actions :
+    ?general:bool -> max_new:int -> remaining_failures:int -> state -> action list
+
+  val key : state -> string
+  val equal : state -> state -> bool
+  val decisions : state -> Value.t option array
+
+  (** Decisions of non-faulty processes. *)
+  val decided_vset : state -> Vset.t
+
+  (** Every non-faulty process has decided. *)
+  val terminal : state -> bool
+
+  val faulty_count : state -> int
+  val nonfaulty : state -> Pid.t list
+  val pp : Format.formatter -> state -> unit
+end

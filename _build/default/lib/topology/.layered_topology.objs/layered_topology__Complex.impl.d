@@ -1,0 +1,1 @@
+lib/topology/complex.ml: Array Format Graph Hashtbl Layered_core List Simplex

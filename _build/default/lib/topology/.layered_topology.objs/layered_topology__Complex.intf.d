@@ -1,0 +1,1 @@
+lib/topology/complex.mli: Format Graph Layered_core Simplex

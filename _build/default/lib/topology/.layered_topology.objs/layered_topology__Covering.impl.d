@@ -1,0 +1,1 @@
+lib/topology/covering.ml: Complex Layered_core List Simplex Valence Value Vset

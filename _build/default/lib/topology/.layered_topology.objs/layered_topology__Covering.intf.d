@@ -1,0 +1,1 @@
+lib/topology/covering.mli: Complex Layered_core Simplex Valence Vset

@@ -1,0 +1,1 @@
+lib/topology/simplex.ml: Format Layered_core List Pid Printf String Value Vertex Vset

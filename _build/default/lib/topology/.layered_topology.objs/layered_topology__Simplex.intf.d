@@ -1,0 +1,1 @@
+lib/topology/simplex.mli: Format Layered_core Pid Value Vertex Vset

@@ -1,0 +1,1 @@
+lib/topology/solvability.ml: Array Complex Format Fun Graph Layered_core List Printf Simplex Task Thick Union_find

@@ -1,0 +1,1 @@
+lib/topology/solvability.mli: Simplex Task

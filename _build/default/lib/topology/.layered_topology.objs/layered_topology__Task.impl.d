@@ -1,0 +1,1 @@
+lib/topology/task.ml: Complex Layered_core List Pid Printf Simplex Value Vertex Vset

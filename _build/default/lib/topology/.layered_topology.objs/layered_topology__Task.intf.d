@@ -1,0 +1,1 @@
+lib/topology/task.mli: Complex Layered_core Simplex Value

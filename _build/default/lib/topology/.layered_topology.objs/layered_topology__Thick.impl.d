@@ -1,0 +1,1 @@
+lib/topology/thick.ml: Array Complex Graph Layered_core Simplex

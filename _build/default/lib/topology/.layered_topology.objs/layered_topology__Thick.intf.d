@@ -1,0 +1,1 @@
+lib/topology/thick.mli: Complex Graph Layered_core Simplex

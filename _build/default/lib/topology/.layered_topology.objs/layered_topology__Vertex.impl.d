@@ -1,0 +1,1 @@
+lib/topology/vertex.ml: Format Layered_core Pid Value

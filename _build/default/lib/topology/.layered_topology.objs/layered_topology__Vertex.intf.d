@@ -1,0 +1,1 @@
+lib/topology/vertex.mli: Format Layered_core Pid Value

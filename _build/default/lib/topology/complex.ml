@@ -1,0 +1,48 @@
+open Layered_core
+
+type t = Simplex.t list (* maximal simplexes, sorted, mutually incomparable *)
+
+let normalise simplexes =
+  let sorted = List.sort_uniq Simplex.compare simplexes in
+  List.filter
+    (fun s ->
+      not
+        (List.exists (fun s' -> (not (Simplex.equal s s')) && Simplex.subset s s') sorted))
+    sorted
+
+let of_simplexes = normalise
+let empty = []
+let generators t = t
+let mem s t = List.exists (fun g -> Simplex.subset s g) t
+let is_empty t = t = []
+let dimension t = List.fold_left (fun acc s -> max acc (Simplex.size s)) 0 t
+
+let all_simplexes t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      List.iter (fun f -> Hashtbl.replace tbl (Simplex.key f) f) (Simplex.faces g))
+    t;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl [] |> List.sort Simplex.compare
+
+let simplexes_of_size t size =
+  List.filter (fun s -> Simplex.size s = size) (all_simplexes t)
+
+let union a b = normalise (a @ b)
+
+let subcomplex a b = List.for_all (fun g -> mem g b) a
+let equal a b = List.equal Simplex.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Simplex.pp)
+    t
+
+let similarity_graph t ~size =
+  let simplexes = Array.of_list (simplexes_of_size t size) in
+  let adjacent a b = Simplex.size (Simplex.inter a b) >= size - 1 in
+  let g =
+    Graph.of_pred ~size:(Array.length simplexes) (fun i j ->
+        adjacent simplexes.(i) simplexes.(j))
+  in
+  (simplexes, g)

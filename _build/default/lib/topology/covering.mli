@@ -1,0 +1,44 @@
+(** Coverings and generalized valence (Section 7).
+
+    A pair of n-size complexes [(O0, O1)] is a covering of a set of runs
+    when every decided output simplex lies in one of the two complexes and
+    each complex contains at least one decided output simplex.  Generalized
+    valence replaces "decides v" with "the run's decided output simplex
+    lies in [Ov]"; all the connectivity machinery then lifts verbatim
+    (Lemma 7.1). *)
+
+open Layered_core
+
+type t = {
+  label : string;
+  mem0 : Simplex.t -> bool;
+  mem1 : Simplex.t -> bool;
+}
+
+val of_complexes : ?label:string -> Complex.t -> Complex.t -> t
+
+(** Generalized-valence exploration over a submodel, in the style of
+    {!Layered_core.Valence} but with covering membership as the decision
+    observation. *)
+type 'a spec = {
+  succ : 'a -> 'a list;
+  key : 'a -> string;
+  terminal : 'a -> bool;  (** all relevant processes have decided *)
+  output : 'a -> Simplex.t;
+      (** decisions of the non-failed processes at this state *)
+}
+
+type outcome = {
+  vals : Vset.t;  (** subset of [{0, 1}]: coverings reachable in a future *)
+  complete : bool;
+}
+
+type 'a engine
+
+val create : 'a spec -> t -> 'a engine
+val outcome : 'a engine -> depth:int -> 'a -> outcome
+val classify : 'a engine -> depth:int -> 'a -> Valence.verdict
+
+(** [is_covering cover outputs] checks the two covering conditions against
+    a finite set of decided output simplexes. *)
+val is_covering : t -> Simplex.t list -> bool

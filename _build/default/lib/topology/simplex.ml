@@ -1,0 +1,68 @@
+open Layered_core
+
+(* Sorted by pid; pids pairwise distinct. *)
+type t = Vertex.t list
+
+let empty = []
+
+let of_vertices vs =
+  let sorted = List.sort Vertex.compare vs in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Pid.equal a.Vertex.pid b.Vertex.pid then
+          invalid_arg "Simplex.of_vertices: duplicate pid"
+        else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let of_assoc assoc = of_vertices (List.map (fun (p, v) -> Vertex.make p v) assoc)
+let vertices t = t
+let size = List.length
+let is_empty t = t = []
+let pids t = List.map (fun v -> v.Vertex.pid) t
+let values t = List.map (fun v -> v.Vertex.value) t
+let value_set t = Vset.of_list (values t)
+
+let value_of t pid =
+  List.find_map
+    (fun v -> if Pid.equal v.Vertex.pid pid then Some v.Vertex.value else None)
+    t
+
+let mem v t = List.exists (Vertex.equal v) t
+let add v t = of_vertices (v :: t)
+let subset a b = List.for_all (fun v -> mem v b) a
+let inter a b = List.filter (fun v -> mem v b) a
+
+let compatible_union a b =
+  let conflict =
+    List.exists
+      (fun va ->
+        match value_of b va.Vertex.pid with
+        | Some w -> not (Value.equal w va.Vertex.value)
+        | None -> false)
+      a
+  in
+  if conflict then None
+  else Some (List.sort_uniq Vertex.compare (a @ b))
+
+let remove_pid pid t = List.filter (fun v -> not (Pid.equal v.Vertex.pid pid)) t
+let restrict keep t = List.filter (fun v -> List.mem v.Vertex.pid keep) t
+
+let faces t =
+  List.fold_left
+    (fun acc v -> acc @ List.map (fun s -> v :: s) acc)
+    [ [] ] (List.rev t)
+
+let compare = List.compare Vertex.compare
+let equal a b = compare a b = 0
+
+let key t =
+  String.concat ";"
+    (List.map (fun v -> Printf.sprintf "%d:%d" v.Vertex.pid v.Vertex.value) t)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ') Vertex.pp)
+    t

@@ -1,0 +1,47 @@
+(** Simplexes: sets of vertices with pairwise-distinct process ids
+    (Section 7).  A [k]-size-simplex has [k] vertices.  Internally kept
+    sorted by pid, so structural equality is set equality. *)
+
+open Layered_core
+
+type t
+
+val empty : t
+
+(** Raises [Invalid_argument] if two vertices share a pid. *)
+val of_vertices : Vertex.t list -> t
+
+val of_assoc : (Pid.t * Value.t) list -> t
+val vertices : t -> Vertex.t list
+val size : t -> int
+val is_empty : t -> bool
+val pids : t -> Pid.t list
+val values : t -> Value.t list
+
+(** Set of distinct values appearing in the simplex. *)
+val value_set : t -> Vset.t
+
+val value_of : t -> Pid.t -> Value.t option
+val mem : Vertex.t -> t -> bool
+val add : Vertex.t -> t -> t
+val subset : t -> t -> bool
+val inter : t -> t -> t
+
+(** [compatible_union a b] is the vertex-union when no pid carries two
+    different values, [None] otherwise. *)
+val compatible_union : t -> t -> t option
+
+val remove_pid : Pid.t -> t -> t
+val restrict : Pid.t list -> t -> t
+
+(** All faces (sub-simplexes), including [empty] and the simplex itself:
+    [2^size] simplexes. *)
+val faces : t -> t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Canonical string encoding (usable as a hash key). *)
+val key : t -> string
+
+val pp : Format.formatter -> t -> unit

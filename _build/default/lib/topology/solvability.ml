@@ -1,0 +1,120 @@
+open Layered_core
+
+type verdict = { ok : bool; detail : string }
+
+(* Enumerate every non-empty connected subset of a graph.  The graphs here
+   have at most [cap] nodes, so a bitmask sweep with a per-subset
+   union-find connectivity check is simple and fast enough. *)
+let connected_subsets g =
+  let n = Graph.size g in
+  assert (n <= 24);
+  let members mask = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id) in
+  let connected mask =
+    let nodes = members mask in
+    match nodes with
+    | [] -> false
+    | root :: _ ->
+        let uf = Union_find.create n in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun j -> if mask land (1 lsl j) <> 0 then ignore (Union_find.union uf i j))
+              (Graph.neighbours g i))
+          nodes;
+        List.for_all (fun i -> Union_find.same uf root i) nodes
+  in
+  let rec sweep acc mask =
+    if mask = 0 then acc
+    else sweep (if connected mask then members mask :: acc else acc) (mask - 1)
+  in
+  sweep [] ((1 lsl n) - 1)
+
+let check_subsets task subsets describe =
+  let bad =
+    List.find_opt
+      (fun inputs ->
+        let c = Task.c_delta task inputs in
+        not (Thick.k_thick_connected ~n:task.Task.n ~k:1 c))
+      subsets
+  in
+  match bad with
+  | Some inputs ->
+      {
+        ok = false;
+        detail =
+          Format.asprintf "C_Delta(I) not 1-thick connected for I = %a (%s)"
+            (Format.pp_print_list ~pp_sep:Format.pp_print_space Simplex.pp)
+            inputs describe;
+      }
+  | None ->
+      { ok = true; detail = Printf.sprintf "all %d input sets pass (%s)" (List.length subsets) describe }
+
+let passes_necessary_condition ?(cap = 16) task =
+  let assignments = Array.of_list (Task.input_assignments task) in
+  let m = Array.length assignments in
+  let sim =
+    Graph.of_pred ~size:m (fun i j ->
+        Simplex.size (Simplex.inter assignments.(i) assignments.(j)) >= task.Task.n - 1)
+  in
+  let to_simplexes idxs = List.map (fun i -> assignments.(i)) idxs in
+  if m <= cap then begin
+    let subsets = List.map to_simplexes (connected_subsets sim) in
+    check_subsets task subsets (Printf.sprintf "exhaustive over %d assignments" m)
+  end
+  else begin
+    (* Exhaustion is infeasible; check the full set, singletons, and all
+       radius-1 similarity balls. *)
+    let full = Array.to_list assignments in
+    let singletons = List.map (fun s -> [ s ]) full in
+    let balls =
+      List.init m (fun i ->
+          to_simplexes (i :: Graph.neighbours sim i))
+    in
+    check_subsets task (full :: (singletons @ balls))
+      (Printf.sprintf "sampled (full set, singletons, balls) over %d assignments" m)
+  end
+
+let forced_outputs task =
+  List.filter_map
+    (fun s ->
+      match Complex.simplexes_of_size (task.Task.delta s) task.Task.n with
+      | [ out ] -> Some (s, out)
+      | [] | _ :: _ :: _ -> None)
+    (Task.input_assignments task)
+
+let forced_fragmentation task =
+  let n = task.Task.n in
+  let inputs = Task.input_assignments task in
+  let c = Task.c_delta task inputs in
+  let simplexes, g = Thick.graph ~n ~k:1 c in
+  let index_of s =
+    let rec go i =
+      if i >= Array.length simplexes then None
+      else if Simplex.equal simplexes.(i) s then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let uf = Union_find.create (Array.length simplexes) in
+  Array.iteri
+    (fun i _ -> List.iter (fun j -> ignore (Union_find.union uf i j)) (Graph.neighbours g i))
+    simplexes;
+  let forced = forced_outputs task in
+  let split =
+    List.find_opt
+      (fun ((_, out1), (_, out2)) ->
+        match (index_of out1, index_of out2) with
+        | Some i, Some j -> not (Union_find.same uf i j)
+        | None, _ | _, None -> false)
+      (List.concat_map (fun a -> List.map (fun b -> (a, b)) forced) forced)
+  in
+  match split with
+  | Some ((in1, out1), (in2, out2)) ->
+      {
+        ok = true;
+        detail =
+          Format.asprintf
+            "forced outputs %a (from input %a) and %a (from input %a) lie in distinct 1-thickness components"
+            Simplex.pp out1 Simplex.pp in1 Simplex.pp out2 Simplex.pp in2;
+      }
+  | None -> { ok = false; detail = "no forced fragmentation found" }

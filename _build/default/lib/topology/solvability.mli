@@ -1,0 +1,38 @@
+(** Machine-checkable sides of Theorem 7.2 / Corollary 7.3: 1-resilient
+    solvability of a decision problem is characterised by 1-thick
+    connectivity of [C_Delta(I)] over similarity-connected input sets [I].
+
+    Two checks are provided:
+
+    - {!passes_necessary_condition} verifies the condition for the task's
+      own [Delta] over {e every} similarity-connected set of input
+      assignments (exhaustively when the input complex is small, see
+      [cap]).  By the sufficiency direction (Biran-Moran-Zaks, cross-cited
+      by the paper), a task whose own [Delta] passes is solvable.
+
+    - {!forced_fragmentation} proves {e unsolvability} soundly even though
+      the condition quantifies over subproblems [Delta' <= Delta]: an input
+      assignment whose [Delta] contains a single n-size output simplex
+      forces that simplex into every subproblem; if two forced simplexes
+      lie in different components of the 1-thickness graph of [C_Delta(I)]
+      for a similarity-connected [I], no subproblem can pass, so the task
+      is 1-resiliently unsolvable. *)
+
+type verdict = {
+  ok : bool;
+  detail : string;  (** human-readable witness / summary *)
+}
+
+(** [passes_necessary_condition ?cap task] checks 1-thick connectivity of
+    [C_Delta(I)] for every similarity-connected subset [I] of the input
+    assignments, enumerated exhaustively when there are at most [cap]
+    assignments (default 16); beyond the cap it checks the full set, all
+    singletons and all similarity balls, and says so in [detail]. *)
+val passes_necessary_condition : ?cap:int -> Task.t -> verdict
+
+(** Inputs whose [Delta] has a unique n-size output simplex, paired with
+    that simplex. *)
+val forced_outputs : Task.t -> (Simplex.t * Simplex.t) list
+
+(** See above: a sound unsolvability certificate over the full input set. *)
+val forced_fragmentation : Task.t -> verdict

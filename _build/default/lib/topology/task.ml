@@ -1,0 +1,118 @@
+open Layered_core
+
+type t = {
+  name : string;
+  n : int;
+  inputs : Complex.t;
+  outputs : Complex.t;
+  delta : Simplex.t -> Complex.t;
+}
+
+let input_assignments t = Complex.simplexes_of_size t.inputs t.n
+
+let c_delta t inputs =
+  List.fold_left (fun acc s -> Complex.union acc (t.delta s)) Complex.empty inputs
+
+(* All assignments of a value from [values] to every pid in [pids]. *)
+let assignments pids values =
+  List.fold_left
+    (fun acc pid ->
+      List.concat_map (fun s -> List.map (fun v -> Simplex.add (Vertex.make pid v) s) values) acc)
+    [ Simplex.empty ] pids
+
+let full_complex n values = Complex.of_simplexes (assignments (Pid.all n) values)
+
+let unanimous pids v = Simplex.of_assoc (List.map (fun p -> (p, v)) pids)
+
+let distinct_value_count s =
+  Vset.cardinal (Simplex.value_set s)
+
+let consensus ~n ~values =
+  let inputs = full_complex n values in
+  let all = Pid.all n in
+  {
+    name = Printf.sprintf "consensus(|V|=%d)" (List.length values);
+    n;
+    inputs;
+    outputs = Complex.of_simplexes (List.map (unanimous all) values);
+    delta =
+      (fun s ->
+        let vs = Vset.elements (Simplex.value_set s) in
+        Complex.of_simplexes (List.map (unanimous all) vs));
+  }
+
+let k_set_agreement ~n ~k ~values =
+  let inputs = full_complex n values in
+  let all = Pid.all n in
+  let allowed vs =
+    assignments all vs |> List.filter (fun s -> distinct_value_count s <= k)
+  in
+  {
+    name = Printf.sprintf "%d-set-agreement(|V|=%d)" k (List.length values);
+    n;
+    inputs;
+    outputs = Complex.of_simplexes (allowed values);
+    delta = (fun s -> Complex.of_simplexes (allowed (Vset.elements (Simplex.value_set s))));
+  }
+
+let weak_consensus ~n =
+  let values = [ Value.zero; Value.one ] in
+  let inputs = full_complex n values in
+  let all = Pid.all n in
+  let everything = full_complex n values in
+  {
+    name = "weak-consensus";
+    n;
+    inputs;
+    outputs = everything;
+    delta =
+      (fun s ->
+        match Vset.elements (Simplex.value_set s) with
+        | [ v ] -> Complex.of_simplexes [ unanimous all v ]
+        | [] | _ :: _ :: _ -> everything);
+  }
+
+let identity ~n ~values =
+  let inputs = full_complex n values in
+  {
+    name = "identity";
+    n;
+    inputs;
+    outputs = inputs;
+    delta = (fun s -> Complex.of_simplexes [ s ]);
+  }
+
+let fixed_value ~n =
+  let values = [ Value.zero; Value.one ] in
+  let inputs = full_complex n values in
+  let all = Pid.all n in
+  let zero = Complex.of_simplexes [ unanimous all Value.zero ] in
+  { name = "fixed-value"; n; inputs; outputs = zero; delta = (fun _ -> zero) }
+
+let election ~n =
+  let values = [ Value.zero; Value.one ] in
+  let inputs = full_complex n values in
+  let all = Pid.all n in
+  (* Decide a common pid (encoded as a value) whose input was 1. *)
+  let leaders s =
+    List.filter_map
+      (fun v ->
+        if Value.equal v.Vertex.value Value.one then Some v.Vertex.pid else None)
+      (Simplex.vertices s)
+  in
+  let outputs =
+    Complex.of_simplexes (List.map (fun p -> unanimous all (Value.of_int p)) (Pid.all n))
+  in
+  {
+    name = "election";
+    n;
+    inputs;
+    outputs;
+    delta =
+      (fun s ->
+        match leaders s with
+        | [] ->
+            (* no volunteer: any common pid is acceptable *)
+            outputs
+        | ls -> Complex.of_simplexes (List.map (fun p -> unanimous all (Value.of_int p)) ls));
+  }

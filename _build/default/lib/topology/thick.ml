@@ -1,0 +1,23 @@
+open Layered_core
+
+let graph ~n ~k c =
+  let simplexes = Array.of_list (Complex.simplexes_of_size c n) in
+  let g =
+    Graph.of_pred ~size:(Array.length simplexes) (fun i j ->
+        Simplex.size (Simplex.inter simplexes.(i) simplexes.(j)) >= n - k)
+  in
+  (simplexes, g)
+
+let k_thick_connected ~n ~k c =
+  let _, g = graph ~n ~k c in
+  Graph.is_connected g
+
+let diameter ~n ~k c =
+  let _, g = graph ~n ~k c in
+  Graph.diameter g
+
+let disconnected_witness ~n ~k c =
+  let simplexes, g = graph ~n ~k c in
+  match Graph.components g with
+  | (i :: _) :: (j :: _) :: _ -> Some (simplexes.(i), simplexes.(j))
+  | _ -> None

@@ -1,0 +1,24 @@
+(** k-thick-connectivity of n-size complexes (Section 7).
+
+    An n-size-complex [C] is k-thick-connected if every pair of
+    n-size-simplexes of [C] is linked by a chain of n-size-simplexes in
+    which consecutive simplexes share an (n-k)-size face.  For k = 1 this
+    is the necessary (and, by Biran-Moran-Zaks, sufficient) condition for
+    1-resilient solvability in the paper's asynchronous models
+    (Theorem 7.2 / Corollary 7.3). *)
+
+open Layered_core
+
+(** [graph ~n ~k c]: nodes are the n-size simplexes of [c]; edges join
+    simplexes whose intersection has at least [n - k] vertices. *)
+val graph : n:int -> k:int -> Complex.t -> Simplex.t array * Graph.t
+
+(** A complex with zero or one n-size simplex is trivially connected. *)
+val k_thick_connected : n:int -> k:int -> Complex.t -> bool
+
+(** Diameter of the k-thickness graph ([None] if disconnected). *)
+val diameter : n:int -> k:int -> Complex.t -> int option
+
+(** A witness pair of n-size simplexes in different k-thickness components,
+    if any. *)
+val disconnected_witness : n:int -> k:int -> Complex.t -> (Simplex.t * Simplex.t) option

@@ -1,0 +1,11 @@
+open Layered_core
+
+type t = { pid : Pid.t; value : Value.t }
+
+let make pid value = { pid; value }
+let equal a b = Pid.equal a.pid b.pid && Value.equal a.value b.value
+
+let compare a b =
+  match Pid.compare a.pid b.pid with 0 -> Value.compare a.value b.value | c -> c
+
+let pp ppf v = Format.fprintf ppf "(%a,%a)" Pid.pp v.pid Value.pp v.value

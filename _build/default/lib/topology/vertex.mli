@@ -1,0 +1,12 @@
+(** Vertices of the simplicial substrate of Section 7: a pair of a process
+    id and a value.  In an input simplex the value is the process's initial
+    value; in an output simplex, its decision. *)
+
+open Layered_core
+
+type t = { pid : Pid.t; value : Value.t }
+
+val make : Pid.t -> Value.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Chains Export Layered_analysis Layered_core List Printf Registry Report String Sweep

@@ -1,0 +1,1 @@
+test/test_async_mp.ml: Alcotest Array Layered_async_mp Layered_core Layered_protocols List QCheck QCheck_alcotest String Vset

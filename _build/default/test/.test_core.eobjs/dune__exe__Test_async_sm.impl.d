@@ -1,0 +1,1 @@
+test/test_async_sm.ml: Alcotest Array Layered_async_sm Layered_core Layered_protocols List Option QCheck QCheck_alcotest String Vset

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Connectivity Explore Fmt Fun Graph Int Layered_core Layering List Option Pid QCheck QCheck_alcotest Report String Union_find Valence Value Vset

@@ -1,0 +1,1 @@
+test/test_iis.ml: Alcotest Array Connectivity Layered_core Layered_iis Layered_protocols List Printf QCheck QCheck_alcotest String Vset

@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Layered_knowledge List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Connectivity Layered_core Layered_protocols Layered_sync Layering List QCheck QCheck_alcotest String Vset

@@ -1,0 +1,99 @@
+(* Integration tests: every experiment driver must reproduce its paper
+   claims (all rows Pass or Info), and the registry must be consistent. *)
+
+open Layered_core
+open Layered_analysis
+
+let check = Alcotest.(check bool)
+
+(* Keep in sync with DESIGN.md's experiment index. *)
+let expected_experiment_count = 20
+
+let test_registry_ids () =
+  let ids = List.map (fun (e : Registry.experiment) -> e.Registry.id) Registry.all in
+  check "experiment count" true (List.length ids = expected_experiment_count);
+  check "ids unique" true (List.length (List.sort_uniq compare ids) = List.length ids);
+  check "lookup case-insensitive" true (Registry.find "e7" <> None);
+  check "unknown id" true (Registry.find "E99" = None)
+
+let experiment_case (e : Registry.experiment) =
+  let run () =
+    let rows = e.Registry.run () in
+    check (e.Registry.id ^ " produced rows") true (rows <> []);
+    List.iter
+      (fun (r : Report.row) ->
+        check
+          (Printf.sprintf "%s %s (%s)" r.Report.id r.Report.claim r.Report.params)
+          true
+          (r.Report.status <> Report.Fail))
+      rows
+  in
+  let speed = if List.mem e.Registry.id [ "E7"; "E8" ] then `Slow else `Quick in
+  Alcotest.test_case e.Registry.id speed run
+
+let test_sweep () =
+  List.iter
+    (fun model ->
+      let s = Sweep.run ~model ~n:3 ~t:1 ~depth:1 in
+      match s.Sweep.levels with
+      | [ l0; l1 ] ->
+          check (model ^ " depth 0 is one state") true (l0.Sweep.reachable = 1);
+          check (model ^ " layers grow the space") true (l1.Sweep.reachable > 1);
+          check (model ^ " layer sizes sane") true
+            (l1.Sweep.layer_min >= 1 && l1.Sweep.layer_max >= l1.Sweep.layer_min)
+      | _ -> Alcotest.fail "expected two levels")
+    Sweep.models;
+  Alcotest.check_raises "unknown model"
+    (Invalid_argument "Sweep.run: unknown model \"nope\"") (fun () ->
+      ignore (Sweep.run ~model:"nope" ~n:3 ~t:1 ~depth:1))
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_chains () =
+  (* Ever-bivalent models: chains complete; where every process moves
+     each layer the decision deadline forces a violation, while the
+     asynchronous shared-memory chains may instead starve one process
+     forever (bivalent with nobody contradicting anyone). *)
+  List.iter
+    (fun (model, violation_forced) ->
+      let c = Chains.run ~model ~n:3 ~t:1 ~length:5 in
+      check (model ^ " complete") true c.Chains.complete;
+      check (model ^ " lines") true (List.length c.Chains.lines = 5);
+      if violation_forced then
+        check (model ^ " forced violation") true
+          (List.exists (fun l -> l.Chains.violation) c.Chains.lines))
+    [ ("mobile", true); ("sm", false); ("mp", true); ("smp", false); ("iis", true) ];
+  (* The crash model caps the chain at t states (bivalence dies at round
+     t-1). *)
+  let c = Chains.run ~model:"sync" ~n:4 ~t:2 ~length:5 in
+  check "sync capped at t" true (List.length c.Chains.lines = 2);
+  check "sync chain never violates agreement" true
+    (List.for_all (fun l -> not l.Chains.violation) c.Chains.lines)
+
+let test_export_dot () =
+  let dot = Export.con0_similarity ~n:3 ~t:1 in
+  check "graph header" true (contains dot "graph \"");
+  check "eight nodes" true (contains dot "n7 [label=");
+  check "has edges" true (contains dot " -- ");
+  let layer = Export.st_layer ~n:3 ~t:1 in
+  check "layer labels carry verdicts" true (contains layer "univalent");
+  let task = Export.task_thickness ~name:"consensus" ~n:3 in
+  check "consensus thickness has no edge" false (contains task " -- ");
+  let identity = Export.task_thickness ~name:"identity" ~n:3 in
+  check "identity thickness has edges" true (contains identity " -- ")
+
+let () =
+  Alcotest.run "layered_analysis"
+    [
+      ("registry", [ Alcotest.test_case "ids" `Quick test_registry_ids ]);
+      ( "tools",
+        [
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "chains" `Quick test_chains;
+          Alcotest.test_case "dot export" `Quick test_export_dot;
+        ] );
+      ("experiments", List.map experiment_case Registry.all);
+    ]

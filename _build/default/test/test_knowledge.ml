@@ -1,0 +1,168 @@
+(* Tests for the Kripke-structure knowledge operators, on hand-built
+   structures with known epistemic content. *)
+
+module Kripke = Layered_knowledge.Kripke
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A two-process "card" scenario: worlds are pairs (a, b) of bits held by
+   processes 1 and 2; each process sees its own bit only. *)
+type world = { a : int; b : int }
+
+let all_worlds = [ { a = 0; b = 0 }; { a = 0; b = 1 }; { a = 1; b = 0 }; { a = 1; b = 1 } ]
+let key w = Printf.sprintf "%d%d" w.a w.b
+let local_key i w = string_of_int (if i = 1 then w.a else w.b)
+let kr = Kripke.create ~n:2 ~key ~local_key all_worlds
+
+let test_basics () =
+  check_int "four worlds" 4 (Kripke.world_count kr);
+  let a_is_0 = Kripke.prop_of kr (fun w -> w.a = 0) in
+  check_int "extension" 2 (Kripke.extension_size a_is_0);
+  (* Process 1 knows its own bit... *)
+  check "1 knows a=0 at 00" true (Kripke.holds_at kr (Kripke.knows kr 1 a_is_0) { a = 0; b = 0 });
+  check "1 doesn't know a=0 at 10" false
+    (Kripke.holds_at kr (Kripke.knows kr 1 a_is_0) { a = 1; b = 0 });
+  (* ...but process 2 never knows process 1's bit. *)
+  check "2 never knows a" true
+    (Kripke.extension_size (Kripke.knows kr 2 a_is_0) = 0)
+
+let test_negation_conjunction () =
+  let a0 = Kripke.prop_of kr (fun w -> w.a = 0) in
+  let b0 = Kripke.prop_of kr (fun w -> w.b = 0) in
+  check_int "negation flips" 2 (Kripke.extension_size (Kripke.negate kr a0));
+  check_int "conjunction" 1 (Kripke.extension_size (Kripke.conj a0 b0))
+
+let test_everyone_common () =
+  let members _ = [ 1; 2 ] in
+  (* A tautology is common knowledge. *)
+  let top = Kripke.prop_of kr (fun _ -> true) in
+  check_int "C(top) everywhere" 4
+    (Kripke.extension_size (Kripke.common kr ~members top));
+  (* "a = 0 or b = 0 or (a = 1 and b = 1)" is true everywhere, hence
+     common; a contingent fact like "not both bits are 1" is true at 3
+     worlds but nobody can rule out the fourth from (0,1) or (1,0), and
+     common knowledge propagates the doubt everywhere. *)
+  let not_both = Kripke.prop_of kr (fun w -> not (w.a = 1 && w.b = 1)) in
+  check_int "E(not-both) only at 00" 1
+    (Kripke.extension_size (Kripke.everyone kr ~members not_both));
+  check_int "C(not-both) nowhere" 0
+    (Kripke.extension_size (Kripke.common kr ~members not_both))
+
+let test_indexical_members () =
+  (* With membership {1} only, E = K_1 and C = K_1-transitive closure. *)
+  let members _ = [ 1 ] in
+  let b0 = Kripke.prop_of kr (fun w -> w.b = 0) in
+  check_int "E_{1}(b=0) empty" 0 (Kripke.extension_size (Kripke.everyone kr ~members b0));
+  let a0 = Kripke.prop_of kr (fun w -> w.a = 0) in
+  check_int "C_{1}(a=0) = a=0 worlds" 2
+    (Kripke.extension_size (Kripke.common kr ~members a0))
+
+(* Belief: relativize to an aliveness predicate.  Mark process 1 "failed"
+   at the worlds where a = 1; then process 1's belief quantifies only
+   over its alive-worlds. *)
+let test_belief () =
+  let alive i w = not (i = 1 && w.a = 1) in
+  (* At (1, b) process 1 is failed everywhere it considers possible, so it
+     believes anything — including falsity ("belief is not veridical"). *)
+  let bottom = Kripke.prop_of kr (fun _ -> false) in
+  check "failed process believes bottom" true
+    (Kripke.holds_at kr (Kripke.believes kr 1 ~alive bottom) { a = 1; b = 0 });
+  (* Alive worlds behave like knowledge. *)
+  let a0 = Kripke.prop_of kr (fun w -> w.a = 0) in
+  check "alive belief = knowledge" true
+    (Kripke.holds_at kr (Kripke.believes kr 1 ~alive a0) { a = 0; b = 1 });
+  (* Common belief with everyone alive coincides with common knowledge. *)
+  let always_alive _ _ = true in
+  let not_both = Kripke.prop_of kr (fun w -> not (w.a = 1 && w.b = 1)) in
+  let members _ = [ 1; 2 ] in
+  check "CB = C when alive everywhere" true
+    (Kripke.extension_size
+       (Kripke.common_belief kr ~members ~alive:always_alive not_both)
+    = Kripke.extension_size (Kripke.common kr ~members not_both))
+
+let test_dedup () =
+  let kr2 = Kripke.create ~n:2 ~key ~local_key (all_worlds @ all_worlds) in
+  check_int "duplicate worlds collapsed" 4 (Kripke.world_count kr2)
+
+let test_indistinguishable () =
+  let cls = Kripke.indistinguishable kr 1 { a = 0; b = 0 } in
+  check_int "process 1's class has two worlds" 2 (List.length cls);
+  check "own world included" true (List.exists (fun w -> w = { a = 0; b = 0 }) cls);
+  check "same a-bit" true (List.for_all (fun w -> w.a = 0) cls)
+
+(* S5 laws on randomly generated propositions over the card structure. *)
+let prop_arb =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun bits -> Kripke.prop_of kr (fun w -> List.nth bits ((2 * w.a) + w.b)))
+        (list_repeat 4 bool))
+
+let subset p q =
+  let sp = Kripke.extension_size (Kripke.conj p q) in
+  sp = Kripke.extension_size p
+
+let prop_knowledge_veridical =
+  QCheck.Test.make ~name:"S5: K_i(p) implies p" ~count:200 prop_arb (fun p ->
+      List.for_all (fun i -> subset (Kripke.knows kr i p) p) [ 1; 2 ])
+
+let prop_positive_introspection =
+  QCheck.Test.make ~name:"S5: K_i(p) = K_i(K_i(p))" ~count:200 prop_arb (fun p ->
+      List.for_all
+        (fun i ->
+          let k = Kripke.knows kr i p in
+          Kripke.extension_size k = Kripke.extension_size (Kripke.knows kr i k)
+          && subset k (Kripke.knows kr i k))
+        [ 1; 2 ])
+
+let prop_common_strongest =
+  QCheck.Test.make ~name:"C(p) below E(p) below K_i(p) below p" ~count:200 prop_arb
+    (fun p ->
+      let members _ = [ 1; 2 ] in
+      let e = Kripke.everyone kr ~members p in
+      let c = Kripke.common kr ~members p in
+      subset c e && subset e (Kripke.knows kr 1 p) && subset e (Kripke.knows kr 2 p)
+      && subset c p)
+
+let prop_knowledge_monotone =
+  QCheck.Test.make ~name:"K_i monotone over conjunction" ~count:200
+    (QCheck.pair prop_arb prop_arb) (fun (p, q) ->
+      List.for_all
+        (fun i ->
+          subset
+            (Kripke.knows kr i (Kripke.conj p q))
+            (Kripke.conj (Kripke.knows kr i p) (Kripke.knows kr i q)))
+        [ 1; 2 ])
+
+let prop_belief_weaker =
+  QCheck.Test.make ~name:"belief contains knowledge (alive subsets worlds)" ~count:200
+    prop_arb (fun p ->
+      let alive i w = not (i = 1 && w.a = 1) in
+      List.for_all
+        (fun i -> subset (Kripke.knows kr i p) (Kripke.believes kr i ~alive p))
+        [ 1; 2 ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "layered_knowledge"
+    [
+      ( "kripke",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "negation/conjunction" `Quick test_negation_conjunction;
+          Alcotest.test_case "everyone/common" `Quick test_everyone_common;
+          Alcotest.test_case "indexical members" `Quick test_indexical_members;
+          Alcotest.test_case "belief" `Quick test_belief;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "indistinguishable" `Quick test_indistinguishable;
+        ] );
+      ( "s5-laws",
+        [
+          qt prop_knowledge_veridical;
+          qt prop_positive_introspection;
+          qt prop_common_strongest;
+          qt prop_knowledge_monotone;
+          qt prop_belief_weaker;
+        ] );
+    ]
