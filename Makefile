@@ -1,0 +1,17 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: build test bench-smoke fmt
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Run every bench kernel exactly once (no Bechamel measurement) so bench
+# code cannot bit-rot unexercised.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+fmt:
+	@dune fmt || echo "fmt skipped (ocamlformat not available)"

@@ -5,14 +5,39 @@
    lib/analysis (see EXPERIMENTS.md).  Accordingly there is one Bechamel
    test per experiment kernel: the computation that regenerates the
    corresponding claim.  A few ablation benches (cache effectiveness,
-   layer growth across substrates) quantify the design choices called out
-   in DESIGN.md. *)
+   layer growth across substrates, serial vs multicore frontier
+   exploration) quantify the design choices called out in DESIGN.md.
+
+   Run with --smoke to execute every kernel exactly once (no Bechamel):
+   a cheap liveness check that keeps bench code from bit-rotting. *)
 
 open Bechamel
 open Toolkit
 open Layered_core
+module Pool = Layered_runtime.Pool
+module Frontier = Layered_runtime.Frontier
 
 let values = [ Value.zero; Value.one ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared instantiation helpers *)
+
+let sync_engine protocol =
+  let module P = (val protocol : Layered_sync.Protocol.S) in
+  (module Layered_sync.Engine.Make (P) : Layered_sync.Engine.S)
+
+(* The FloodSet-driven sync engine that most kernels share. *)
+let make_sync_engine ~t = sync_engine (Layered_protocols.Sync_floodset.make ~t)
+
+(* Domain pools for the multicore ablations, spawned on first use and
+   shared across Bechamel runs (the pool is the fixture, parallel_map is
+   the measured operation). *)
+let pool_jobs = [ 1; 2; 4 ]
+let pools = lazy (List.map (fun j -> (j, Pool.create ~jobs:j ())) pool_jobs)
+let pool jobs = List.assoc jobs (Lazy.force pools)
+
+let shutdown_pools () =
+  if Lazy.is_val pools then List.iter (fun (_, p) -> Pool.shutdown p) (Lazy.force pools)
 
 (* ------------------------------------------------------------------ *)
 (* Kernels, one per experiment *)
@@ -20,8 +45,7 @@ let values = [ Value.zero; Value.one ]
 (* E1: classify every initial state of the (3,1) S^t submodel with a cold
    valence engine. *)
 let e1_classify_initials () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
   let v = Valence.create (E.valence_spec ~succ) in
   List.iter
@@ -30,21 +54,18 @@ let e1_classify_initials () =
 
 (* E2: similarity connectivity of Con_0 (n = 4). *)
 let e2_con0_similarity () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   ignore (Connectivity.connected ~rel:E.similar (E.initial_states ~n:4 ~values))
 
 (* E3: expand one S1 layer of the mobile model (n = 4). *)
 let e3_s1_layer =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
   fun () -> ignore (E.s1 ~record_failures:false x)
 
 (* E3: valence connectivity of that layer, cold engine. *)
 let e3_layer_valence () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.s1 ~record_failures:false in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
   let v = Valence.create (E.valence_spec ~succ) in
@@ -52,8 +73,7 @@ let e3_layer_valence () =
 
 (* E4: the full ever-bivalent chain construction in M^mf. *)
 let e4_bivalent_chain () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.s1 ~record_failures:false in
   let v = Valence.create (E.valence_spec ~succ) in
   let classify x = Valence.classify v ~depth:3 x in
@@ -117,8 +137,7 @@ let e7_verify_floodset () =
 
 (* E7: the Lemma 6.1 chain plus the Lemma 6.2 round-t scan, (4,2). *)
 let e7_lower_bound_chain () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:2) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:2) in
   let succ = E.st ~t:2 in
   let v = Valence.create (E.valence_spec ~succ) in
   let classify x = Valence.classify v ~depth:4 x in
@@ -132,8 +151,7 @@ let e7_lower_bound_chain () =
 
 (* E8: the clean-round univalence sweep, (3,1). *)
 let e8_clean_round () =
-  let module P = (val Layered_protocols.Sync_early.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val sync_engine (Layered_protocols.Sync_early.make ~t:1)) in
   let succ = E.st ~t:1 in
   let v = Valence.create (E.valence_spec ~succ) in
   let spec = { Explore.succ; key = E.key } in
@@ -161,8 +179,7 @@ let e9_thick_kset () =
 
 (* E10: level-1 similarity diameter of the (4,1) S^t image. *)
 let e10_diameter () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
   let layers = List.concat_map succ (E.initial_states ~n:4 ~values) in
   let seen = Hashtbl.create 256 in
@@ -188,8 +205,7 @@ let e11_kset_explore () =
 
 (* E12: one covering-valence classification over three-valued inputs. *)
 let e12_covering_classify () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
   let all = Pid.all 3 in
   let unanimous v =
@@ -227,13 +243,14 @@ let e13_iis_layer =
 
 (* E14: a full-information valence classification (views, not digests). *)
 let e14_full_info_classify () =
-  let module P = (val Layered_protocols.Full_info.sync ~horizon:2) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val sync_engine (Layered_protocols.Full_info.sync ~horizon:2)) in
   let succ = E.s1 ~record_failures:false in
   let v = Valence.create (E.valence_spec ~succ) in
   ignore (Valence.classify v ~depth:3 (E.initial ~inputs:[| 0; 1; 1 |]))
 
-(* E15: build the Kripke structure and one common-belief fixpoint. *)
+(* E15: build the Kripke structure and one common-belief fixpoint.
+   (Needs the protocol module P for per-process local keys, so it cannot
+   use the packed make_sync_engine helper.) *)
 let e15_common_belief () =
   let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
   let module E = Layered_sync.Engine.Make (P) in
@@ -274,8 +291,7 @@ let e16_clean_verify () =
 
 (* E17: expand one two-omitter mobile layer. *)
 let e17_multi_layer =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
   fun () -> ignore (E.s_multi ~omitters:2 x)
 
@@ -291,16 +307,14 @@ let e18_omission_verify () =
 
 (* Valence memoisation: cold engine per call vs shared engine. *)
 let ablation_valence_cold () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
   let v = Valence.create (E.valence_spec ~succ) in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
   ignore (Valence.classify v ~depth:3 x)
 
 let ablation_valence_warm =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
   let v = Valence.create (E.valence_spec ~succ) in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
@@ -309,8 +323,7 @@ let ablation_valence_warm =
 
 (* Layer growth: states reachable in two layers, per substrate. *)
 let ablation_growth_sync () =
-  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
-  let module E = Layered_sync.Engine.Make (P) in
+  let module E = (val make_sync_engine ~t:1) in
   let spec = { Explore.succ = E.st ~t:1; key = E.key } in
   ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
 
@@ -326,42 +339,86 @@ let ablation_growth_mp () =
   let spec = { Explore.succ = E.sper; key = E.key } in
   ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
 
+(* Multicore frontier exploration: the serial Explore BFS vs the pooled
+   level-synchronous Frontier at 1/2/4 domains, same (4,1) S^t image. *)
+let ablation_frontier_serial =
+  let module E = (val make_sync_engine ~t:1) in
+  let spec = { Explore.succ = E.st ~t:1; key = E.key } in
+  let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
+  fun () -> ignore (Explore.count_reachable spec ~depth:2 x)
+
+let ablation_frontier jobs =
+  let module E = (val make_sync_engine ~t:1) in
+  let succ = E.st ~t:1 in
+  let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
+  fun () -> ignore (Frontier.count_reachable (pool jobs) ~succ ~key:E.key ~depth:2 x)
+
+(* Multicore E1: classify every (3,1) initial state, one cold valence
+   engine per state, fanned across the pool. *)
+let ablation_e1_pool jobs =
+  let module E = (val make_sync_engine ~t:1) in
+  let succ = E.st ~t:1 in
+  let initials = E.initial_states ~n:3 ~values in
+  fun () ->
+    Pool.parallel_iter (pool jobs)
+      (fun x ->
+        let v = Valence.create (E.valence_spec ~succ) in
+        ignore (Valence.classify v ~depth:3 x))
+      initials
+
 (* ------------------------------------------------------------------ *)
 (* Harness *)
 
-let tests =
+let kernels =
   [
-    Test.make ~name:"E1/classify-initials" (Staged.stage e1_classify_initials);
-    Test.make ~name:"E2/con0-similarity" (Staged.stage e2_con0_similarity);
-    Test.make ~name:"E3/s1-layer" (Staged.stage e3_s1_layer);
-    Test.make ~name:"E3/layer-valence" (Staged.stage e3_layer_valence);
-    Test.make ~name:"E4/bivalent-chain" (Staged.stage e4_bivalent_chain);
-    Test.make ~name:"E5/srw-layer" (Staged.stage e5_srw_layer);
-    Test.make ~name:"E5/bridge" (Staged.stage e5_bridge);
-    Test.make ~name:"E6/sper-layer" (Staged.stage e6_sper_layer);
-    Test.make ~name:"E6/diamond" (Staged.stage e6_diamond);
-    Test.make ~name:"E7/verify-floodset" (Staged.stage e7_verify_floodset);
-    Test.make ~name:"E7/lower-bound-chain" (Staged.stage e7_lower_bound_chain);
-    Test.make ~name:"E8/clean-round" (Staged.stage e8_clean_round);
-    Test.make ~name:"E9/thick-consensus" (Staged.stage e9_thick_consensus);
-    Test.make ~name:"E9/thick-kset" (Staged.stage e9_thick_kset);
-    Test.make ~name:"E10/diameter" (Staged.stage e10_diameter);
-    Test.make ~name:"E11/kset-explore" (Staged.stage e11_kset_explore);
-    Test.make ~name:"E12/covering-classify" (Staged.stage e12_covering_classify);
-    Test.make ~name:"E13/iis-layer" (Staged.stage e13_iis_layer);
-    Test.make ~name:"E14/full-info-classify" (Staged.stage e14_full_info_classify);
-    Test.make ~name:"E15/common-belief" (Staged.stage e15_common_belief);
-    Test.make ~name:"E16/clean-verify" (Staged.stage e16_clean_verify);
-    Test.make ~name:"E17/multi-layer" (Staged.stage e17_multi_layer);
-    Test.make ~name:"E18/omission-verify" (Staged.stage e18_omission_verify);
-    Test.make ~name:"ablation/valence-cold" (Staged.stage ablation_valence_cold);
-    Test.make ~name:"ablation/valence-warm" (Staged.stage ablation_valence_warm);
-    Test.make ~name:"ablation/growth-sync" (Staged.stage ablation_growth_sync);
-    Test.make ~name:"ablation/growth-sm" (Staged.stage ablation_growth_sm);
-    Test.make ~name:"ablation/growth-mp" (Staged.stage ablation_growth_mp);
+    ("E1/classify-initials", e1_classify_initials);
+    ("E2/con0-similarity", e2_con0_similarity);
+    ("E3/s1-layer", e3_s1_layer);
+    ("E3/layer-valence", e3_layer_valence);
+    ("E4/bivalent-chain", e4_bivalent_chain);
+    ("E5/srw-layer", e5_srw_layer);
+    ("E5/bridge", e5_bridge);
+    ("E6/sper-layer", e6_sper_layer);
+    ("E6/diamond", e6_diamond);
+    ("E7/verify-floodset", e7_verify_floodset);
+    ("E7/lower-bound-chain", e7_lower_bound_chain);
+    ("E8/clean-round", e8_clean_round);
+    ("E9/thick-consensus", e9_thick_consensus);
+    ("E9/thick-kset", e9_thick_kset);
+    ("E10/diameter", e10_diameter);
+    ("E11/kset-explore", e11_kset_explore);
+    ("E12/covering-classify", e12_covering_classify);
+    ("E13/iis-layer", e13_iis_layer);
+    ("E14/full-info-classify", e14_full_info_classify);
+    ("E15/common-belief", e15_common_belief);
+    ("E16/clean-verify", e16_clean_verify);
+    ("E17/multi-layer", e17_multi_layer);
+    ("E18/omission-verify", e18_omission_verify);
+    ("ablation/valence-cold", ablation_valence_cold);
+    ("ablation/valence-warm", ablation_valence_warm);
+    ("ablation/growth-sync", ablation_growth_sync);
+    ("ablation/growth-sm", ablation_growth_sm);
+    ("ablation/growth-mp", ablation_growth_mp);
+    ("ablation/frontier-serial", ablation_frontier_serial);
+    ("ablation/frontier-jobs1", ablation_frontier 1);
+    ("ablation/frontier-jobs2", ablation_frontier 2);
+    ("ablation/frontier-jobs4", ablation_frontier 4);
+    ("ablation/e1-pool-jobs1", ablation_e1_pool 1);
+    ("ablation/e1-pool-jobs2", ablation_e1_pool 2);
+    ("ablation/e1-pool-jobs4", ablation_e1_pool 4);
   ]
 
-let () =
+let run_smoke () =
+  List.iter
+    (fun (name, fn) ->
+      Printf.printf "smoke %-32s%!" name;
+      fn ();
+      Printf.printf "  ok\n%!")
+    kernels;
+  Printf.printf "all %d bench kernels ran\n" (List.length kernels)
+
+let run_bechamel () =
+  let tests = List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) kernels in
   let grouped = Test.make_grouped ~name:"layered" tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -385,3 +442,8 @@ let () =
   List.iter
     (fun (name, ns) -> Format.printf "%-32s  %14.1f@." name ns)
     rows
+
+let () =
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  Fun.protect ~finally:shutdown_pools (fun () ->
+      if smoke then run_smoke () else run_bechamel ())

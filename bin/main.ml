@@ -15,12 +15,18 @@
 
 open Layered_core
 open Layered_analysis
+module Pool = Layered_runtime.Pool
+module Stats = Layered_runtime.Stats
 
 let print_rows ~markdown rows =
   if markdown then print_string (Report.to_markdown rows)
   else Format.printf "%a" Report.pp_table rows
 
-let run_experiments ids markdown =
+(* Counter snapshots go to stderr so that --stats never perturbs the
+   (byte-identical across job counts) stdout streams. *)
+let print_stats stats = if stats then Format.eprintf "%a" Stats.pp (Stats.snapshot ())
+
+let run_experiments ids markdown jobs stats =
   let experiments =
     match ids with
     | [] -> Registry.all
@@ -32,16 +38,20 @@ let run_experiments ids markdown =
             | None -> Fmt.failwith "unknown experiment %s (try `layered list`)" id)
           ids
   in
+  Stats.reset ();
+  let results =
+    Pool.with_pool ~jobs (fun pool -> Registry.run_all ~pool experiments)
+  in
   let rows =
     List.concat_map
-      (fun (e : Registry.experiment) ->
+      (fun ((e : Registry.experiment), rows) ->
         Format.printf "== %s: %s@." e.id e.title;
-        let rows = e.run () in
         print_rows ~markdown rows;
         Format.printf "@.";
         rows)
-      experiments
+      results
   in
+  print_stats stats;
   if Report.all_pass rows then begin
     Format.printf "All %d checks passed.@." (List.length rows);
     0
@@ -56,6 +66,26 @@ open Cmdliner
 let markdown =
   Arg.(value & flag & info [ "markdown" ] ~doc:"Print result tables as markdown.")
 
+let jobs_arg =
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value & opt positive_int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for parallel execution (1 = serial; results are identical).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the runtime counter snapshot to stderr when done.")
+
 let list_cmd =
   let doc = "List available experiments." in
   let f () =
@@ -69,11 +99,13 @@ let list_cmd =
 let run_cmd =
   let doc = "Run selected experiments (by id, e.g. E7)." in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ ids $ markdown)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_experiments $ ids $ markdown $ jobs_arg $ stats_arg)
 
 let all_cmd =
   let doc = "Run every experiment." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run_experiments $ const [] $ markdown)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run_experiments $ const [] $ markdown $ jobs_arg $ stats_arg)
 
 let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
 let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Resilience / horizon.")
@@ -152,11 +184,15 @@ let layers_cmd =
   let depth =
     Arg.(value & opt int 2 & info [ "d"; "depth" ] ~docv:"D" ~doc:"Layers to explore.")
   in
-  let f model n t depth =
-    Format.printf "%a" Sweep.pp (Sweep.run ~model ~n ~t ~depth);
+  let f model n t depth jobs stats =
+    Stats.reset ();
+    let sweep = Pool.with_pool ~jobs (fun pool -> Sweep.run ~pool ~model ~n ~t ~depth ()) in
+    Format.printf "%a" Sweep.pp sweep;
+    print_stats stats;
     0
   in
-  Cmd.v (Cmd.info "layers" ~doc) Term.(const f $ model $ n_arg $ t_arg $ depth)
+  Cmd.v (Cmd.info "layers" ~doc)
+    Term.(const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg)
 
 let chain_cmd =
   let doc =

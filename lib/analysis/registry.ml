@@ -110,3 +110,10 @@ let all =
 
 let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
+
+let run_all ?pool experiments =
+  let run e = (e, e.run ()) in
+  match pool with
+  | Some pool when Layered_runtime.Pool.jobs pool > 1 ->
+      Layered_runtime.Pool.parallel_map pool run experiments
+  | Some _ | None -> List.map run experiments

@@ -8,3 +8,14 @@ type experiment = {
 
 val all : experiment list
 val find : string -> experiment option
+
+(** [run_all ?pool experiments] runs each experiment and pairs it with
+    its report rows, preserving list order.  With a [pool] of more than
+    one job the experiments execute in parallel across the pool's
+    domains (each driver builds its own engines and caches, so they are
+    mutually independent); results are stitched back deterministically,
+    so output is identical to the serial run. *)
+val run_all :
+  ?pool:Layered_runtime.Pool.t ->
+  experiment list ->
+  (experiment * Layered_core.Report.row list) list

@@ -8,34 +8,39 @@ let models = [ "mobile"; "sync"; "sm"; "mp"; "smp"; "iis" ]
 (* A mixed input vector: process 1 gets 0, the rest 1. *)
 let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.one)
 
-let sweep_generic (type a) ~(succ : a -> a list) ~(key : a -> string) ~(x0 : a) ~depth =
-  let spec = { Explore.succ; key } in
+(* A single level-synchronous BFS yields every per-depth figure at once:
+   the boundary at depth d is exactly level d, and the reachable count at
+   depth d is the cumulative level size.  (The seed recomputed a full
+   [Explore.reachable] per depth — O(depth) redundant sweeps.) *)
+let sweep_generic (type a) ~pool ~(succ : a -> a list) ~(key : a -> string) ~(x0 : a)
+    ~depth =
+  let levels = Layered_runtime.Frontier.levels pool ~succ ~key ~depth x0 in
+  let level d = match List.nth_opt levels d with Some l -> l | None -> [] in
+  let reachable = ref 0 in
   List.map
     (fun d ->
-      let states = Explore.reachable spec ~depth:d x0 in
-      let boundary =
-        (* States first reached at depth d: approximate by all reachable
-           states at depth d minus depth d-1. *)
-        if d = 0 then states
-        else begin
-          let prev = Hashtbl.create 64 in
-          List.iter (fun x -> Hashtbl.replace prev (key x) ())
-            (Explore.reachable spec ~depth:(d - 1) x0);
-          List.filter (fun x -> not (Hashtbl.mem prev (key x))) states
-        end
+      let boundary = level d in
+      reachable := !reachable + List.length boundary;
+      let sizes =
+        Layered_runtime.Pool.parallel_map pool (fun x -> List.length (succ x)) boundary
       in
-      let sizes = List.map (fun x -> List.length (succ x)) boundary in
       let layer_min = List.fold_left min max_int sizes in
       let layer_max = List.fold_left max 0 sizes in
       {
         depth = d;
-        reachable = List.length states;
+        reachable = !reachable;
         layer_min = (if sizes = [] then 0 else layer_min);
         layer_max;
       })
     (List.init (depth + 1) Fun.id)
 
-let run ~model ~n ~t ~depth =
+(* Serial pool for call sites that don't thread one through; spawns no
+   domains. *)
+let serial_pool = lazy (Layered_runtime.Pool.create ~jobs:1 ())
+
+let run ?pool ~model ~n ~t ~depth () =
+  let pool = match pool with Some p -> p | None -> Lazy.force serial_pool in
+  let sweep_generic ~succ ~key ~x0 ~depth = sweep_generic ~pool ~succ ~key ~x0 ~depth in
   let levels =
     match model with
     | "mobile" ->

@@ -15,10 +15,14 @@ type t = { model : string; n : int; levels : level list }
     ["sm"], ["mp"], ["smp"] (synchronic message passing), ["iis"]. *)
 val models : string list
 
-(** [run ~model ~n ~t ~depth] sweeps the given substrate from one mixed
-    initial state.  [t] is used by ["sync"] (resilience) and as the
-    decision horizon elsewhere.  Raises [Invalid_argument] on an unknown
-    model name. *)
-val run : model:string -> n:int -> t:int -> depth:int -> t
+(** [run ?pool ~model ~n ~t ~depth ()] sweeps the given substrate from
+    one mixed initial state.  [t] is used by ["sync"] (resilience) and
+    as the decision horizon elsewhere.  With a [pool] of more than one
+    job, each level's frontier is expanded in parallel
+    ({!Layered_runtime.Frontier}); results are deterministic and
+    independent of the job count.  Raises [Invalid_argument] on an
+    unknown model name. *)
+val run :
+  ?pool:Layered_runtime.Pool.t -> model:string -> n:int -> t:int -> depth:int -> unit -> t
 
 val pp : Format.formatter -> t -> unit

@@ -8,7 +8,8 @@ let bfs spec ~depth ~visit ~stop x =
   let found = ref None in
   let push d y =
     let k = spec.key y in
-    if not (Hashtbl.mem seen k) then begin
+    if Hashtbl.mem seen k then Layered_runtime.Stats.add_dedup_hits 1
+    else begin
       Hashtbl.add seen k ();
       Queue.add (d, y) queue
     end
@@ -17,6 +18,7 @@ let bfs spec ~depth ~visit ~stop x =
   (try
      while not (Queue.is_empty queue) do
        let d, y = Queue.pop queue in
+       Layered_runtime.Stats.add_states_expanded 1;
        visit y;
        (match stop y with
        | Some _ as r ->

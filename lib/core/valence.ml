@@ -37,8 +37,11 @@ let rec compute t ~depth x =
   else begin
     let k = spec.key x in
     match Hashtbl.find_opt t.cache k with
-    | Some (d, res) when (res.complete && d <= depth) || d = depth -> res
+    | Some (d, res) when (res.complete && d <= depth) || d = depth ->
+        Layered_runtime.Stats.record_valence_lookup ~hit:true;
+        res
     | Some _ | None ->
+        Layered_runtime.Stats.record_valence_lookup ~hit:false;
         let children = spec.succ x in
         let res =
           List.fold_left

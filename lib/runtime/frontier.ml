@@ -1,0 +1,104 @@
+(* Key-sharded visited table.  An entry's value is either a provisional
+   minimum candidate index for the level being built (>= 0) or the
+   committed marker -1 (state claimed at this or an earlier level). *)
+module Shards = struct
+  type t = {
+    tables : (string, int) Hashtbl.t array;
+    mutexes : Mutex.t array;
+    mask : int;
+  }
+
+  let create ~shards =
+    let rec pow2 m = if m >= shards then m else pow2 (m * 2) in
+    let m = pow2 1 in
+    {
+      tables = Array.init m (fun _ -> Hashtbl.create 64);
+      mutexes = Array.init m (fun _ -> Mutex.create ());
+      mask = m - 1;
+    }
+
+  let with_shard t k f =
+    let i = Hashtbl.hash k land t.mask in
+    let m = t.mutexes.(i) in
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f t.tables.(i))
+
+  let commit t k = with_shard t k (fun tbl -> Hashtbl.replace tbl k (-1))
+
+  (* Pass A: propose candidate [idx] for key [k]; the minimum index wins.
+     Committed keys are never displaced. *)
+  let propose t k idx =
+    with_shard t k (fun tbl ->
+        match Hashtbl.find_opt tbl k with
+        | None -> Hashtbl.replace tbl k idx
+        | Some v when v >= 0 && idx < v -> Hashtbl.replace tbl k idx
+        | Some _ -> ())
+
+  (* Pass B: true iff [idx] is the recorded winner for [k]; commits the
+     key on success.  Sound only after every proposal of the level has
+     settled (the passes are separated by a pool barrier). *)
+  let claim t k idx =
+    with_shard t k (fun tbl ->
+        match Hashtbl.find_opt tbl k with
+        | Some v when v = idx ->
+            Hashtbl.replace tbl k (-1);
+            true
+        | _ -> false)
+end
+
+let default_shards = 64
+
+(* Drive the level-synchronous BFS, calling [f] on each level (the root
+   singleton included) as it is completed. *)
+let iter_levels pool ~succ ~key ~depth ~f x0 =
+  let tbl = Shards.create ~shards:default_shards in
+  Shards.commit tbl (key x0);
+  let expand frontier =
+    Stats.add_states_expanded (List.length frontier);
+    let candidates = List.concat (Pool.parallel_map pool succ frontier) in
+    let cands = Array.of_list candidates in
+    let keys = Array.of_list (Pool.parallel_map pool key candidates) in
+    let idxs = List.init (Array.length cands) Fun.id in
+    Pool.parallel_iter pool (fun i -> Shards.propose tbl keys.(i) i) idxs;
+    let winners =
+      Pool.parallel_map pool
+        (fun i -> if Shards.claim tbl keys.(i) i then Some cands.(i) else None)
+        idxs
+    in
+    let next = List.filter_map Fun.id winners in
+    Stats.add_dedup_hits (Array.length cands - List.length next);
+    next
+  in
+  f [ x0 ];
+  let rec go d frontier =
+    if d < depth && frontier <> [] then
+      match expand frontier with
+      | [] -> ()
+      | next ->
+          f next;
+          go (d + 1) next
+  in
+  go 0 [ x0 ]
+
+let levels pool ~succ ~key ~depth x0 =
+  let acc = ref [] in
+  iter_levels pool ~succ ~key ~depth ~f:(fun level -> acc := level :: !acc) x0;
+  List.rev !acc
+
+let reachable pool ~succ ~key ~depth x0 = List.concat (levels pool ~succ ~key ~depth x0)
+
+let count_reachable pool ~succ ~key ~depth x0 =
+  let n = ref 0 in
+  iter_levels pool ~succ ~key ~depth ~f:(fun level -> n := !n + List.length level) x0;
+  !n
+
+exception Found
+
+let exists_reachable pool ~succ ~key ~depth ~pred x0 =
+  let check level =
+    if List.exists Fun.id (Pool.parallel_map pool pred level) then raise_notrace Found
+  in
+  try
+    iter_levels pool ~succ ~key ~depth ~f:check x0;
+    false
+  with Found -> true

@@ -1,0 +1,113 @@
+type worker = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+}
+
+type t = {
+  size : int;
+  workers : worker array;  (* [size - 1] of them; slot p runs on workers.(p - 1) *)
+  stop : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let jobs t = t.size
+
+(* Workers sleep on their own condition variable and drain their queue
+   before honouring [stop], so shutdown never drops submitted work. *)
+let rec worker_loop pool w =
+  Mutex.lock w.mutex;
+  while Queue.is_empty w.queue && not (Atomic.get pool.stop) do
+    Condition.wait w.cond w.mutex
+  done;
+  match Queue.take_opt w.queue with
+  | None -> Mutex.unlock w.mutex
+  | Some task ->
+      Mutex.unlock w.mutex;
+      task ();
+      worker_loop pool w
+
+let create ?jobs () =
+  let size =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j -> if j < 1 then invalid_arg "Pool.create: jobs must be >= 1" else j
+  in
+  let workers =
+    Array.init (size - 1) (fun _ ->
+        { queue = Queue.create (); mutex = Mutex.create (); cond = Condition.create () })
+  in
+  let pool = { size; workers; stop = Atomic.make false; domains = [] } in
+  pool.domains <-
+    Array.to_list (Array.map (fun w -> Domain.spawn (fun () -> worker_loop pool w)) workers);
+  pool
+
+let submit w task =
+  Mutex.lock w.mutex;
+  Queue.add task w.queue;
+  Condition.signal w.cond;
+  Mutex.unlock w.mutex
+
+let shutdown pool =
+  Atomic.set pool.stop true;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.mutex;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex)
+    pool.workers;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let parallel_map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] ->
+      Stats.record_task ~slot:0;
+      [ f x ]
+  | xs when pool.size = 1 ->
+      Stats.record_task ~slot:0;
+      List.map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let out = Array.make n None in
+      let parts = min pool.size n in
+      let remaining = Atomic.make parts in
+      let first_exn = Atomic.make None in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      (* Slot [p] owns the index range [bound p, bound (p+1)). *)
+      let bound p = p * n / parts in
+      let run_chunk p =
+        (try
+           for i = bound p to bound (p + 1) - 1 do
+             out.(i) <- Some (f input.(i))
+           done
+         with e -> ignore (Atomic.compare_and_set first_exn None (Some e)));
+        Stats.record_task ~slot:p;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          (* Last chunk: wake the caller, who may already be waiting. *)
+          Mutex.lock done_mutex;
+          Condition.broadcast done_cond;
+          Mutex.unlock done_mutex
+        end
+      in
+      for p = 1 to parts - 1 do
+        submit pool.workers.(p - 1) (fun () -> run_chunk p)
+      done;
+      run_chunk 0;
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      (match Atomic.get first_exn with Some e -> raise e | None -> ());
+      Array.to_list (Array.map (function Some y -> y | None -> assert false) out)
+
+let parallel_iter pool f xs = ignore (parallel_map pool (fun x -> f x) xs)

@@ -1,0 +1,46 @@
+(** A fixed-size pool of worker domains with order-preserving parallel
+    combinators over chunked work lists.
+
+    The pool spawns [jobs - 1] worker domains at {!create} time; the
+    calling domain is the pool's slot 0 and always participates in the
+    work, so a pool of [jobs = n] runs work [n]-way parallel.  With
+    [jobs = 1] no domains are spawned and every combinator degrades to
+    its serial [List] counterpart — call sites need no special-casing.
+
+    Work lists are split into at most [jobs] contiguous chunks, one per
+    participating slot, so results can be stitched back by index:
+    {!parallel_map} is deterministic and agrees with [List.map]
+    regardless of scheduling.
+
+    Combinators must not be called from inside a task running on the
+    same pool (chunks are pinned to worker queues, so a nested call can
+    wait on the very slot it occupies). *)
+
+type t
+
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core to
+    the caller's other work by default. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] defaults
+    to {!default_jobs}; raises [Invalid_argument] if [jobs < 1]. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [parallel_map t f xs] = [List.map f xs], computed on up to
+    [jobs t] domains.  If one or more applications of [f] raise, the
+    first exception observed is re-raised on the calling domain after
+    every chunk has settled — the pool never deadlocks and remains
+    usable. *)
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+
+(** Join all worker domains.  Idempotent.  The pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
+    exit (normal or exceptional). *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

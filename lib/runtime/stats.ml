@@ -1,0 +1,67 @@
+type snapshot = {
+  states_expanded : int;
+  dedup_hits : int;
+  valence_cache_hits : int;
+  valence_cache_misses : int;
+  tasks_executed : int;
+  domains_utilised : int;
+}
+
+let states_expanded = Atomic.make 0
+let dedup_hits = Atomic.make 0
+let valence_cache_hits = Atomic.make 0
+let valence_cache_misses = Atomic.make 0
+let tasks_executed = Atomic.make 0
+
+(* One bit per pool slot; popcount = "domains utilised". *)
+let domain_mask = Atomic.make 0
+
+let add counter n = if n <> 0 then ignore (Atomic.fetch_and_add counter n)
+let add_states_expanded n = add states_expanded n
+let add_dedup_hits n = add dedup_hits n
+
+let record_valence_lookup ~hit =
+  add (if hit then valence_cache_hits else valence_cache_misses) 1
+
+let rec set_bit bit =
+  let cur = Atomic.get domain_mask in
+  let next = cur lor bit in
+  if cur <> next && not (Atomic.compare_and_set domain_mask cur next) then set_bit bit
+
+let record_task ~slot =
+  add tasks_executed 1;
+  set_bit (1 lsl min slot 62)
+
+let popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+let snapshot () =
+  {
+    states_expanded = Atomic.get states_expanded;
+    dedup_hits = Atomic.get dedup_hits;
+    valence_cache_hits = Atomic.get valence_cache_hits;
+    valence_cache_misses = Atomic.get valence_cache_misses;
+    tasks_executed = Atomic.get tasks_executed;
+    domains_utilised = popcount (Atomic.get domain_mask);
+  }
+
+let reset () =
+  Atomic.set states_expanded 0;
+  Atomic.set dedup_hits 0;
+  Atomic.set valence_cache_hits 0;
+  Atomic.set valence_cache_misses 0;
+  Atomic.set tasks_executed 0;
+  Atomic.set domain_mask 0
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>runtime stats:@,\
+    \  states expanded       %d@,\
+    \  dedup hits            %d@,\
+    \  valence cache hits    %d@,\
+    \  valence cache misses  %d@,\
+    \  tasks executed        %d@,\
+    \  domains utilised      %d@]@."
+    s.states_expanded s.dedup_hits s.valence_cache_hits s.valence_cache_misses
+    s.tasks_executed s.domains_utilised

@@ -1,0 +1,37 @@
+(** Process-wide instrumentation counters for the multicore runtime.
+
+    All counters are [Atomic]-backed and may be bumped from any domain.
+    They are cumulative across the whole process: callers that want
+    per-phase numbers should [reset] first and [snapshot] after.  The
+    counters observe, never influence, execution — enabling them costs a
+    handful of atomic adds per explored state. *)
+
+type snapshot = {
+  states_expanded : int;
+      (** states whose successor list was computed (BFS interior nodes) *)
+  dedup_hits : int;
+      (** candidate states discarded because their key was already seen *)
+  valence_cache_hits : int;  (** memo-table hits in {!Layered_core.Valence} *)
+  valence_cache_misses : int;  (** memo-table misses (entry (re)computed) *)
+  tasks_executed : int;  (** work chunks executed by {!Pool.parallel_map} *)
+  domains_utilised : int;
+      (** distinct pool slots (caller = slot 0, workers = 1..) that
+          executed at least one chunk since the last [reset] *)
+}
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+val pp : Format.formatter -> snapshot -> unit
+
+(** {1 Incrementors}
+
+    Cheap and lock-free; safe from any domain.  No-ops when the delta is
+    zero. *)
+
+val add_states_expanded : int -> unit
+val add_dedup_hits : int -> unit
+val record_valence_lookup : hit:bool -> unit
+
+(** [record_task ~slot] counts one executed chunk and marks pool slot
+    [slot] as utilised (slots >= 62 share the last bit). *)
+val record_task : slot:int -> unit

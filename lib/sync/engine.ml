@@ -1,7 +1,10 @@
 open Layered_core
 
+module type S = Engine_intf.S
+
 module Make (P : Protocol.S) = struct
-  type state = { round : int; locals : P.local array; failed : bool array }
+  type local = P.local
+  type state = { round : int; locals : local array; failed : bool array }
   type omission = { sender : Pid.t; blocked : Pid.t list }
   type action = omission list
 

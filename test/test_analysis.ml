@@ -34,7 +34,7 @@ let experiment_case (e : Registry.experiment) =
 let test_sweep () =
   List.iter
     (fun model ->
-      let s = Sweep.run ~model ~n:3 ~t:1 ~depth:1 in
+      let s = Sweep.run ~model ~n:3 ~t:1 ~depth:1 () in
       match s.Sweep.levels with
       | [ l0; l1 ] ->
           check (model ^ " depth 0 is one state") true (l0.Sweep.reachable = 1);
@@ -45,7 +45,7 @@ let test_sweep () =
     Sweep.models;
   Alcotest.check_raises "unknown model"
     (Invalid_argument "Sweep.run: unknown model \"nope\"") (fun () ->
-      ignore (Sweep.run ~model:"nope" ~n:3 ~t:1 ~depth:1))
+      ignore (Sweep.run ~model:"nope" ~n:3 ~t:1 ~depth:1 ()))
 
 let contains haystack needle =
   let nl = String.length needle and hl = String.length haystack in

@@ -1,0 +1,198 @@
+(* Unit tests for layered_runtime: domain pool, parallel frontier
+   exploration, instrumented counters. *)
+
+open Layered_core
+open Layered_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_parallel_map_order () =
+  let xs = List.init 10_000 Fun.id in
+  let f x = (x * x) - (3 * x) + 1 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "equals List.map at jobs=%d" jobs)
+            expect (Pool.parallel_map pool f xs)))
+    [ 1; 2; 4 ]
+
+let test_parallel_map_edge_cases () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.parallel_map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.parallel_map pool (fun x -> x * x) [ 3 ]);
+      (* fewer elements than jobs *)
+      Alcotest.(check (list int)) "short list" [ 2; 4 ] (Pool.parallel_map pool (fun x -> 2 * x) [ 1; 2 ]));
+  Alcotest.check_raises "jobs < 1 rejected" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0 ()))
+
+let test_parallel_iter () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      Pool.parallel_iter pool (fun x -> ignore (Atomic.fetch_and_add hits x)) (List.init 100 Fun.id);
+      check_int "iter visits everything" (99 * 100 / 2) (Atomic.get hits))
+
+let test_parallel_map_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+          ignore
+            (Pool.parallel_map pool
+               (fun x -> if x = 7_777 then failwith "boom" else x)
+               (List.init 10_000 Fun.id)));
+      (* the pool survives the exception and stays usable *)
+      Alcotest.(check (list int)) "pool alive after exception" [ 1; 2; 3 ]
+        (Pool.parallel_map pool (fun x -> x) [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Frontier vs the serial Explore BFS *)
+
+let frontier_agrees ~jobs ~name ~succ ~key ~depth x0 =
+  Pool.with_pool ~jobs (fun pool ->
+      let serial = Explore.reachable { Explore.succ; key } ~depth x0 in
+      let par = Frontier.reachable pool ~succ ~key ~depth x0 in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: reachable agrees at jobs=%d" name jobs)
+        (List.map key serial) (List.map key par);
+      check_int
+        (Printf.sprintf "%s: count agrees at jobs=%d" name jobs)
+        (Explore.count_reachable { Explore.succ; key } ~depth x0)
+        (Frontier.count_reachable pool ~succ ~key ~depth x0))
+
+let test_frontier_sync_floodset () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let x0 = E.initial ~inputs:[| 0; 1; 1 |] in
+  List.iter
+    (fun jobs ->
+      frontier_agrees ~jobs ~name:"S^t floodset (3,1)" ~succ:(E.st ~t:1) ~key:E.key
+        ~depth:3 x0)
+    [ 1; 2; 4 ]
+
+let test_frontier_mobile () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let x0 = E.initial ~inputs:[| 0; 1; 1 |] in
+  List.iter
+    (fun jobs ->
+      frontier_agrees ~jobs ~name:"S1 mobile (3,1)"
+        ~succ:(E.s1 ~record_failures:false) ~key:E.key ~depth:3 x0)
+    [ 1; 2; 4 ]
+
+let test_frontier_exists () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let x0 = E.initial ~inputs:[| 0; 1; 1 |] in
+  let succ = E.st ~t:1 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check "terminal state reachable at depth 3" true
+        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:3 ~pred:E.terminal x0);
+      check "none at depth 0" false
+        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:0 ~pred:E.terminal x0);
+      check "agrees with Explore"
+        (Explore.exists_reachable { Explore.succ; key = E.key } ~depth:2 ~pred:E.terminal x0)
+        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:2 ~pred:E.terminal x0))
+
+(* Levels partition the reachable set by first-reached depth. *)
+let test_frontier_levels () =
+  let succ x = if x >= 16 then [] else [ (2 * x) mod 19; ((2 * x) + 1) mod 19 ] in
+  let key = string_of_int in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let levels = Frontier.levels pool ~succ ~key ~depth:6 1 in
+      let flat = List.concat levels in
+      Alcotest.(check (list string))
+        "concat levels = reachable"
+        (List.map key (Explore.reachable { Explore.succ; key } ~depth:6 1))
+        (List.map key flat);
+      let sorted = List.sort_uniq compare flat in
+      check_int "levels are disjoint" (List.length flat) (List.length sorted))
+
+(* An exception in the successor function must come back to the caller
+   without wedging the pool (satellite requirement (d)). *)
+let test_frontier_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let succ x = if x = 5 then failwith "bad succ" else if x < 40 then [ x + 1; x + 2 ] else [] in
+      Alcotest.check_raises "succ exception propagates" (Failure "bad succ") (fun () ->
+          ignore (Frontier.reachable pool ~succ ~key:string_of_int ~depth:10 0));
+      (* same pool still works afterwards *)
+      check_int "pool alive" 3
+        (Frontier.count_reachable pool ~succ:(fun x -> if x < 2 then [ x + 1 ] else [])
+           ~key:string_of_int ~depth:5 0))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let le_snapshot (a : Stats.snapshot) (b : Stats.snapshot) =
+  a.Stats.states_expanded <= b.Stats.states_expanded
+  && a.Stats.dedup_hits <= b.Stats.dedup_hits
+  && a.Stats.valence_cache_hits <= b.Stats.valence_cache_hits
+  && a.Stats.valence_cache_misses <= b.Stats.valence_cache_misses
+  && a.Stats.tasks_executed <= b.Stats.tasks_executed
+
+let is_zero (s : Stats.snapshot) =
+  s.Stats.states_expanded = 0 && s.Stats.dedup_hits = 0
+  && s.Stats.valence_cache_hits = 0 && s.Stats.valence_cache_misses = 0
+  && s.Stats.tasks_executed = 0 && s.Stats.domains_utilised = 0
+
+let test_stats_monotone_and_reset () =
+  Stats.reset ();
+  check "zero after reset" true (is_zero (Stats.snapshot ()));
+  (* a diamond: 0 -> {1,2} -> 3, so the serial BFS both expands and dedups *)
+  let succ x = if x = 0 then [ 1; 2 ] else if x < 3 then [ 3 ] else [] in
+  let spec = { Explore.succ; key = string_of_int } in
+  ignore (Explore.reachable spec ~depth:3 0);
+  let s1 = Stats.snapshot () in
+  check "explore counted expansions" true (s1.Stats.states_expanded >= 4);
+  check "explore counted the dedup hit" true (s1.Stats.dedup_hits >= 1);
+  (* a memoised valence engine: the second classify must hit the cache *)
+  let vspec =
+    {
+      Valence.succ;
+      key = string_of_int;
+      decided = (fun x -> if x = 3 then Vset.singleton 1 else Vset.empty);
+      terminal = (fun x -> x = 3);
+    }
+  in
+  let v = Valence.create vspec in
+  ignore (Valence.classify v ~depth:3 0);
+  ignore (Valence.classify v ~depth:3 0);
+  let s2 = Stats.snapshot () in
+  check "valence misses counted" true (s2.Stats.valence_cache_misses >= 1);
+  check "valence hits counted" true (s2.Stats.valence_cache_hits >= 1);
+  check "counters are monotone" true (le_snapshot s1 s2);
+  Pool.with_pool ~jobs:2 (fun pool ->
+      ignore (Pool.parallel_map pool (fun x -> x) (List.init 64 Fun.id)));
+  let s3 = Stats.snapshot () in
+  check "tasks counted" true (s3.Stats.tasks_executed > s2.Stats.tasks_executed);
+  check "monotone again" true (le_snapshot s2 s3);
+  check "parallel run utilised >1 domain" true (s3.Stats.domains_utilised > 1);
+  Stats.reset ();
+  check "zero after final reset" true (is_zero (Stats.snapshot ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "layered_runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_map order" `Quick test_parallel_map_order;
+          Alcotest.test_case "edge cases" `Quick test_parallel_map_edge_cases;
+          Alcotest.test_case "parallel_iter" `Quick test_parallel_iter;
+          Alcotest.test_case "exception propagation" `Quick test_parallel_map_exception;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "sync floodset" `Quick test_frontier_sync_floodset;
+          Alcotest.test_case "mobile substrate" `Quick test_frontier_mobile;
+          Alcotest.test_case "exists_reachable" `Quick test_frontier_exists;
+          Alcotest.test_case "levels partition" `Quick test_frontier_levels;
+          Alcotest.test_case "exception propagation" `Quick test_frontier_exception;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "monotone and reset" `Quick test_stats_monotone_and_reset ] );
+    ]
