@@ -9,15 +9,25 @@
    exploration) quantify the design choices called out in DESIGN.md.
 
    Run with --smoke to execute every kernel exactly once (no Bechamel):
-   a cheap liveness check that keeps bench code from bit-rotting. *)
+   a cheap liveness check that keeps bench code from bit-rotting.  Run
+   with --json to execute every kernel once and emit one JSON object per
+   kernel (name, instance parameters, wall time, states expanded) for
+   machine consumption. *)
 
 open Bechamel
 open Toolkit
 open Layered_core
 module Pool = Layered_runtime.Pool
 module Frontier = Layered_runtime.Frontier
+module Stats = Layered_runtime.Stats
+module Budget = Layered_runtime.Budget
 
 let values = [ Value.zero; Value.one ]
+
+(* The budgeted kernels get a fresh generous budget per invocation — the
+   same machinery the CLI uses, sized so it never trips on these
+   instances (a tripped budget would silently bench a shorter run). *)
+let bench_budget () = Budget.create ~timeout_s:60.0 ~max_states:5_000_000 ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared instantiation helpers *)
@@ -133,7 +143,7 @@ let e7_verify_floodset () =
   ignore
     (Layered_analysis.Consensus_check.check
        ~protocol:(Layered_protocols.Sync_floodset.make ~t:1)
-       ~n:3 ~t:1 ~rounds:3 ())
+       ~n:3 ~t:1 ~rounds:3 ~budget:(bench_budget ()) ())
 
 (* E7: the Lemma 6.1 chain plus the Lemma 6.2 round-t scan, (4,2). *)
 let e7_lower_bound_chain () =
@@ -287,7 +297,7 @@ let e16_clean_verify () =
   ignore
     (Layered_analysis.Consensus_check.check
        ~protocol:(Layered_protocols.Sync_clean.make ~t:1)
-       ~n:3 ~t:1 ~rounds:3 ())
+       ~n:3 ~t:1 ~rounds:3 ~budget:(bench_budget ()) ())
 
 (* E17: expand one two-omitter mobile layer. *)
 let e17_multi_layer =
@@ -300,16 +310,17 @@ let e18_omission_verify () =
   ignore
     (Layered_analysis.Omission_check.check
        ~protocol:(Layered_protocols.Sync_coordinator.make ~t:1)
-       ~n:3 ~t:1 ~rounds:7 ())
+       ~n:3 ~t:1 ~rounds:7 ~budget:(bench_budget ()) ())
 
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
 
-(* Valence memoisation: cold engine per call vs shared engine. *)
+(* Valence memoisation: cold engine per call vs shared engine.  The cold
+   engine is budgeted, measuring the probe overhead on the miss path. *)
 let ablation_valence_cold () =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~budget:(bench_budget ()) (E.valence_spec ~succ) in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
   ignore (Valence.classify v ~depth:3 x)
 
@@ -321,23 +332,30 @@ let ablation_valence_warm =
   ignore (Valence.classify v ~depth:3 x);
   fun () -> ignore (Valence.classify v ~depth:3 x)
 
-(* Layer growth: states reachable in two layers, per substrate. *)
+(* Layer growth: states reachable in two layers, per substrate (via the
+   budgeted entry point, measuring the budget probes too). *)
 let ablation_growth_sync () =
   let module E = (val make_sync_engine ~t:1) in
   let spec = { Explore.succ = E.st ~t:1; key = E.key } in
-  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
+  ignore
+    (Explore.count_reachable_outcome ~budget:(bench_budget ()) spec ~depth:2
+       (E.initial ~inputs:[| 0; 1; 1 |]))
 
 let ablation_growth_sm () =
   let module P = (val Layered_protocols.Sm_voting.make ~horizon:2) in
   let module E = Layered_async_sm.Engine.Make (P) in
   let spec = { Explore.succ = E.srw; key = E.key } in
-  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
+  ignore
+    (Explore.count_reachable_outcome ~budget:(bench_budget ()) spec ~depth:2
+       (E.initial ~inputs:[| 0; 1; 1 |]))
 
 let ablation_growth_mp () =
   let module P = (val Layered_protocols.Mp_floodset.make ~horizon:2) in
   let module E = Layered_async_mp.Engine.Make (P) in
   let spec = { Explore.succ = E.sper; key = E.key } in
-  ignore (Explore.count_reachable spec ~depth:2 (E.initial ~inputs:[| 0; 1; 1 |]))
+  ignore
+    (Explore.count_reachable_outcome ~budget:(bench_budget ()) spec ~depth:2
+       (E.initial ~inputs:[| 0; 1; 1 |]))
 
 (* Multicore frontier exploration: the serial Explore BFS vs the pooled
    level-synchronous Frontier at 1/2/4 domains, same (4,1) S^t image. *)
@@ -351,7 +369,10 @@ let ablation_frontier jobs =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
   let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
-  fun () -> ignore (Frontier.count_reachable (pool jobs) ~succ ~key:E.key ~depth:2 x)
+  fun () ->
+    ignore
+      (Frontier.count_reachable ~budget:(bench_budget ()) (pool jobs) ~succ ~key:E.key
+         ~depth:2 x)
 
 (* Multicore E1: classify every (3,1) initial state, one cold valence
    engine per state, fanned across the pool. *)
@@ -369,56 +390,83 @@ let ablation_e1_pool jobs =
 (* ------------------------------------------------------------------ *)
 (* Harness *)
 
+(* Each kernel carries the instance parameters it exercises so that
+   machine-readable output (--json) is self-describing. *)
+type kernel = { name : string; n : int; t : int; depth : int; fn : unit -> unit }
+
 let kernels =
   [
-    ("E1/classify-initials", e1_classify_initials);
-    ("E2/con0-similarity", e2_con0_similarity);
-    ("E3/s1-layer", e3_s1_layer);
-    ("E3/layer-valence", e3_layer_valence);
-    ("E4/bivalent-chain", e4_bivalent_chain);
-    ("E5/srw-layer", e5_srw_layer);
-    ("E5/bridge", e5_bridge);
-    ("E6/sper-layer", e6_sper_layer);
-    ("E6/diamond", e6_diamond);
-    ("E7/verify-floodset", e7_verify_floodset);
-    ("E7/lower-bound-chain", e7_lower_bound_chain);
-    ("E8/clean-round", e8_clean_round);
-    ("E9/thick-consensus", e9_thick_consensus);
-    ("E9/thick-kset", e9_thick_kset);
-    ("E10/diameter", e10_diameter);
-    ("E11/kset-explore", e11_kset_explore);
-    ("E12/covering-classify", e12_covering_classify);
-    ("E13/iis-layer", e13_iis_layer);
-    ("E14/full-info-classify", e14_full_info_classify);
-    ("E15/common-belief", e15_common_belief);
-    ("E16/clean-verify", e16_clean_verify);
-    ("E17/multi-layer", e17_multi_layer);
-    ("E18/omission-verify", e18_omission_verify);
-    ("ablation/valence-cold", ablation_valence_cold);
-    ("ablation/valence-warm", ablation_valence_warm);
-    ("ablation/growth-sync", ablation_growth_sync);
-    ("ablation/growth-sm", ablation_growth_sm);
-    ("ablation/growth-mp", ablation_growth_mp);
-    ("ablation/frontier-serial", ablation_frontier_serial);
-    ("ablation/frontier-jobs1", ablation_frontier 1);
-    ("ablation/frontier-jobs2", ablation_frontier 2);
-    ("ablation/frontier-jobs4", ablation_frontier 4);
-    ("ablation/e1-pool-jobs1", ablation_e1_pool 1);
-    ("ablation/e1-pool-jobs2", ablation_e1_pool 2);
-    ("ablation/e1-pool-jobs4", ablation_e1_pool 4);
+    { name = "E1/classify-initials"; n = 3; t = 1; depth = 3; fn = e1_classify_initials };
+    { name = "E2/con0-similarity"; n = 4; t = 1; depth = 0; fn = e2_con0_similarity };
+    { name = "E3/s1-layer"; n = 4; t = 1; depth = 1; fn = e3_s1_layer };
+    { name = "E3/layer-valence"; n = 3; t = 1; depth = 3; fn = e3_layer_valence };
+    { name = "E4/bivalent-chain"; n = 3; t = 1; depth = 3; fn = e4_bivalent_chain };
+    { name = "E5/srw-layer"; n = 3; t = 2; depth = 1; fn = e5_srw_layer };
+    { name = "E5/bridge"; n = 3; t = 2; depth = 2; fn = e5_bridge };
+    { name = "E6/sper-layer"; n = 3; t = 2; depth = 1; fn = e6_sper_layer };
+    { name = "E6/diamond"; n = 3; t = 2; depth = 2; fn = e6_diamond };
+    { name = "E7/verify-floodset"; n = 3; t = 1; depth = 3; fn = e7_verify_floodset };
+    { name = "E7/lower-bound-chain"; n = 4; t = 2; depth = 4; fn = e7_lower_bound_chain };
+    { name = "E8/clean-round"; n = 3; t = 1; depth = 3; fn = e8_clean_round };
+    { name = "E9/thick-consensus"; n = 3; t = 1; depth = 0; fn = e9_thick_consensus };
+    { name = "E9/thick-kset"; n = 3; t = 1; depth = 0; fn = e9_thick_kset };
+    { name = "E10/diameter"; n = 4; t = 1; depth = 1; fn = e10_diameter };
+    { name = "E11/kset-explore"; n = 3; t = 1; depth = 2; fn = e11_kset_explore };
+    { name = "E12/covering-classify"; n = 3; t = 1; depth = 3; fn = e12_covering_classify };
+    { name = "E13/iis-layer"; n = 3; t = 2; depth = 1; fn = e13_iis_layer };
+    { name = "E14/full-info-classify"; n = 3; t = 1; depth = 3; fn = e14_full_info_classify };
+    { name = "E15/common-belief"; n = 3; t = 1; depth = 3; fn = e15_common_belief };
+    { name = "E16/clean-verify"; n = 3; t = 1; depth = 3; fn = e16_clean_verify };
+    { name = "E17/multi-layer"; n = 3; t = 1; depth = 1; fn = e17_multi_layer };
+    { name = "E18/omission-verify"; n = 3; t = 1; depth = 7; fn = e18_omission_verify };
+    { name = "ablation/valence-cold"; n = 3; t = 1; depth = 3; fn = ablation_valence_cold };
+    { name = "ablation/valence-warm"; n = 3; t = 1; depth = 3; fn = ablation_valence_warm };
+    { name = "ablation/growth-sync"; n = 3; t = 1; depth = 2; fn = ablation_growth_sync };
+    { name = "ablation/growth-sm"; n = 3; t = 1; depth = 2; fn = ablation_growth_sm };
+    { name = "ablation/growth-mp"; n = 3; t = 1; depth = 2; fn = ablation_growth_mp };
+    { name = "ablation/frontier-serial"; n = 4; t = 1; depth = 2; fn = ablation_frontier_serial };
+    { name = "ablation/frontier-jobs1"; n = 4; t = 1; depth = 2; fn = ablation_frontier 1 };
+    { name = "ablation/frontier-jobs2"; n = 4; t = 1; depth = 2; fn = ablation_frontier 2 };
+    { name = "ablation/frontier-jobs4"; n = 4; t = 1; depth = 2; fn = ablation_frontier 4 };
+    { name = "ablation/e1-pool-jobs1"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 1 };
+    { name = "ablation/e1-pool-jobs2"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 2 };
+    { name = "ablation/e1-pool-jobs4"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 4 };
   ]
 
 let run_smoke () =
   List.iter
-    (fun (name, fn) ->
-      Printf.printf "smoke %-32s%!" name;
-      fn ();
+    (fun k ->
+      Printf.printf "smoke %-32s%!" k.name;
+      k.fn ();
       Printf.printf "  ok\n%!")
     kernels;
   Printf.printf "all %d bench kernels ran\n" (List.length kernels)
 
+(* One run per kernel, wall clock and states-expanded delta, as a JSON
+   array on stdout.  Deliberately no Bechamel: the point is a cheap
+   machine-readable snapshot (e.g. for CI trend lines), not a rigorous
+   estimate. *)
+let run_json () =
+  print_string "[";
+  List.iteri
+    (fun i k ->
+      if i > 0 then print_string ",";
+      Stats.reset ();
+      let t0 = Unix.gettimeofday () in
+      k.fn ();
+      let t1 = Unix.gettimeofday () in
+      let s = Stats.snapshot () in
+      Printf.printf
+        "\n  {\"kernel\": %S, \"n\": %d, \"t\": %d, \"depth\": %d, \"wall_ns\": %.0f, \
+         \"states\": %d}"
+        k.name k.n k.t k.depth
+        ((t1 -. t0) *. 1e9)
+        s.Stats.states_expanded)
+    kernels;
+  print_string "\n]\n"
+
 let run_bechamel () =
-  let tests = List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) kernels in
+  let tests = List.map (fun k -> Test.make ~name:k.name (Staged.stage k.fn)) kernels in
   let grouped = Test.make_grouped ~name:"layered" tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -444,6 +492,8 @@ let run_bechamel () =
     rows
 
 let () =
-  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let has flag = Array.exists (String.equal flag) Sys.argv in
   Fun.protect ~finally:shutdown_pools (fun () ->
-      if smoke then run_smoke () else run_bechamel ())
+      if has "--smoke" then run_smoke ()
+      else if has "--json" then run_json ()
+      else run_bechamel ())

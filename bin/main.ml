@@ -17,6 +17,7 @@ open Layered_core
 open Layered_analysis
 module Pool = Layered_runtime.Pool
 module Stats = Layered_runtime.Stats
+module Budget = Layered_runtime.Budget
 
 let print_rows ~markdown rows =
   if markdown then print_string (Report.to_markdown rows)
@@ -26,7 +27,18 @@ let print_rows ~markdown rows =
    (byte-identical across job counts) stdout streams. *)
 let print_stats stats = if stats then Format.eprintf "%a" Stats.pp (Stats.snapshot ())
 
-let run_experiments ids markdown jobs stats =
+(* An interrupted run always dumps the counters: they are the only
+   record of how far the cancelled work got. *)
+let finish_stats ~stats budget =
+  print_stats (stats || Budget.tripped budget = Some Budget.Interrupted)
+
+(* Exit-code contract: 0 all checks passed, 1 a check failed (a
+   counterexample is definitive even on a truncated run), 3 truncated
+   with no failure (a clean verdict from a partial exploration is not a
+   pass). *)
+let exit_trunc = 3
+
+let run_experiments ids markdown jobs stats budget =
   let experiments =
     match ids with
     | [] -> Registry.all
@@ -40,7 +52,7 @@ let run_experiments ids markdown jobs stats =
   in
   Stats.reset ();
   let results =
-    Pool.with_pool ~jobs (fun pool -> Registry.run_all ~pool experiments)
+    Pool.with_pool ~jobs ~budget (fun pool -> Registry.run_all ~pool ~budget experiments)
   in
   let rows =
     List.concat_map
@@ -51,33 +63,53 @@ let run_experiments ids markdown jobs stats =
         rows)
       results
   in
-  print_stats stats;
-  if Report.all_pass rows then begin
-    Format.printf "All %d checks passed.@." (List.length rows);
-    0
-  end
-  else begin
+  (match Budget.tripped budget with
+  | Some reason ->
+      Format.printf "TRUNCATED: budget exhausted (%a); the report above is partial.@."
+        Budget.pp_reason reason
+  | None -> ());
+  finish_stats ~stats budget;
+  if not (Report.all_pass rows) then begin
     Format.printf "FAILURES among %d checks.@." (List.length rows);
     1
   end
+  else
+    match Budget.tripped budget with
+    | Some _ -> exit_trunc
+    | None ->
+        Format.printf "All %d checks passed.@." (List.length rows);
+        0
 
 open Cmdliner
 
 let markdown =
   Arg.(value & flag & info [ "markdown" ] ~doc:"Print result tables as markdown.")
 
-let jobs_arg =
-  let positive_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 1 -> Ok n
-      | Ok n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
+(* Bounds are rejected at parse time, with the offending flag named by
+   cmdliner, rather than surfacing later as an exception (or a hang)
+   from deep inside an engine. *)
+let bounded_int ~min ~what =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= min -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "%s must be at least %d, got %d" what min n))
+    | Error _ as e -> e
   in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let positive_float ~what =
+  let parse s =
+    match Arg.conv_parser Arg.float s with
+    | Ok x when x > 0.0 -> Ok x
+    | Ok x -> Error (`Msg (Printf.sprintf "%s must be positive, got %g" what x))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.float)
+
+let jobs_arg =
   Arg.(
-    value & opt positive_int 1
+    value
+    & opt (bounded_int ~min:1 ~what:"jobs") 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Worker domains for parallel execution (1 = serial; results are identical).")
 
@@ -85,6 +117,42 @@ let stats_arg =
   Arg.(
     value & flag
     & info [ "stats" ] ~doc:"Print the runtime counter snapshot to stderr when done.")
+
+(* Every budgeted command gets a Budget.t even when no limit flag is
+   given: the token doubles as the SIGINT cancellation point, and an
+   unlimited budget costs nothing on the hot paths. *)
+let budget_term =
+  let timeout =
+    Arg.(
+      value
+      & opt (some (positive_float ~what:"timeout")) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget in seconds; on expiry the run stops at the next \
+             safepoint and reports the completed prefix (exit code 3).")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:1 ~what:"max-states")) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Stop after visiting N states.  Applied at level boundaries in parallel \
+             sweeps, so the truncation point is identical for every $(b,--jobs) count.")
+  in
+  let max_mem =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:1 ~what:"max-mem")) None
+      & info [ "max-mem" ] ~docv:"MB"
+          ~doc:
+            "Stop when the OCaml heap exceeds MB megabytes (sampled watermark, not a \
+             hard cap).")
+  in
+  let make timeout_s max_states max_memory_mb =
+    Budget.create ?timeout_s ?max_states ?max_memory_mb ()
+  in
+  Term.(const make $ timeout $ max_states $ max_mem)
 
 let list_cmd =
   let doc = "List available experiments." in
@@ -100,15 +168,25 @@ let run_cmd =
   let doc = "Run selected experiments (by id, e.g. E7)." in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids $ markdown $ jobs_arg $ stats_arg)
+    Term.(const run_experiments $ ids $ markdown $ jobs_arg $ stats_arg $ budget_term)
 
 let all_cmd =
   let doc = "Run every experiment." in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run_experiments $ const [] $ markdown $ jobs_arg $ stats_arg)
+    Term.(
+      const run_experiments $ const [] $ markdown $ jobs_arg $ stats_arg $ budget_term)
 
-let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
-let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Resilience / horizon.")
+let n_arg =
+  Arg.(
+    value
+    & opt (bounded_int ~min:1 ~what:"n") 3
+    & info [ "n" ] ~docv:"N" ~doc:"Number of processes (at least 1).")
+
+let t_arg =
+  Arg.(
+    value
+    & opt (bounded_int ~min:0 ~what:"t") 1
+    & info [ "t" ] ~docv:"T" ~doc:"Resilience / horizon (at least 0).")
 
 let verify_cmd =
   let doc =
@@ -142,7 +220,7 @@ let verify_cmd =
     Arg.(value & opt int 2 & info [ "m"; "max-new" ] ~docv:"M"
            ~doc:"Maximum fresh failures per round.")
   in
-  let f protocol model n t rounds max_new =
+  let f protocol model n t rounds max_new budget =
     let protocol, default_rounds =
       match protocol with
       | `Floodset -> (Layered_protocols.Sync_floodset.make ~t, t + 2)
@@ -153,24 +231,29 @@ let verify_cmd =
       | `Coordinator -> (Layered_protocols.Sync_coordinator.make ~t, (3 * (t + 1)) + 1)
     in
     let rounds = Option.value rounds ~default:default_rounds in
-    let ok =
-      match model with
-      | `Crash ->
-          let r = Consensus_check.check ~protocol ~n ~t ~rounds ~max_new () in
-          Format.printf "%a@." Consensus_check.pp_result r;
-          r.Consensus_check.agreement_ok && r.Consensus_check.validity_ok
-          && r.Consensus_check.termination_ok
-      | `Omission | `General ->
-          let general = model = `General in
-          let r = Omission_check.check ~protocol ~n ~t ~rounds ~max_new ~general () in
-          Format.printf "%a@." Omission_check.pp_result r;
-          r.Omission_check.agreement_ok && r.Omission_check.validity_ok
-          && r.Omission_check.termination_ok
+    let ok, status =
+      Budget.with_sigint budget (fun () ->
+          match model with
+          | `Crash ->
+              let r = Consensus_check.check ~protocol ~n ~t ~rounds ~max_new ~budget () in
+              Format.printf "%a@." Consensus_check.pp_result r;
+              ( r.Consensus_check.agreement_ok && r.Consensus_check.validity_ok
+                && r.Consensus_check.termination_ok,
+                r.Consensus_check.status )
+          | `Omission | `General ->
+              let general = model = `General in
+              let r =
+                Omission_check.check ~protocol ~n ~t ~rounds ~max_new ~general ~budget ()
+              in
+              Format.printf "%a@." Omission_check.pp_result r;
+              ( r.Omission_check.agreement_ok && r.Omission_check.validity_ok
+                && r.Omission_check.termination_ok,
+                r.Omission_check.status ))
     in
-    if ok then 0 else 1
+    if not ok then 1 else match status with Budget.Complete -> 0 | _ -> exit_trunc
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const f $ protocol $ model $ n_arg $ t_arg $ rounds $ max_new)
+    Term.(const f $ protocol $ model $ n_arg $ t_arg $ rounds $ max_new $ budget_term)
 
 let layers_cmd =
   let doc = "Sweep a substrate: reachable states and layer sizes per depth." in
@@ -182,17 +265,23 @@ let layers_cmd =
           ~doc:"mobile | sync | sm | mp | smp | iis")
   in
   let depth =
-    Arg.(value & opt int 2 & info [ "d"; "depth" ] ~docv:"D" ~doc:"Layers to explore.")
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"depth") 2
+      & info [ "d"; "depth" ] ~docv:"D" ~doc:"Layers to explore (at least 0).")
   in
-  let f model n t depth jobs stats =
+  let f model n t depth jobs stats budget =
     Stats.reset ();
-    let sweep = Pool.with_pool ~jobs (fun pool -> Sweep.run ~pool ~model ~n ~t ~depth ()) in
+    let sweep =
+      Pool.with_pool ~jobs ~budget (fun pool ->
+          Sweep.run ~pool ~budget ~model ~n ~t ~depth ())
+    in
     Format.printf "%a" Sweep.pp sweep;
-    print_stats stats;
-    0
+    finish_stats ~stats budget;
+    match sweep.Sweep.status with Budget.Complete -> 0 | _ -> exit_trunc
   in
   Cmd.v (Cmd.info "layers" ~doc)
-    Term.(const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg)
+    Term.(const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg $ budget_term)
 
 let chain_cmd =
   let doc =
@@ -205,7 +294,10 @@ let chain_cmd =
       & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"mobile | sync | sm | mp | smp | iis")
   in
   let length =
-    Arg.(value & opt int 6 & info [ "l"; "length" ] ~docv:"L" ~doc:"Chain length (states).")
+    Arg.(
+      value
+      & opt (bounded_int ~min:2 ~what:"length") 6
+      & info [ "l"; "length" ] ~docv:"L" ~doc:"Chain length in states (at least 2).")
   in
   let f model n t length =
     Format.printf "%a" Chains.pp (Chains.run ~model ~n ~t ~length);

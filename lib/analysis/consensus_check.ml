@@ -1,4 +1,5 @@
 open Layered_core
+module Budget = Layered_runtime.Budget
 
 type result = {
   agreement_ok : bool;
@@ -7,9 +8,13 @@ type result = {
   termination_ok : bool;
   worst_decision_round : int;
   states_explored : int;
+  status : Budget.status;
 }
 
-let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new = 2) () =
+exception Cut of Budget.reason * int
+
+let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new = 2)
+    ?budget () =
   let module E = Layered_sync.Engine.Make (P) in
   let agreement_ok = ref true
   and uniform_ok = ref true
@@ -19,6 +24,7 @@ let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new
   and explored = ref 0 in
   let check_state allowed x =
     incr explored;
+    Layered_runtime.Stats.add_states_expanded 1;
     let decided = E.decided_vset x in
     if Vset.cardinal decided > 1 then agreement_ok := false;
     let all_decided =
@@ -38,6 +44,10 @@ let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new
     let rec explore x =
       let k = E.key x in
       if not (Hashtbl.mem seen k) then begin
+        (match Budget.exceeded_opt budget with
+        | Some reason -> raise_notrace (Cut (reason, x.E.round))
+        | None -> ());
+        Budget.charge_opt budget 1;
         Hashtbl.add seen k ();
         check_state allowed x;
         if x.E.round < rounds then
@@ -48,11 +58,19 @@ let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new
     in
     explore x0
   in
-  List.iter
-    (fun inputs ->
-      let allowed = Vset.of_list (Array.to_list inputs) in
-      explore_from allowed (E.initial ~inputs))
-    (Inputs.vectors ~n ~values:[ Value.zero; Value.one ]);
+  let status =
+    try
+      List.iter
+        (fun inputs ->
+          let allowed = Vset.of_list (Array.to_list inputs) in
+          explore_from allowed (E.initial ~inputs))
+        (Inputs.vectors ~n ~values:[ Value.zero; Value.one ]);
+      Budget.Complete
+    with Cut (reason, at_depth) ->
+      (match budget with
+      | Some b -> Budget.truncated b ~reason ~at_depth
+      | None -> assert false)
+  in
   {
     agreement_ok = !agreement_ok;
     uniform_agreement_ok = !uniform_ok;
@@ -60,10 +78,15 @@ let check ~protocol:(module P : Layered_sync.Protocol.S) ~n ~t ~rounds ?(max_new
     termination_ok = !termination_ok;
     worst_decision_round = (if !termination_ok then !worst else rounds + 1);
     states_explored = !explored;
+    status;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
     "agreement=%b uniform=%b validity=%b termination=%b worst-round=%d states=%d"
     r.agreement_ok r.uniform_agreement_ok r.validity_ok r.termination_ok
-    r.worst_decision_round r.states_explored
+    r.worst_decision_round r.states_explored;
+  match r.status with
+  | Budget.Complete -> ()
+  | Budget.Truncated tr ->
+      Format.fprintf ppf " TRUNCATED(%a)" Budget.pp_truncation tr

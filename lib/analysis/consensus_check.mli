@@ -23,6 +23,10 @@ type result = {
       (** smallest [r] such that every reachable state at round [r] is
           terminal (equals [rounds + 1] if termination failed) *)
   states_explored : int;
+  status : Layered_runtime.Budget.status;
+      (** [Complete], or [Truncated] — the boolean verdicts then cover
+          only the states explored before the budget tripped: a reported
+          violation is definitive, a clean result is not. *)
 }
 
 val check :
@@ -31,6 +35,7 @@ val check :
   t:int ->
   rounds:int ->
   ?max_new:int ->
+  ?budget:Layered_runtime.Budget.t ->
   unit ->
   result
 

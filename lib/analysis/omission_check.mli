@@ -13,6 +13,9 @@ type result = {
   termination_ok : bool;
   worst_decision_round : int;
   states_explored : int;
+  status : Layered_runtime.Budget.status;
+      (** [Complete], or [Truncated] — verdicts then cover only the
+          states explored before the budget tripped. *)
 }
 
 val check :
@@ -22,6 +25,7 @@ val check :
   rounds:int ->
   ?max_new:int ->
   ?general:bool ->
+  ?budget:Layered_runtime.Budget.t ->
   unit ->
   result
 

@@ -111,8 +111,35 @@ let all =
 let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
 
-let run_all ?pool experiments =
-  let run e = (e, e.run ()) in
+(* One experiment raising (or running out of budget) must not cost the
+   others their rows: failures become Fail rows, budget exhaustion
+   becomes an Info "skipped" row, and the map itself is never budgeted
+   (a budgeted map would abort wholesale and lose the partial report). *)
+let run_all ?pool ?budget experiments =
+  let module Budget = Layered_runtime.Budget in
+  let run e =
+    match Budget.exceeded_opt budget with
+    | Some reason ->
+        ( e,
+          [
+            Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
+              ~expected:"run to completion"
+              ~measured:
+                (Format.asprintf "skipped: budget exhausted (%a)" Budget.pp_reason
+                   reason)
+              Layered_core.Report.Info;
+          ] )
+    | None -> (
+        try (e, e.run ())
+        with exn ->
+          ( e,
+            [
+              Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
+                ~expected:"run to completion"
+                ~measured:(Printf.sprintf "raised: %s" (Printexc.to_string exn))
+                Layered_core.Report.Fail;
+            ] ))
+  in
   match pool with
   | Some pool when Layered_runtime.Pool.jobs pool > 1 ->
       Layered_runtime.Pool.parallel_map pool run experiments

@@ -9,13 +9,21 @@ type experiment = {
 val all : experiment list
 val find : string -> experiment option
 
-(** [run_all ?pool experiments] runs each experiment and pairs it with
-    its report rows, preserving list order.  With a [pool] of more than
-    one job the experiments execute in parallel across the pool's
-    domains (each driver builds its own engines and caches, so they are
-    mutually independent); results are stitched back deterministically,
-    so output is identical to the serial run. *)
+(** [run_all ?pool ?budget experiments] runs each experiment and pairs
+    it with its report rows, preserving list order.  With a [pool] of
+    more than one job the experiments execute in parallel across the
+    pool's domains (each driver builds its own engines and caches, so
+    they are mutually independent); results are stitched back
+    deterministically, so output is identical to the serial run.
+
+    A raising experiment contributes a single [Fail] row carrying the
+    exception text instead of aborting the whole report.  With a
+    [budget], experiments starting after it has tripped contribute an
+    [Info] "skipped" row; the budget is deliberately {e not} passed to
+    the parallel map, so already-running experiments finish and every
+    experiment gets a row. *)
 val run_all :
   ?pool:Layered_runtime.Pool.t ->
+  ?budget:Layered_runtime.Budget.t ->
   experiment list ->
   (experiment * Layered_core.Report.row list) list

@@ -1,7 +1,9 @@
 open Layered_core
 
+module Budget = Layered_runtime.Budget
+
 type level = { depth : int; reachable : int; layer_min : int; layer_max : int }
-type t = { model : string; n : int; levels : level list }
+type t = { model : string; n : int; levels : level list; status : Budget.status }
 
 let models = [ "mobile"; "sync"; "sm"; "mp"; "smp"; "iis" ]
 
@@ -12,36 +14,97 @@ let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.
    the boundary at depth d is exactly level d, and the reachable count at
    depth d is the cumulative level size.  (The seed recomputed a full
    [Explore.reachable] per depth — O(depth) redundant sweeps.) *)
-let sweep_generic (type a) ~pool ~(succ : a -> a list) ~(key : a -> string) ~(x0 : a)
-    ~depth =
-  let levels = Layered_runtime.Frontier.levels pool ~succ ~key ~depth x0 in
-  let level d = match List.nth_opt levels d with Some l -> l | None -> [] in
+(* Per-level layer-size statistics are accumulated while the BFS itself
+   expands each level (an instrumented [succ]), not by a second sweep
+   over the states: a truncated run therefore never re-pays for work the
+   budget already cut off.  Min/max are order-independent, so the
+   accumulation is deterministic across job counts. *)
+let sweep_generic (type a) ~pool ?budget ~(succ : a -> a list) ~(key : a -> string)
+    ~(x0 : a) ~depth () =
+  let cur_min = Atomic.make max_int and cur_max = Atomic.make 0 in
+  let rec fold_atomic better a v =
+    let c = Atomic.get a in
+    if better v c && not (Atomic.compare_and_set a c v) then fold_atomic better a v
+  in
+  let succ_counted x =
+    let l = succ x in
+    let n = List.length l in
+    fold_atomic ( < ) cur_min n;
+    fold_atomic ( > ) cur_max n;
+    l
+  in
+  let harvest () =
+    let mn = Atomic.get cur_min and mx = Atomic.get cur_max in
+    Atomic.set cur_min max_int;
+    Atomic.set cur_max 0;
+    ((if mn = max_int then 0 else mn), mx)
+  in
+  (* [f] sees level d+1 only after level d was fully expanded, so the
+     accumulator harvested at that point holds level d's stats. *)
+  let sizes = ref [] and stats = ref [] and last_level = ref [] in
+  let f level =
+    if !sizes <> [] then stats := harvest () :: !stats;
+    sizes := List.length level :: !sizes;
+    last_level := level
+  in
+  let status =
+    Layered_runtime.Frontier.iter_levels ?budget pool ~succ:succ_counted ~key ~depth ~f
+      x0
+  in
+  let sizes = Array.of_list (List.rev !sizes) in
+  let harvested = Array.of_list (List.rev !stats) in
+  let delivered = Array.length sizes in
+  (* Stats for the deepest delivered level: a died-out BFS expanded it
+     (the accumulator holds its counts); a depth-capped one never did, so
+     compute them directly — the one place a successor is recomputed, and
+     only on a complete sweep. *)
+  let final_stats =
+    match status with
+    | Budget.Truncated _ -> (0, 0)
+    | Budget.Complete when delivered < depth + 1 -> harvest ()
+    | Budget.Complete ->
+        let counts =
+          Layered_runtime.Pool.parallel_map pool
+            (fun x -> List.length (succ x))
+            !last_level
+        in
+        ( List.fold_left min max_int counts |> (fun m -> if counts = [] then 0 else m),
+          List.fold_left max 0 counts )
+  in
+  (* A complete sweep reports one row per requested depth (trailing empty
+     levels included, exactly as before budgets existed); a truncated one
+     reports only the levels whose expansion completed in-budget. *)
+  let rows_n =
+    match status with
+    | Budget.Complete -> depth + 1
+    | Budget.Truncated { Budget.at_depth; _ } -> min at_depth (max 0 (delivered - 1))
+  in
   let reachable = ref 0 in
-  List.map
-    (fun d ->
-      let boundary = level d in
-      reachable := !reachable + List.length boundary;
-      let sizes =
-        Layered_runtime.Pool.parallel_map pool (fun x -> List.length (succ x)) boundary
-      in
-      let layer_min = List.fold_left min max_int sizes in
-      let layer_max = List.fold_left max 0 sizes in
-      {
-        depth = d;
-        reachable = !reachable;
-        layer_min = (if sizes = [] then 0 else layer_min);
-        layer_max;
-      })
-    (List.init (depth + 1) Fun.id)
+  let rows =
+    List.map
+      (fun d ->
+        let size = if d < delivered then sizes.(d) else 0 in
+        reachable := !reachable + size;
+        let layer_min, layer_max =
+          if d < Array.length harvested then harvested.(d)
+          else if d = delivered - 1 then final_stats
+          else (0, 0)
+        in
+        { depth = d; reachable = !reachable; layer_min; layer_max })
+      (List.init rows_n Fun.id)
+  in
+  (rows, status)
 
 (* Serial pool for call sites that don't thread one through; spawns no
    domains. *)
 let serial_pool = lazy (Layered_runtime.Pool.create ~jobs:1 ())
 
-let run ?pool ~model ~n ~t ~depth () =
+let run ?pool ?budget ~model ~n ~t ~depth () =
   let pool = match pool with Some p -> p | None -> Lazy.force serial_pool in
-  let sweep_generic ~succ ~key ~x0 ~depth = sweep_generic ~pool ~succ ~key ~x0 ~depth in
-  let levels =
+  let sweep_generic ~succ ~key ~x0 ~depth =
+    sweep_generic ~pool ?budget ~succ ~key ~x0 ~depth ()
+  in
+  let levels, status =
     match model with
     | "mobile" ->
         let module P = (val Layered_protocols.Sync_floodset.make ~t) in
@@ -75,7 +138,7 @@ let run ?pool ~model ~n ~t ~depth () =
           ~depth
     | other -> invalid_arg (Printf.sprintf "Sweep.run: unknown model %S" other)
   in
-  { model; n; levels }
+  { model; n; levels; status }
 
 let pp ppf t =
   Format.fprintf ppf "model=%s n=%d@." t.model t.n;
@@ -84,4 +147,9 @@ let pp ppf t =
     (fun l ->
       Format.fprintf ppf "%8d  %10d  %10d  %10d@." l.depth l.reachable l.layer_min
         l.layer_max)
-    t.levels
+    t.levels;
+  match t.status with
+  | Budget.Complete -> ()
+  | Budget.Truncated tr ->
+      Format.fprintf ppf "TRUNCATED: %a; rows above are the completed prefix.@."
+        Budget.pp_truncation tr

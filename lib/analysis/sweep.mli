@@ -9,20 +9,36 @@ type level = {
   layer_max : int;  (** largest layer *)
 }
 
-type t = { model : string; n : int; levels : level list }
+type t = {
+  model : string;
+  n : int;
+  levels : level list;
+  status : Layered_runtime.Budget.status;
+      (** [Complete], or [Truncated] with [levels] the completed prefix *)
+}
 
 (** Available model names: ["mobile"], ["sync"] (t-resilient, takes [t]),
     ["sm"], ["mp"], ["smp"] (synchronic message passing), ["iis"]. *)
 val models : string list
 
-(** [run ?pool ~model ~n ~t ~depth ()] sweeps the given substrate from
-    one mixed initial state.  [t] is used by ["sync"] (resilience) and
-    as the decision horizon elsewhere.  With a [pool] of more than one
-    job, each level's frontier is expanded in parallel
+(** [run ?pool ?budget ~model ~n ~t ~depth ()] sweeps the given substrate
+    from one mixed initial state.  [t] is used by ["sync"] (resilience)
+    and as the decision horizon elsewhere.  With a [pool] of more than
+    one job, each level's frontier is expanded in parallel
     ({!Layered_runtime.Frontier}); results are deterministic and
-    independent of the job count.  Raises [Invalid_argument] on an
-    unknown model name. *)
+    independent of the job count.  With a [budget], an infeasible sweep
+    stops at the budget and reports the levels whose expansion completed
+    (layer statistics are gathered during expansion, so truncation never
+    re-pays for cut-off work).  Raises [Invalid_argument] on an unknown
+    model name. *)
 val run :
-  ?pool:Layered_runtime.Pool.t -> model:string -> n:int -> t:int -> depth:int -> unit -> t
+  ?pool:Layered_runtime.Pool.t ->
+  ?budget:Layered_runtime.Budget.t ->
+  model:string ->
+  n:int ->
+  t:int ->
+  depth:int ->
+  unit ->
+  t
 
 val pp : Format.formatter -> t -> unit

@@ -22,18 +22,25 @@ type outcome = { vals : Vset.t; complete : bool }
 
 type 'a t = {
   spec : 'a spec;
+  budget : Layered_runtime.Budget.t option;
   cache : (string, int * outcome) Hashtbl.t;
       (* key -> (depth explored, outcome at that depth).  A [complete]
          outcome is valid for every depth >= the cached one; an incomplete
          outcome is only reused for exactly the cached depth. *)
 }
 
-let create spec = { spec; cache = Hashtbl.create 4096 }
+let create ?budget spec = { spec; budget; cache = Hashtbl.create 4096 }
 
 let rec compute t ~depth x =
   let spec = t.spec in
   if spec.terminal x then { vals = spec.decided x; complete = true }
   else if depth = 0 then { vals = spec.decided x; complete = false }
+  else if Layered_runtime.Budget.exceeded_opt t.budget <> None then
+    (* Budget exhausted: stop expanding futures.  The unexplored branch
+       degrades the outcome to incomplete (so verdicts become [Unknown]
+       rather than wrong), and nothing is cached — incompleteness here is
+       the budget's fault, not the depth's. *)
+    { vals = spec.decided x; complete = false }
   else begin
     let k = spec.key x in
     match Hashtbl.find_opt t.cache k with
@@ -42,6 +49,7 @@ let rec compute t ~depth x =
         res
     | Some _ | None ->
         Layered_runtime.Stats.record_valence_lookup ~hit:false;
+        Layered_runtime.Budget.charge_opt t.budget 1;
         let children = spec.succ x in
         let res =
           List.fold_left

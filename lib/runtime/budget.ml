@@ -1,0 +1,109 @@
+type reason = Deadline | States | Memory | Interrupted
+
+exception Exhausted of reason
+
+type truncation = { reason : reason; at_depth : int; states_seen : int }
+type status = Complete | Truncated of truncation
+type 'a outcome = { value : 'a; status : status }
+
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  max_states : int option;
+  max_heap_words : int option;
+  cancelled : bool Atomic.t;
+  states : int Atomic.t;
+  probe : int Atomic.t;  (* check counter, for sampling the heap *)
+  first_trip : reason option Atomic.t;  (* sticky: first reason observed *)
+}
+
+let word_bytes = Sys.word_size / 8
+
+let create ?timeout_s ?max_states ?max_memory_mb () =
+  (match timeout_s with
+  | Some s when s < 0. -> invalid_arg "Budget.create: timeout_s must be >= 0"
+  | _ -> ());
+  (match max_states with
+  | Some n when n < 1 -> invalid_arg "Budget.create: max_states must be >= 1"
+  | _ -> ());
+  (match max_memory_mb with
+  | Some n when n < 1 -> invalid_arg "Budget.create: max_memory_mb must be >= 1"
+  | _ -> ());
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
+    max_states;
+    max_heap_words = Option.map (fun mb -> mb * 1024 * 1024 / word_bytes) max_memory_mb;
+    cancelled = Atomic.make false;
+    states = Atomic.make 0;
+    probe = Atomic.make 0;
+    first_trip = Atomic.make None;
+  }
+
+let cancel t = Atomic.set t.cancelled true
+let is_cancelled t = Atomic.get t.cancelled
+let charge t n = if n <> 0 then ignore (Atomic.fetch_and_add t.states n)
+let states_seen t = Atomic.get t.states
+
+(* The heap watermark costs a [Gc.quick_stat] (no heap walk, but not
+   free either); sample it every 64th check. *)
+let sample_mask = 63
+
+let probe_limits t =
+  if Atomic.get t.cancelled then Some Interrupted
+  else
+    match t.max_states with
+    | Some cap when Atomic.get t.states > cap -> Some States
+    | _ -> (
+        let late =
+          match t.deadline with Some d -> Unix.gettimeofday () > d | None -> false
+        in
+        if late then Some Deadline
+        else
+          match t.max_heap_words with
+          | Some cap
+            when Atomic.fetch_and_add t.probe 1 land sample_mask = 0
+                 && (Gc.quick_stat ()).Gc.heap_words > cap ->
+              Some Memory
+          | _ -> None)
+
+let exceeded t =
+  match Atomic.get t.first_trip with
+  | Some _ as r -> r
+  | None -> (
+      match probe_limits t with
+      | None -> None
+      | Some reason ->
+          ignore (Atomic.compare_and_set t.first_trip None (Some reason));
+          (* re-read: another domain may have won the race *)
+          Atomic.get t.first_trip)
+
+let check t = match exceeded t with Some r -> raise (Exhausted r) | None -> ()
+let tripped t = Atomic.get t.first_trip
+
+let truncated t ~reason ~at_depth =
+  Truncated { reason; at_depth; states_seen = Atomic.get t.states }
+
+let exceeded_opt = function None -> None | Some t -> exceeded t
+let charge_opt b n = match b with None -> () | Some t -> charge t n
+let check_opt = function None -> () | Some t -> check t
+
+let with_sigint t f =
+  match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with
+  | exception (Invalid_argument _ | Sys_error _) -> f ()
+  | previous ->
+      Fun.protect ~finally:(fun () -> ignore (Sys.signal Sys.sigint previous)) f
+
+let reason_string = function
+  | Deadline -> "deadline"
+  | States -> "max-states"
+  | Memory -> "max-mem"
+  | Interrupted -> "interrupted"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_string r)
+
+let pp_truncation ppf { reason; at_depth; states_seen } =
+  Format.fprintf ppf "%a at depth %d after %d states" pp_reason reason at_depth
+    states_seen
+
+let pp_status ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Truncated tr -> Format.fprintf ppf "truncated (%a)" pp_truncation tr

@@ -49,19 +49,24 @@ end
 let default_shards = 64
 
 (* Drive the level-synchronous BFS, calling [f] on each level (the root
-   singleton included) as it is completed. *)
-let iter_levels pool ~succ ~key ~depth ~f x0 =
+   singleton included) as it is completed.  Returns the budget status:
+   levels delivered to [f] are always a complete prefix — the states-cap
+   decision happens only at level boundaries from the charged counts, so
+   a States truncation is deterministic across job counts, while a
+   deadline/cancellation firing mid-level (via [Budget.Exhausted] out of
+   a pool pass) abandons that level wholesale. *)
+let iter_levels ?budget pool ~succ ~key ~depth ~f x0 =
   let tbl = Shards.create ~shards:default_shards in
   Shards.commit tbl (key x0);
   let expand frontier =
     Stats.add_states_expanded (List.length frontier);
-    let candidates = List.concat (Pool.parallel_map pool succ frontier) in
+    let candidates = List.concat (Pool.parallel_map ?budget pool succ frontier) in
     let cands = Array.of_list candidates in
-    let keys = Array.of_list (Pool.parallel_map pool key candidates) in
+    let keys = Array.of_list (Pool.parallel_map ?budget pool key candidates) in
     let idxs = List.init (Array.length cands) Fun.id in
-    Pool.parallel_iter pool (fun i -> Shards.propose tbl keys.(i) i) idxs;
+    Pool.parallel_iter ?budget pool (fun i -> Shards.propose tbl keys.(i) i) idxs;
     let winners =
-      Pool.parallel_map pool
+      Pool.parallel_map ?budget pool
         (fun i -> if Shards.claim tbl keys.(i) i then Some cands.(i) else None)
         idxs
     in
@@ -69,36 +74,64 @@ let iter_levels pool ~succ ~key ~depth ~f x0 =
     Stats.add_dedup_hits (Array.length cands - List.length next);
     next
   in
-  f [ x0 ];
+  (* [go d frontier]: [frontier] is the completed level [d]; expanding it
+     yields level [d + 1].  A truncation while (or before) expanding
+     level [d]'s successors reports [at_depth = d]. *)
   let rec go d frontier =
-    if d < depth && frontier <> [] then
-      match expand frontier with
-      | [] -> ()
-      | next ->
-          f next;
-          go (d + 1) next
+    if d >= depth || frontier = [] then None
+    else
+      match Budget.exceeded_opt budget with
+      | Some reason -> Some (reason, d)
+      | None -> (
+          match expand frontier with
+          | exception Budget.Exhausted reason -> Some (reason, d)
+          | [] -> None
+          | next -> (
+              Budget.charge_opt budget (List.length next);
+              match f next with
+              | exception Budget.Exhausted reason -> Some (reason, d + 1)
+              | () -> go (d + 1) next))
   in
-  go 0 [ x0 ]
+  Budget.charge_opt budget 1;
+  let trunc =
+    match f [ x0 ] with
+    | exception Budget.Exhausted reason -> Some (reason, 0)
+    | () -> go 0 [ x0 ]
+  in
+  match trunc with
+  | None -> Budget.Complete
+  | Some (reason, at_depth) -> (
+      match budget with
+      | Some b -> Budget.truncated b ~reason ~at_depth
+      | None -> assert false (* Exhausted only arises from a budget *))
 
-let levels pool ~succ ~key ~depth x0 =
+let levels ?budget pool ~succ ~key ~depth x0 =
   let acc = ref [] in
-  iter_levels pool ~succ ~key ~depth ~f:(fun level -> acc := level :: !acc) x0;
-  List.rev !acc
+  let status =
+    iter_levels ?budget pool ~succ ~key ~depth ~f:(fun level -> acc := level :: !acc) x0
+  in
+  { Budget.value = List.rev !acc; status }
 
-let reachable pool ~succ ~key ~depth x0 = List.concat (levels pool ~succ ~key ~depth x0)
+let reachable ?budget pool ~succ ~key ~depth x0 =
+  let o = levels ?budget pool ~succ ~key ~depth x0 in
+  { o with Budget.value = List.concat o.Budget.value }
 
-let count_reachable pool ~succ ~key ~depth x0 =
+let count_reachable ?budget pool ~succ ~key ~depth x0 =
   let n = ref 0 in
-  iter_levels pool ~succ ~key ~depth ~f:(fun level -> n := !n + List.length level) x0;
-  !n
+  let status =
+    iter_levels ?budget pool ~succ ~key ~depth
+      ~f:(fun level -> n := !n + List.length level)
+      x0
+  in
+  { Budget.value = !n; status }
 
 exception Found
 
-let exists_reachable pool ~succ ~key ~depth ~pred x0 =
+let exists_reachable ?budget pool ~succ ~key ~depth ~pred x0 =
   let check level =
-    if List.exists Fun.id (Pool.parallel_map pool pred level) then raise_notrace Found
+    if List.exists Fun.id (Pool.parallel_map ?budget pool pred level) then
+      raise_notrace Found
   in
-  try
-    iter_levels pool ~succ ~key ~depth ~f:check x0;
-    false
-  with Found -> true
+  match iter_levels ?budget pool ~succ ~key ~depth ~f:check x0 with
+  | status -> { Budget.value = false; status }
+  | exception Found -> { Budget.value = true; status = Budget.Complete }

@@ -60,19 +60,25 @@ let shutdown pool =
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
-let with_pool ?jobs f =
+let with_pool ?jobs ?budget f =
   let pool = create ?jobs () in
-  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+  let go () = Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool) in
+  match budget with None -> go () | Some b -> Budget.with_sigint b go
 
-let parallel_map pool f xs =
+let parallel_map ?budget pool f xs =
   match xs with
   | [] -> []
   | [ x ] ->
       Stats.record_task ~slot:0;
+      Budget.check_opt budget;
       [ f x ]
   | xs when pool.size = 1 ->
       Stats.record_task ~slot:0;
-      List.map f xs
+      List.map
+        (fun x ->
+          Budget.check_opt budget;
+          f x)
+        xs
   | xs ->
       let input = Array.of_list xs in
       let n = Array.length input in
@@ -87,6 +93,7 @@ let parallel_map pool f xs =
       let run_chunk p =
         (try
            for i = bound p to bound (p + 1) - 1 do
+             Budget.check_opt budget;
              out.(i) <- Some (f input.(i))
            done
          with e -> ignore (Atomic.compare_and_set first_exn None (Some e)));
@@ -110,4 +117,4 @@ let parallel_map pool f xs =
       (match Atomic.get first_exn with Some e -> raise e | None -> ());
       Array.to_list (Array.map (function Some y -> y | None -> assert false) out)
 
-let parallel_iter pool f xs = ignore (parallel_map pool (fun x -> f x) xs)
+let parallel_iter ?budget pool f xs = ignore (parallel_map ?budget pool (fun x -> f x) xs)

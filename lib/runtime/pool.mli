@@ -32,15 +32,25 @@ val jobs : t -> int
     [jobs t] domains.  If one or more applications of [f] raise, the
     first exception observed is re-raised on the calling domain after
     every chunk has settled — the pool never deadlocks and remains
-    usable. *)
-val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+    usable.
 
-val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+    With [?budget], every slot consults the budget before each element:
+    an exhausted budget makes the chunks stop early and
+    [Budget.Exhausted] reach the caller through the same
+    settle-then-reraise path, so cancellation (e.g. Ctrl-C) drains the
+    workers instead of wedging them. *)
+val parallel_map : ?budget:Budget.t -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+val parallel_iter : ?budget:Budget.t -> t -> ('a -> unit) -> 'a list -> unit
 
 (** Join all worker domains.  Idempotent.  The pool must not be used
     afterwards. *)
 val shutdown : t -> unit
 
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
-    exit (normal or exceptional). *)
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+    exit (normal or exceptional).  With [?budget], a SIGINT handler that
+    cancels the budget is installed for the duration
+    ({!Budget.with_sigint}): Ctrl-C then drains the workers cooperatively
+    and [f]'s partial results survive, instead of the process dying
+    mid-write. *)
+val with_pool : ?jobs:int -> ?budget:Budget.t -> (t -> 'a) -> 'a

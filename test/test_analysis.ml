@@ -31,6 +31,11 @@ let experiment_case (e : Registry.experiment) =
   let speed = if List.mem e.Registry.id [ "E7"; "E8" ] then `Slow else `Quick in
   Alcotest.test_case e.Registry.id speed run
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let test_sweep () =
   List.iter
     (fun model ->
@@ -47,10 +52,91 @@ let test_sweep () =
     (Invalid_argument "Sweep.run: unknown model \"nope\"") (fun () ->
       ignore (Sweep.run ~model:"nope" ~n:3 ~t:1 ~depth:1 ()))
 
-let contains haystack needle =
-  let nl = String.length needle and hl = String.length haystack in
-  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
-  go 0
+module Budget = Layered_runtime.Budget
+
+(* A budgeted sweep reports the completed level prefix of the unbudgeted
+   run, flagged Truncated; a generous budget changes nothing. *)
+let test_sweep_budget () =
+  let full = Sweep.run ~model:"sync" ~n:4 ~t:1 ~depth:3 () in
+  check "unbudgeted run is Complete" true (full.Sweep.status = Budget.Complete);
+  let capped =
+    Sweep.run ~budget:(Budget.create ~max_states:5 ()) ~model:"sync" ~n:4 ~t:1 ~depth:3
+      ()
+  in
+  (match capped.Sweep.status with
+  | Budget.Truncated { Budget.reason = Budget.States; _ } -> ()
+  | _ -> Alcotest.fail "expected a States truncation");
+  check "truncated rows are a strict prefix" true
+    (List.length capped.Sweep.levels < List.length full.Sweep.levels);
+  List.iteri
+    (fun i (l : Sweep.level) -> check "prefix row matches" true (l = List.nth full.Sweep.levels i))
+    capped.Sweep.levels;
+  let generous =
+    Sweep.run ~budget:(Budget.create ~max_states:10_000_000 ()) ~model:"sync" ~n:4 ~t:1
+      ~depth:3 ()
+  in
+  check "generous budget is invisible" true
+    (generous.Sweep.levels = full.Sweep.levels
+    && generous.Sweep.status = Budget.Complete)
+
+(* Budgeted checkers stop early and say so; verdict booleans cover the
+   explored prefix only. *)
+let test_checker_budget () =
+  let protocol = Layered_protocols.Sync_floodset.make ~t:1 in
+  let full = Consensus_check.check ~protocol ~n:3 ~t:1 ~rounds:3 () in
+  check "unbudgeted check is Complete" true
+    (full.Consensus_check.status = Budget.Complete);
+  let capped =
+    Consensus_check.check ~protocol ~n:3 ~t:1 ~rounds:3
+      ~budget:(Budget.create ~max_states:10 ()) ()
+  in
+  (match capped.Consensus_check.status with
+  | Budget.Truncated { Budget.reason = Budget.States; states_seen; _ } ->
+      check "stopped near the cap" true (states_seen < full.Consensus_check.states_explored)
+  | _ -> Alcotest.fail "expected a States truncation");
+  check "explored fewer states" true
+    (capped.Consensus_check.states_explored < full.Consensus_check.states_explored);
+  let o =
+    Omission_check.check ~protocol ~n:3 ~t:1 ~rounds:3
+      ~budget:(Budget.create ~max_states:10 ()) ()
+  in
+  check "omission checker truncates too" true (o.Omission_check.status <> Budget.Complete)
+
+(* A raising experiment becomes a Fail row carrying the exception text;
+   the other experiments still report. *)
+let test_registry_exception_row () =
+  let boom =
+    { Registry.id = "EX"; title = "deliberately failing"; run = (fun () -> failwith "kaboom") }
+  in
+  let ok =
+    {
+      Registry.id = "EOK";
+      title = "fine";
+      run =
+        (fun () ->
+          [
+            Report.row ~id:"EOK" ~claim:"c" ~params:"" ~expected:"x" ~measured:"x"
+              Report.Pass;
+          ]);
+    }
+  in
+  let results = Registry.run_all [ boom; ok ] in
+  check "both experiments report" true (List.length results = 2);
+  (match results with
+  | [ (_, [ row ]); (_, ok_rows) ] ->
+      check "failing experiment yields a Fail row" true (row.Report.status = Report.Fail);
+      check "row carries the exception text" true
+        (contains row.Report.measured "kaboom");
+      check "healthy experiment unaffected" true (Report.all_pass ok_rows)
+  | _ -> Alcotest.fail "unexpected result shape");
+  (* an exhausted budget skips not-yet-started experiments with Info rows *)
+  let b = Budget.create () in
+  Budget.cancel b;
+  match Registry.run_all ~budget:b [ ok ] with
+  | [ (_, [ row ]) ] ->
+      check "skipped row is Info" true (row.Report.status = Report.Info);
+      check "skipped row says why" true (contains row.Report.measured "interrupted")
+  | _ -> Alcotest.fail "expected one skipped row"
 
 let test_chains () =
   (* Ever-bivalent models: chains complete; where every process moves
@@ -92,6 +178,10 @@ let () =
       ( "tools",
         [
           Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "sweep under budget" `Quick test_sweep_budget;
+          Alcotest.test_case "checkers under budget" `Quick test_checker_budget;
+          Alcotest.test_case "registry isolates failures" `Quick
+            test_registry_exception_row;
           Alcotest.test_case "chains" `Quick test_chains;
           Alcotest.test_case "dot export" `Quick test_export_dot;
         ] );

@@ -54,14 +54,14 @@ let test_parallel_map_exception () =
 let frontier_agrees ~jobs ~name ~succ ~key ~depth x0 =
   Pool.with_pool ~jobs (fun pool ->
       let serial = Explore.reachable { Explore.succ; key } ~depth x0 in
-      let par = Frontier.reachable pool ~succ ~key ~depth x0 in
+      let par = (Frontier.reachable pool ~succ ~key ~depth x0).Budget.value in
       Alcotest.(check (list string))
         (Printf.sprintf "%s: reachable agrees at jobs=%d" name jobs)
         (List.map key serial) (List.map key par);
       check_int
         (Printf.sprintf "%s: count agrees at jobs=%d" name jobs)
         (Explore.count_reachable { Explore.succ; key } ~depth x0)
-        (Frontier.count_reachable pool ~succ ~key ~depth x0))
+        (Frontier.count_reachable pool ~succ ~key ~depth x0).Budget.value)
 
 let test_frontier_sync_floodset () =
   let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
@@ -90,19 +90,22 @@ let test_frontier_exists () =
   let succ = E.st ~t:1 in
   Pool.with_pool ~jobs:4 (fun pool ->
       check "terminal state reachable at depth 3" true
-        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:3 ~pred:E.terminal x0);
+        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:3 ~pred:E.terminal x0)
+          .Budget.value;
       check "none at depth 0" false
-        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:0 ~pred:E.terminal x0);
+        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:0 ~pred:E.terminal x0)
+          .Budget.value;
       check "agrees with Explore"
         (Explore.exists_reachable { Explore.succ; key = E.key } ~depth:2 ~pred:E.terminal x0)
-        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:2 ~pred:E.terminal x0))
+        (Frontier.exists_reachable pool ~succ ~key:E.key ~depth:2 ~pred:E.terminal x0)
+          .Budget.value)
 
 (* Levels partition the reachable set by first-reached depth. *)
 let test_frontier_levels () =
   let succ x = if x >= 16 then [] else [ (2 * x) mod 19; ((2 * x) + 1) mod 19 ] in
   let key = string_of_int in
   Pool.with_pool ~jobs:2 (fun pool ->
-      let levels = Frontier.levels pool ~succ ~key ~depth:6 1 in
+      let levels = (Frontier.levels pool ~succ ~key ~depth:6 1).Budget.value in
       let flat = List.concat levels in
       Alcotest.(check (list string))
         "concat levels = reachable"
@@ -121,7 +124,117 @@ let test_frontier_exception () =
       (* same pool still works afterwards *)
       check_int "pool alive" 3
         (Frontier.count_reachable pool ~succ:(fun x -> if x < 2 then [ x + 1 ] else [])
-           ~key:string_of_int ~depth:5 0))
+           ~key:string_of_int ~depth:5 0)
+          .Budget.value)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets *)
+
+(* A deadline expiring mid-BFS yields [Truncated], and the delivered
+   levels are exactly a prefix of the serial (unbudgeted) level
+   sequence.  The sleeping successor makes truncation certain: the full
+   graph costs > 200ms of mandatory sleep against a 50ms budget. *)
+let test_budget_deadline_prefix () =
+  let succ_pure x = if x >= 200 then [] else [ (2 * x) mod 211; ((2 * x) + 1) mod 211 ] in
+  let succ_slow x =
+    Unix.sleepf 0.001;
+    succ_pure x
+  in
+  let key = string_of_int in
+  let serial =
+    Pool.with_pool ~jobs:1 (fun pool ->
+        (Frontier.levels pool ~succ:succ_pure ~key ~depth:12 1).Budget.value)
+  in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let b = Budget.create ~timeout_s:0.05 () in
+      let o = Frontier.levels ~budget:b pool ~succ:succ_slow ~key ~depth:12 1 in
+      (match o.Budget.status with
+      | Budget.Truncated { Budget.reason = Budget.Deadline; _ } -> ()
+      | Budget.Truncated _ -> Alcotest.fail "truncated for the wrong reason"
+      | Budget.Complete -> Alcotest.fail "expected a Deadline truncation");
+      let got = o.Budget.value in
+      check "delivered fewer levels than the serial run" true
+        (List.length got < List.length serial);
+      List.iteri
+        (fun i level ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "level %d equals the serial level" i)
+            (List.map key (List.nth serial i))
+            (List.map key level))
+        got)
+
+(* The states cap is enforced at level boundaries against de-duplicated
+   counts, so the truncation point — levels, reason, depth and the
+   charged total — is identical for every job count. *)
+let test_budget_max_states_deterministic () =
+  let succ x = if x >= 500 then [] else [ ((3 * x) + 1) mod 601; (x + 7) mod 601 ] in
+  let key = string_of_int in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let b = Budget.create ~max_states:40 () in
+        let o = Frontier.levels ~budget:b pool ~succ ~key ~depth:20 1 in
+        (List.map (List.map key) o.Budget.value, o.Budget.status))
+  in
+  let ref_levels, ref_status = run 1 in
+  (match ref_status with
+  | Budget.Truncated { Budget.reason = Budget.States; _ } -> ()
+  | _ -> Alcotest.fail "expected a States truncation");
+  List.iter
+    (fun jobs ->
+      let levels, status = run jobs in
+      Alcotest.(check (list (list string)))
+        (Printf.sprintf "levels identical at jobs=%d" jobs)
+        ref_levels levels;
+      check (Printf.sprintf "status identical at jobs=%d" jobs) true
+        (status = ref_status))
+    [ 2; 4 ]
+
+(* Cancelling the token mid-map surfaces [Exhausted Interrupted] through
+   the usual settle-then-reraise path: no deadlock, and the pool stays
+   usable. *)
+let test_budget_cancel_parallel_map () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let b = Budget.create () in
+      let interrupted = ref false in
+      (try
+         ignore
+           (Pool.parallel_map ~budget:b pool
+              (fun x ->
+                if x = 100 then Budget.cancel b;
+                x)
+              (List.init 10_000 Fun.id))
+       with Budget.Exhausted Budget.Interrupted -> interrupted := true);
+      check "Exhausted Interrupted raised" true !interrupted;
+      Alcotest.(check (list int))
+        "pool alive after cancellation" [ 1; 2; 3 ]
+        (Pool.parallel_map pool (fun x -> x) [ 1; 2; 3 ]))
+
+(* A budget generous enough never to trip must be invisible: Complete
+   status and results identical to the serial Explore BFS, at every job
+   count. *)
+let test_budget_complete_identical () =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let x0 = E.initial ~inputs:[| 0; 1; 1 |] in
+  let succ = E.st ~t:1 and key = E.key in
+  let serial = Explore.reachable { Explore.succ; key } ~depth:3 x0 in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let b =
+            Budget.create ~timeout_s:3600.0 ~max_states:1_000_000
+              ~max_memory_mb:65536 ()
+          in
+          let o = Frontier.reachable ~budget:b pool ~succ ~key ~depth:3 x0 in
+          check
+            (Printf.sprintf "complete at jobs=%d" jobs)
+            true
+            (o.Budget.status = Budget.Complete);
+          Alcotest.(check (list string))
+            (Printf.sprintf "identical to Explore at jobs=%d" jobs)
+            (List.map key serial)
+            (List.map key o.Budget.value)))
+    [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)
@@ -192,6 +305,17 @@ let () =
           Alcotest.test_case "exists_reachable" `Quick test_frontier_exists;
           Alcotest.test_case "levels partition" `Quick test_frontier_levels;
           Alcotest.test_case "exception propagation" `Quick test_frontier_exception;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "deadline truncates to a serial prefix" `Quick
+            test_budget_deadline_prefix;
+          Alcotest.test_case "max-states deterministic across jobs" `Quick
+            test_budget_max_states_deterministic;
+          Alcotest.test_case "cancellation drains parallel_map" `Quick
+            test_budget_cancel_parallel_map;
+          Alcotest.test_case "generous budget is invisible" `Quick
+            test_budget_complete_identical;
         ] );
       ( "stats",
         [ Alcotest.test_case "monotone and reset" `Quick test_stats_monotone_and_reset ] );
