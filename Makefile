@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke fmt
+.PHONY: build test bench-smoke chaos-smoke fmt
 
 build:
 	dune build
@@ -12,6 +12,11 @@ test:
 # code cannot bit-rot unexercised.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# One full round of the fault-injection matrix at a fixed seed: every
+# (site, oracle) cell must detect its armed fault and pass its control.
+chaos-smoke:
+	dune exec bin/main.exe -- chaos --seed 42 --trials 21
 
 fmt:
 	@dune fmt || echo "fmt skipped (ocamlformat not available)"

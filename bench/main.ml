@@ -388,6 +388,27 @@ let ablation_e1_pool jobs =
       initials
 
 (* ------------------------------------------------------------------ *)
+(* Chaos-layer overhead: the fault sites threaded through the hot paths
+   must be free when injection is disarmed (the production state, and
+   always the state here).  One million probes of the disabled fast
+   path — a flag read and a branch each — so the per-probe cost lands
+   in the --json record where CI can watch it. *)
+
+module Fault = Layered_runtime.Fault
+
+let chaos_point_disabled () =
+  for _ = 1 to 1_000_000 do
+    if Fault.point Fault.Drop_successor then assert false
+  done
+
+let chaos_mangle_disabled =
+  let level = [ 1; 2; 3 ] in
+  fun () ->
+    for _ = 1 to 1_000_000 do
+      ignore (Fault.mangle_level level)
+    done
+
+(* ------------------------------------------------------------------ *)
 (* Harness *)
 
 (* Each kernel carries the instance parameters it exercises so that
@@ -431,6 +452,8 @@ let kernels =
     { name = "ablation/e1-pool-jobs1"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 1 };
     { name = "ablation/e1-pool-jobs2"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 2 };
     { name = "ablation/e1-pool-jobs4"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 4 };
+    { name = "chaos/point-disabled"; n = 0; t = 0; depth = 0; fn = chaos_point_disabled };
+    { name = "chaos/mangle-disabled"; n = 0; t = 0; depth = 0; fn = chaos_mangle_disabled };
   ]
 
 let run_smoke () =

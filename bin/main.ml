@@ -330,10 +330,94 @@ let graph_cmd =
   in
   Cmd.v (Cmd.info "graph" ~doc) Term.(const f $ what $ n_arg $ t_arg $ task)
 
+let oracles_cmd =
+  let doc = "Run the differential/metamorphic runtime oracles." in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:"Oracle names to run (default: all); see $(b,layered oracles) output.")
+  in
+  let f names jobs =
+    (match
+       List.filter (fun n -> Oracle.find n = None) names
+     with
+    | [] -> ()
+    | unknown ->
+        Format.eprintf "unknown oracle(s): %s@." (String.concat ", " unknown));
+    let names = match names with [] -> None | ns -> Some ns in
+    let rows = Oracle.rows ~jobs ?names () in
+    Format.printf "%a" Report.pp_table rows;
+    if rows <> [] && Report.all_pass rows then 0 else 1
+  in
+  Cmd.v (Cmd.info "oracles" ~doc) Term.(const f $ names $ jobs_arg)
+
+let chaos_cmd =
+  let doc =
+    "Seeded fault-injection trials: every armed fault must be caught by its paired \
+     oracles, every disarmed control must pass."
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Base seed; trial $(i,i) arms with seed+i.")
+  in
+  let trials =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"trials") 21
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Number of trials, assigned round-robin over the (site, oracle) pairing \
+             table; fewer trials than pairs leaves cells uncovered, which fails.")
+  in
+  let faults =
+    let site_conv =
+      let parse s =
+        match Layered_runtime.Fault.site_of_name s with
+        | Some site -> Ok site
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown fault site %S (known: %s)" s
+                    (String.concat ", "
+                       (List.map Layered_runtime.Fault.site_name
+                          Layered_runtime.Fault.all))))
+      in
+      Arg.conv (parse, fun ppf s -> Layered_runtime.Fault.pp_site ppf s)
+    in
+    Arg.(
+      value
+      & opt (list site_conv) Layered_runtime.Fault.all
+      & info [ "faults" ] ~docv:"SITE,..."
+          ~doc:"Comma-separated fault sites to inject (default: all).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let f seed trials sites jobs json =
+    let r = Chaos.run ~jobs ~sites ~seed ~trials () in
+    if json then print_string (Chaos.to_json r)
+    else Format.printf "@[<v>%a@]@." Chaos.pp r;
+    if Chaos.ok r then 0 else 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const f $ seed $ trials $ faults $ jobs_arg $ json)
+
 let () =
   let doc = "layered-analysis reproduction of Moses & Rajsbaum (PODC 1998)" in
   let info = Cmd.info "layered" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; verify_cmd; layers_cmd; chain_cmd; graph_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            verify_cmd;
+            layers_cmd;
+            chain_cmd;
+            graph_cmd;
+            oracles_cmd;
+            chaos_cmd;
+          ]))

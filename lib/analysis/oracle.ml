@@ -1,0 +1,464 @@
+open Layered_core
+module Budget = Layered_runtime.Budget
+module Pool = Layered_runtime.Pool
+module Frontier = Layered_runtime.Frontier
+
+type verdict = { ok : bool; detail : string }
+type t = { name : string; what : string; check : jobs:int -> verdict }
+
+let pass_ = { ok = true; detail = "ok" }
+let fail detail = { ok = false; detail }
+
+(* Parallel legs always get at least two jobs: an oracle run with
+   [~jobs:1] would never dispatch to a worker domain and the worker
+   fault sites could not fire. *)
+let clamp jobs = max 2 jobs
+let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.one)
+
+(* Clean runs of the timed workloads finish in a few milliseconds; a
+   stalled worker adds [Fault.stall_seconds] = 0.25 s.  The threshold is
+   absolute so the oracle needs no paired reference run. *)
+let fast_threshold_s = 0.1
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* Differential: serial BFS vs parallel frontier BFS, byte-for-byte.   *)
+
+let serial_parallel (type a) ~(succ : a -> a list) ~(key : a -> string) ~depth
+    (x0 : a) ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let serial = List.map key (Explore.reachable { Explore.succ; key } ~depth x0) in
+      let par =
+        List.map key (Frontier.reachable pool ~succ ~key ~depth x0).Budget.value
+      in
+      if serial = par then pass_
+      else
+        fail
+          (Printf.sprintf "serial BFS visited %d states, parallel %d (or orders differ)"
+             (List.length serial) (List.length par)))
+
+(* The engine's state type is existential once the protocol module is
+   opened locally, so continuations over a workload must be explicitly
+   polymorphic. *)
+type workload_user = {
+  use : 'a. succ:('a -> 'a list) -> key:('a -> string) -> x0:'a -> verdict;
+}
+
+let with_floodset_st ~n ~t { use } =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+  let module E = Layered_sync.Engine.Make (P) in
+  use ~succ:(E.st ~t) ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
+
+let with_floodset_s1 ~n ~t { use } =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+  let module E = Layered_sync.Engine.Make (P) in
+  use ~succ:(E.s1 ~record_failures:false) ~key:E.key
+    ~x0:(E.initial ~inputs:(mixed_inputs n))
+
+(* A synthetic binary tree: no dedup pressure, every state fresh, so a
+   dropped or duplicated state can never be papered over. *)
+let tree_succ x = if x < 255 then [ (2 * x) + 1; (2 * x) + 2 ] else []
+let tree_key = string_of_int
+
+let sp_sync ~jobs =
+  with_floodset_st ~n:3 ~t:1 { use = (fun ~succ ~key ~x0 ->
+      serial_parallel ~succ ~key ~depth:3 x0 ~jobs) }
+
+let sp_mobile ~jobs =
+  with_floodset_s1 ~n:3 ~t:1 { use = (fun ~succ ~key ~x0 ->
+      serial_parallel ~succ ~key ~depth:2 x0 ~jobs) }
+
+let sp_tree ~jobs = serial_parallel ~succ:tree_succ ~key:tree_key ~depth:8 0 ~jobs
+
+(* ------------------------------------------------------------------ *)
+(* Conservation: levels are disjoint, their union is the serial        *)
+(* reachable set, and the counting traversal agrees.                   *)
+
+let conservation_sync ~jobs =
+  with_floodset_st ~n:4 ~t:1 { use = (fun ~succ ~key ~x0 ->
+      Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+          let o = Frontier.levels pool ~succ ~key ~depth:2 x0 in
+          let flat = List.map key (List.concat o.Budget.value) in
+          let serial =
+            List.map key (Explore.reachable { Explore.succ; key } ~depth:2 x0)
+          in
+          let count =
+            (Frontier.count_reachable pool ~succ ~key ~depth:2 x0).Budget.value
+          in
+          let distinct = List.sort_uniq compare flat in
+          if o.Budget.status <> Budget.Complete then fail "unbudgeted run not Complete"
+          else if List.length distinct <> List.length flat then
+            fail "levels are not disjoint"
+          else if flat <> serial then fail "flattened levels differ from serial BFS"
+          else if count <> List.length serial then
+            fail
+              (Printf.sprintf "count_reachable says %d, serial BFS visited %d" count
+                 (List.length serial))
+          else pass_)) }
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic: a states-capped run is a prefix of the full run.       *)
+
+let prefix_sync ~jobs =
+  with_floodset_st ~n:4 ~t:1 { use = (fun ~succ ~key ~x0 ->
+      Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+          let full = Frontier.levels pool ~succ ~key ~depth:3 x0 in
+          let budget = Budget.create ~max_states:5 () in
+          let capped = Frontier.levels ~budget pool ~succ ~key ~depth:3 x0 in
+          let keys o = List.map (List.map key) o.Budget.value in
+          let rec is_prefix a b =
+            match (a, b) with
+            | [], _ -> true
+            | x :: a', y :: b' -> x = y && is_prefix a' b'
+            | _ :: _, [] -> false
+          in
+          match capped.Budget.status with
+          | Budget.Truncated { Budget.reason = Budget.States; _ } ->
+              if is_prefix (keys capped) (keys full) then pass_
+              else fail "capped levels are not a prefix of the full run"
+          | Budget.Truncated { Budget.reason; _ } ->
+              fail
+                (Format.asprintf "truncated for the wrong reason: %a" Budget.pp_reason
+                   reason)
+          | Budget.Complete -> fail "max_states=5 failed to truncate")) }
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic: valence classification is order-invariant — two        *)
+(* independent engines fed the same states in opposite orders agree.   *)
+
+let perm_invariant (type a) ~(spec : a Valence.spec) ~depth (states : a list) =
+  let classify order =
+    let v = Valence.create spec in
+    List.map (fun x -> Valence.classify v ~depth x) order
+  in
+  let forward = classify states in
+  let backward = List.rev (classify (List.rev states)) in
+  if List.for_all2 Valence.verdict_equal forward backward then pass_
+  else fail "classification differs between traversal orders"
+
+let vp_floodset ~jobs:_ =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  perm_invariant ~spec:(E.valence_spec ~succ) ~depth:3
+    (E.initial_states ~n:3 ~values:[ Value.zero; Value.one ])
+
+let vp_early ~jobs:_ =
+  let module P = (val Layered_protocols.Sync_early.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.st ~t:1 in
+  perm_invariant ~spec:(E.valence_spec ~succ) ~depth:2
+    (E.initial_states ~n:3 ~values:[ Value.zero; Value.one ])
+
+let vp_mobile ~jobs:_ =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let succ = E.s1 ~record_failures:false in
+  perm_invariant ~spec:(E.valence_spec ~succ) ~depth:2
+    (E.initial_states ~n:3 ~values:[ Value.zero; Value.one ])
+
+(* ------------------------------------------------------------------ *)
+(* Containment: a worker crash must surface as an exception (or not at *)
+(* all), never corrupt results, and must leave the pool usable.        *)
+
+let contained troubles alive =
+  match (troubles, alive) with
+  | [], true -> pass_
+  | ts, true -> fail ("contained: " ^ String.concat "; " (List.rev ts))
+  | _, false -> fail "pool unusable afterwards"
+
+let containment_map ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let xs = List.init 256 Fun.id in
+      let expect = List.map (fun x -> (x * x) + 1) xs in
+      let troubles = ref [] in
+      for pass = 1 to 4 do
+        match Pool.parallel_map pool (fun x -> (x * x) + 1) xs with
+        | got ->
+            if got <> expect then
+              troubles := Printf.sprintf "pass %d: wrong result" pass :: !troubles
+        | exception e ->
+            troubles :=
+              Printf.sprintf "pass %d: raised %s" pass (Printexc.to_string e)
+              :: !troubles
+      done;
+      let alive =
+        try Pool.parallel_map pool (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ]
+        with _ -> false
+      in
+      contained !troubles alive)
+
+let containment_frontier ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let expect =
+        List.map tree_key
+          (Explore.reachable { Explore.succ = tree_succ; key = tree_key } ~depth:8 0)
+      in
+      let troubles = ref [] in
+      for pass = 1 to 4 do
+        match
+          (Frontier.reachable pool ~succ:tree_succ ~key:tree_key ~depth:8 0)
+            .Budget.value
+        with
+        | got ->
+            if List.map tree_key got <> expect then
+              troubles := Printf.sprintf "pass %d: wrong result" pass :: !troubles
+        | exception e ->
+            troubles :=
+              Printf.sprintf "pass %d: raised %s" pass (Printexc.to_string e)
+              :: !troubles
+      done;
+      let alive =
+        try Pool.parallel_map pool (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ]
+        with _ -> false
+      in
+      contained !troubles alive)
+
+let probe_experiments =
+  List.init 4 (fun i ->
+      let id = Printf.sprintf "probe%d" (i + 1) in
+      {
+        Registry.id;
+        title = "chaos probe";
+        run =
+          (fun () ->
+            [
+              Report.check ~id ~claim:"probe" ~params:"" ~expected:"runs"
+                ~measured:"ran" true;
+            ]);
+      })
+
+let containment_registry ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let troubles = ref [] in
+      for pass = 1 to 4 do
+        let results = Registry.run_all ~pool probe_experiments in
+        let rows = List.concat_map snd results in
+        if
+          List.exists
+            (fun (r : Report.row) -> r.Report.id = "registry")
+            rows
+        then troubles := Printf.sprintf "pass %d: serial fallback" pass :: !troubles;
+        if List.length results <> List.length probe_experiments then
+          troubles := Printf.sprintf "pass %d: experiments lost" pass :: !troubles
+        else if not (Report.all_pass rows) then
+          troubles := Printf.sprintf "pass %d: probe rows failed" pass :: !troubles
+      done;
+      let alive =
+        try Pool.parallel_map pool (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ]
+        with _ -> false
+      in
+      contained !troubles alive)
+
+(* ------------------------------------------------------------------ *)
+(* Completeness: under a budget far larger than the workload, every    *)
+(* run must report [Complete] — a truncation can only mean a phantom   *)
+(* deadline, cap, or cancellation.                                     *)
+
+let generous () = Budget.create ~max_states:1_000_000 ()
+
+let complete_frontier ~jobs =
+  with_floodset_st ~n:3 ~t:1 { use = (fun ~succ ~key ~x0 ->
+      Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+          let o = Frontier.reachable ~budget:(generous ()) pool ~succ ~key ~depth:3 x0 in
+          match o.Budget.status with
+          | Budget.Complete ->
+              if o.Budget.value = [] then fail "empty reachable set" else pass_
+          | Budget.Truncated tr ->
+              fail
+                (Format.asprintf "generous budget truncated: %a" Budget.pp_truncation
+                   tr))) }
+
+let complete_consensus ~jobs:_ =
+  let r =
+    Consensus_check.check
+      ~protocol:(Layered_protocols.Sync_floodset.make ~t:1)
+      ~n:3 ~t:1 ~rounds:2 ~budget:(generous ()) ()
+  in
+  match r.Consensus_check.status with
+  | Budget.Complete ->
+      if r.agreement_ok && r.validity_ok && r.termination_ok then pass_
+      else fail "floodset verdicts regressed under a generous budget"
+  | Budget.Truncated tr ->
+      fail (Format.asprintf "generous budget truncated: %a" Budget.pp_truncation tr)
+
+let complete_omission ~jobs:_ =
+  let r =
+    Omission_check.check
+      ~protocol:(Layered_protocols.Sync_coordinator.make ~t:1)
+      ~n:3 ~t:1 ~rounds:6 ~budget:(generous ()) ()
+  in
+  match r.Omission_check.status with
+  | Budget.Complete ->
+      if r.agreement_ok && r.validity_ok && r.termination_ok then pass_
+      else fail "coordinator verdicts regressed under a generous budget"
+  | Budget.Truncated tr ->
+      fail (Format.asprintf "generous budget truncated: %a" Budget.pp_truncation tr)
+
+(* ------------------------------------------------------------------ *)
+(* Timing: small fixed workloads against an absolute wall-clock bound. *)
+
+let timing verdict elapsed =
+  if elapsed < fast_threshold_s then verdict
+  else fail (Printf.sprintf "took %.3f s (threshold %.2f s)" elapsed fast_threshold_s)
+
+let timing_map ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let xs = List.init 64 Fun.id in
+      let bad = ref false in
+      let elapsed =
+        timed (fun () ->
+            for _ = 1 to 4 do
+              if Pool.parallel_map pool (fun x -> x + 1) xs <> List.map succ xs then
+                bad := true
+            done)
+      in
+      timing (if !bad then fail "wrong result" else pass_) elapsed)
+
+let timing_frontier ~jobs =
+  with_floodset_st ~n:3 ~t:1 { use = (fun ~succ ~key ~x0 ->
+      Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+          let n = ref 0 in
+          let elapsed =
+            timed (fun () ->
+                n := (Frontier.count_reachable pool ~succ ~key ~depth:3 x0).Budget.value)
+          in
+          timing (if !n > 0 then pass_ else fail "empty reachable set") elapsed)) }
+
+let timing_iter ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let xs = List.init 64 Fun.id in
+      let hits = Atomic.make 0 in
+      let elapsed =
+        timed (fun () ->
+            for _ = 1 to 4 do
+              Pool.parallel_iter pool
+                (fun _ -> ignore (Atomic.fetch_and_add hits 1))
+                xs
+            done)
+      in
+      timing
+        (if Atomic.get hits = 4 * List.length xs then pass_
+         else fail "parallel_iter lost elements")
+        elapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine: the one 2-set algorithm verified on three substrates. *)
+
+let cross_engine_kset ~jobs:_ =
+  let rows = E19_equivalence.run () in
+  if Report.all_pass rows then pass_
+  else fail "the three substrates disagree on the 2-set algorithm"
+
+let all =
+  [
+    {
+      name = "serial-parallel/sync";
+      what = "serial and frontier BFS agree byte-for-byte (floodset S^t, n=3 t=1 d=3)";
+      check = sp_sync;
+    };
+    {
+      name = "serial-parallel/mobile";
+      what = "serial and frontier BFS agree byte-for-byte (floodset S_1, n=3 t=1 d=2)";
+      check = sp_mobile;
+    };
+    {
+      name = "serial-parallel/tree";
+      what = "serial and frontier BFS agree byte-for-byte (binary tree, 511 states)";
+      check = sp_tree;
+    };
+    {
+      name = "conservation/sync";
+      what = "levels disjoint, union = serial reachable set, counts agree (n=4 t=1 d=2)";
+      check = conservation_sync;
+    };
+    {
+      name = "prefix/sync";
+      what = "a states-capped frontier run is a prefix of the full run (n=4 t=1 d=3)";
+      check = prefix_sync;
+    };
+    {
+      name = "valence-perm/floodset";
+      what = "valence classification of Con_0 is traversal-order invariant (S^t)";
+      check = vp_floodset;
+    };
+    {
+      name = "valence-perm/early";
+      what = "valence classification of Con_0 is traversal-order invariant (early)";
+      check = vp_early;
+    };
+    {
+      name = "valence-perm/mobile";
+      what = "valence classification of Con_0 is traversal-order invariant (S_1)";
+      check = vp_mobile;
+    };
+    {
+      name = "containment/map";
+      what = "parallel_map never wedges or corrupts results; pool survives crashes";
+      check = containment_map;
+    };
+    {
+      name = "containment/frontier";
+      what = "frontier BFS never wedges or corrupts results; pool survives crashes";
+      check = containment_frontier;
+    };
+    {
+      name = "containment/registry";
+      what = "run_all yields every experiment's rows without a serial fallback";
+      check = containment_registry;
+    };
+    {
+      name = "complete/frontier";
+      what = "a generous budget reports Complete on the frontier BFS";
+      check = complete_frontier;
+    };
+    {
+      name = "complete/consensus";
+      what = "a generous budget reports Complete on the consensus checker";
+      check = complete_consensus;
+    };
+    {
+      name = "complete/omission";
+      what = "a generous budget reports Complete on the omission checker";
+      check = complete_omission;
+    };
+    {
+      name = "timing/map";
+      what = "four parallel_map passes finish under the wall-clock threshold";
+      check = timing_map;
+    };
+    {
+      name = "timing/frontier";
+      what = "a frontier BFS finishes under the wall-clock threshold";
+      check = timing_frontier;
+    };
+    {
+      name = "timing/iter";
+      what = "four parallel_iter passes finish under the wall-clock threshold";
+      check = timing_iter;
+    };
+    {
+      name = "cross-engine/kset";
+      what = "one 2-set algorithm, three substrates: E19 invariants all pass";
+      check = cross_engine_kset;
+    };
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let rows ?(jobs = 2) ?names () =
+  let selected =
+    match names with
+    | None -> all
+    | Some ns -> List.filter (fun o -> List.mem o.name ns) all
+  in
+  List.map
+    (fun o ->
+      let v = o.check ~jobs in
+      Report.check ~id:"ORACLE" ~claim:o.name ~params:"" ~expected:o.what
+        ~measured:v.detail v.ok)
+    selected

@@ -117,30 +117,73 @@ let find id =
    (a budgeted map would abort wholesale and lose the partial report). *)
 let run_all ?pool ?budget experiments =
   let module Budget = Layered_runtime.Budget in
+  let info_row e measured =
+    Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
+      ~expected:"run to completion" ~measured Layered_core.Report.Info
+  in
   let run e =
     match Budget.exceeded_opt budget with
     | Some reason ->
         ( e,
           [
-            Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
-              ~expected:"run to completion"
-              ~measured:
-                (Format.asprintf "skipped: budget exhausted (%a)" Budget.pp_reason
-                   reason)
-              Layered_core.Report.Info;
+            info_row e
+              (Format.asprintf "skipped: budget exhausted (%a)" Budget.pp_reason
+                 reason);
           ] )
     | None -> (
-        try (e, e.run ())
-        with exn ->
-          ( e,
-            [
-              Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
-                ~expected:"run to completion"
-                ~measured:(Printf.sprintf "raised: %s" (Printexc.to_string exn))
-                Layered_core.Report.Fail;
-            ] ))
+        match e.run () with
+        | rows -> (e, rows)
+        | exception exn1 -> (
+            (* A first failure gets one serial retry: a transient fault
+               (a crashed worker, an injected chaos exception) should not
+               cost the experiment its rows.  Either way the row says
+               what happened. *)
+            match e.run () with
+            | rows ->
+                ( e,
+                  rows
+                  @ [
+                      info_row e
+                        (Printf.sprintf
+                           "recovered: first attempt raised %s; serial retry \
+                            succeeded"
+                           (Printexc.to_string exn1));
+                    ] )
+            | exception exn2 ->
+                ( e,
+                  [
+                    Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
+                      ~expected:"run to completion"
+                      ~measured:
+                        (Printf.sprintf "raised: %s (serial retry raised: %s)"
+                           (Printexc.to_string exn1) (Printexc.to_string exn2))
+                      Layered_core.Report.Fail;
+                  ] )))
   in
+  let serial () = List.map run experiments in
   match pool with
-  | Some pool when Layered_runtime.Pool.jobs pool > 1 ->
-      Layered_runtime.Pool.parallel_map pool run experiments
-  | Some _ | None -> List.map run experiments
+  | Some pool when Layered_runtime.Pool.jobs pool > 1 -> (
+      (* Experiment-level exceptions are contained inside [run]; an
+         exception out of the map itself is pool infrastructure failing
+         (e.g. an injected worker crash killed a chunk before [run]
+         started).  Fall back to a full serial rerun so the report
+         survives, and leave an Info row saying so. *)
+      match Layered_runtime.Pool.parallel_map pool run experiments with
+      | results -> results
+      | exception infra -> (
+          match serial () with
+          | [] -> []
+          | (e, rows) :: rest ->
+              ( e,
+                rows
+                @ [
+                    Layered_core.Report.row ~id:"registry"
+                      ~claim:"parallel execution fell back to serial" ~params:""
+                      ~expected:"parallel map completes"
+                      ~measured:
+                        (Printf.sprintf "parallel run raised %s; reran serially"
+                           (Printexc.to_string infra))
+                      Layered_core.Report.Info;
+                  ] )
+              :: rest))
+  | Some _ | None -> serial ()

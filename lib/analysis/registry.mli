@@ -16,12 +16,17 @@ val find : string -> experiment option
     they are mutually independent); results are stitched back
     deterministically, so output is identical to the serial run.
 
-    A raising experiment contributes a single [Fail] row carrying the
-    exception text instead of aborting the whole report.  With a
-    [budget], experiments starting after it has tripped contribute an
-    [Info] "skipped" row; the budget is deliberately {e not} passed to
-    the parallel map, so already-running experiments finish and every
-    experiment gets a row. *)
+    A raising experiment is retried once, serially: if the retry
+    succeeds its rows are kept and an [Info] row notes the recovery; if
+    it raises again the experiment contributes a single [Fail] row
+    carrying both exception texts.  An exception out of the parallel map
+    itself (pool infrastructure failing, e.g. a crashed worker) triggers
+    a full serial rerun, noted by an [Info] row on the first experiment —
+    the report survives any single fault.  With a [budget], experiments
+    starting after it has tripped contribute an [Info] "skipped" row;
+    the budget is deliberately {e not} passed to the parallel map, so
+    already-running experiments finish and every experiment gets a
+    row. *)
 val run_all :
   ?pool:Layered_runtime.Pool.t ->
   ?budget:Layered_runtime.Budget.t ->

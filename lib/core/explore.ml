@@ -1,6 +1,7 @@
 type 'a spec = { succ : 'a -> 'a list; key : 'a -> string }
 
 module Budget = Layered_runtime.Budget
+module Fault = Layered_runtime.Fault
 
 exception Cut of Budget.reason * int
 
@@ -19,7 +20,14 @@ let bfs ?budget spec ~depth ~visit ~stop x =
     if Hashtbl.mem seen k then Layered_runtime.Stats.add_dedup_hits 1
     else begin
       Hashtbl.add seen k ();
-      Queue.add (d, y) queue
+      (* chaos sites, placed after the dedup check on purpose: a state
+         dropped here is marked seen yet never scanned (permanently
+         lost), and a duplicate enqueued here is scanned twice — neither
+         can be silently absorbed by the dedup table. *)
+      if not (Fault.point Fault.Drop_successor) then begin
+        Queue.add (d, y) queue;
+        if Fault.point Fault.Duplicate_state then Queue.add (d, y) queue
+      end
     end
   in
   push 0 x;

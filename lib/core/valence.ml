@@ -68,12 +68,28 @@ let outcome t ~depth x =
   if depth < 0 then invalid_arg "Valence.outcome: negative depth";
   compute t ~depth x
 
+(* chaos site: corrupt a classification so that the answer is a
+   *different* verdict — the permutation-invariance oracle compares
+   classifications computed by independent engines, so any flipped
+   verdict is observable there. *)
+let flip_verdict o = function
+  | Univalent _ | Unknown -> Bivalent
+  | Bivalent -> (
+      match Vset.elements o.vals with
+      | v :: _ -> Univalent v
+      | [] -> Unknown)
+
 let classify t ~depth x =
   let o = outcome t ~depth x in
-  match Vset.elements o.vals with
-  | [] -> Unknown
-  | [ v ] -> if o.complete then Univalent v else Unknown
-  | _ :: _ :: _ -> Bivalent
+  let verdict =
+    match Vset.elements o.vals with
+    | [] -> Unknown
+    | [ v ] -> if o.complete then Univalent v else Unknown
+    | _ :: _ :: _ -> Bivalent
+  in
+  if Layered_runtime.Fault.point Layered_runtime.Fault.Flip_valence_bit then
+    flip_verdict o verdict
+  else verdict
 
 let is_bivalent t ~depth x =
   match classify t ~depth x with

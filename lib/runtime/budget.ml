@@ -49,6 +49,9 @@ let sample_mask = 63
 
 let probe_limits t =
   if Atomic.get t.cancelled then Some Interrupted
+    (* chaos site: a probe claims cancellation nobody asked for — the
+       clean-run-completes oracle must notice the lie *)
+  else if Fault.point Fault.Spurious_cancel then Some Interrupted
   else
     match t.max_states with
     | Some cap when Atomic.get t.states > cap -> Some States
@@ -86,11 +89,20 @@ let exceeded_opt = function None -> None | Some t -> exceeded t
 let charge_opt b n = match b with None -> () | Some t -> charge t n
 let check_opt = function None -> () | Some t -> check t
 
+(* The previous handler must come back whatever [f] does, and the
+   restore itself must never shadow [f]'s outcome (a raising finally
+   would surface as [Fun.Finally_raised] instead): nested and repeated
+   uses — e.g. [Pool.with_pool ~budget] inside a budgeted driver — then
+   unwind to exactly the handler stack they started from. *)
 let with_sigint t f =
   match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with
   | exception (Invalid_argument _ | Sys_error _) -> f ()
   | previous ->
-      Fun.protect ~finally:(fun () -> ignore (Sys.signal Sys.sigint previous)) f
+      Fun.protect
+        ~finally:(fun () ->
+          try ignore (Sys.signal Sys.sigint previous)
+          with Invalid_argument _ | Sys_error _ -> ())
+        f
 
 let reason_string = function
   | Deadline -> "deadline"

@@ -1,0 +1,88 @@
+(** Deterministic, seed-driven fault injection for the runtime itself.
+
+    The paper's subject is computation under adversarial failures; this
+    module turns the same adversarial stance on our own runtime.  Named
+    {e fault sites} are threaded through the hot paths of the pool, the
+    frontier BFS, the budget probes and the valence engine.  A site is a
+    call to {!point}: it answers [false] always — unless injection has
+    been {!arm}ed for that site, in which case exactly one visit (chosen
+    by the seed) answers [true] and the call site misbehaves in its own
+    documented way (drop a successor, raise in a worker, report a
+    spurious cancellation, ...).
+
+    {b Fast path.}  Injection is guarded by a single [Atomic] flag read:
+    with injection disarmed (the production state) {!point} is one
+    [Atomic.get] and a branch, nothing else — see the
+    [chaos/point-disabled] bench kernel for the measured cost.
+
+    {b Determinism.}  [arm ~seed site] derives the firing visit index
+    from [seed] and fires {e exactly once}: visit indices are allocated
+    with a fetch-and-add, so precisely one visit observes the target
+    index regardless of how many domains race through the site.  Which
+    domain that is may vary with scheduling; that the fault fires, and
+    how many times, does not.
+
+    Injection is process-global (sites live inside engine hot loops that
+    have no room for a handle); arm/disarm from one place only — the
+    chaos harness does. *)
+
+type site =
+  | Drop_successor  (** a freshly-discovered state is silently discarded *)
+  | Duplicate_state  (** a state enters the frontier twice, past dedup *)
+  | Corrupt_dedup_shard
+      (** a dedup shard marks an unseen key as already claimed *)
+  | Worker_raise
+      (** a pool worker raises around a task, outside the task's own
+          handlers, and its domain dies *)
+  | Worker_stall  (** a pool worker sleeps {!stall_seconds} mid-task *)
+  | Spurious_cancel
+      (** a budget probe reports [Interrupted] though nobody cancelled *)
+  | Flip_valence_bit  (** a valence classification returns a wrong verdict *)
+
+(** Raised into the runtime by the [Worker_raise] site. *)
+exception Injected of site
+
+val all : site list
+
+val site_name : site -> string
+
+(** Inverse of {!site_name}; [None] on an unknown name. *)
+val site_of_name : string -> site option
+
+val pp_site : Format.formatter -> site -> unit
+
+(** How long the [Worker_stall] site sleeps when it fires.  Large enough
+    that a timing oracle separates a stalled run from an honest one with
+    a wide margin. *)
+val stall_seconds : float
+
+(** [arm ~seed site] enables injection for [site] and resets the visit
+    counters.  The firing visit index is [seed]-derived but always small
+    (< 3), so any site visited at least three times during the armed run
+    is guaranteed to fire. *)
+val arm : seed:int -> site -> unit
+
+(** Disable injection: every {!point} is [false] again.  Idempotent. *)
+val disarm : unit -> unit
+
+val armed : unit -> site option
+
+(** [point site] is [true] iff the armed fault fires at this visit.
+    Call sites must make the documented misbehaviour happen when it
+    does.  Visits to sites other than the armed one are not counted. *)
+val point : site -> bool
+
+(** Visits to the armed site since {!arm} (how often the fault {e could}
+    have fired). *)
+val hits : unit -> int
+
+(** Times the armed fault actually fired since {!arm} (0 or 1: a armed
+    fault fires at most once).  A chaos trial whose armed run ends with
+    [fired () = 0] never exercised the fault and proves nothing. *)
+val fired : unit -> int
+
+(** [mangle_level level] applies the [Drop_successor] / [Duplicate_state]
+    sites to a completed BFS level: drops the head if [Drop_successor]
+    fires, duplicates it if [Duplicate_state] fires, else returns the
+    list unchanged.  Free when injection is disarmed (one flag read). *)
+val mangle_level : 'a list -> 'a list

@@ -29,10 +29,15 @@ module Shards = struct
      Committed keys are never displaced. *)
   let propose t k idx =
     with_shard t k (fun tbl ->
-        match Hashtbl.find_opt tbl k with
-        | None -> Hashtbl.replace tbl k idx
-        | Some v when v >= 0 && idx < v -> Hashtbl.replace tbl k idx
-        | Some _ -> ())
+        (* chaos site: the shard lies that [k] was already claimed, so no
+           candidate for it can win pass B and the state is lost — the
+           differential oracles must catch the parallel leg short *)
+        if Fault.point Fault.Corrupt_dedup_shard then Hashtbl.replace tbl k (-1)
+        else
+          match Hashtbl.find_opt tbl k with
+          | None -> Hashtbl.replace tbl k idx
+          | Some v when v >= 0 && idx < v -> Hashtbl.replace tbl k idx
+          | Some _ -> ())
 
   (* Pass B: true iff [idx] is the recorded winner for [k]; commits the
      key on success.  Sound only after every proposal of the level has
@@ -72,7 +77,10 @@ let iter_levels ?budget pool ~succ ~key ~depth ~f x0 =
     in
     let next = List.filter_map Fun.id winners in
     Stats.add_dedup_hits (Array.length cands - List.length next);
-    next
+    (* chaos sites: drop or duplicate a state *after* dedup has settled
+       the level, where the damage cannot be absorbed by rediscovery
+       (the dropped state's key stays committed in the shards) *)
+    Fault.mangle_level next
   in
   (* [go d frontier]: [frontier] is the completed level [d]; expanding it
      yields level [d + 1].  A truncation while (or before) expanding

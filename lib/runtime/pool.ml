@@ -1,18 +1,53 @@
+(* A queued unit of work.  [fail] is the crash-containment channel: if
+   anything escapes [run] — including an injected worker fault raised
+   outside [run]'s own handlers — the worker routes the exception there
+   instead of dying with it, so the submitter's accounting always
+   settles and a waiting [parallel_map] can never wedge on a lost
+   slot. *)
+type task = { run : unit -> unit; fail : exn -> unit }
+
 type worker = {
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
   mutex : Mutex.t;
   cond : Condition.t;
+  alive : bool Atomic.t;  (* false once the worker's domain has exited *)
+  mutable domain : unit Domain.t option;
+      (* touched only from the owner domain (create / ensure_live /
+         shutdown), never from the worker itself *)
 }
 
 type t = {
   size : int;
   workers : worker array;  (* [size - 1] of them; slot p runs on workers.(p - 1) *)
   stop : bool Atomic.t;
-  mutable domains : unit Domain.t list;
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 let jobs t = t.size
+
+(* Execute one task under crash containment.  The [Worker_raise] and
+   [Worker_stall] fault sites live here — around the task, outside its
+   own handlers — precisely because this is the layer whose job is to
+   survive them.  Returns [false] when the failure was domain-fatal
+   (the injected worker crash): the loop then exits and the dead domain
+   is respawned by [ensure_live] on the pool's next use. *)
+let run_task w task =
+  match
+    if Fault.point Fault.Worker_raise then raise (Fault.Injected Fault.Worker_raise);
+    if Fault.point Fault.Worker_stall then Unix.sleepf Fault.stall_seconds;
+    task.run ()
+  with
+  | () -> true
+  | exception e ->
+      let fatal = match e with Fault.Injected Fault.Worker_raise -> true | _ -> false in
+      (* On a domain-fatal failure, mark the worker dead *before*
+         settling the submitter: [fail] wakes a waiting [parallel_map],
+         and if that caller dispatched again while [alive] still read
+         true, [ensure_live] would skip the respawn and the new task
+         would sit in a queue nobody drains. *)
+      if fatal then Atomic.set w.alive false;
+      (try task.fail e with _ -> ());
+      not fatal
 
 (* Workers sleep on their own condition variable and drain their queue
    before honouring [stop], so shutdown never drops submitted work. *)
@@ -25,8 +60,9 @@ let rec worker_loop pool w =
   | None -> Mutex.unlock w.mutex
   | Some task ->
       Mutex.unlock w.mutex;
-      task ();
-      worker_loop pool w
+      if run_task w task then worker_loop pool w
+
+let spawn pool w = w.domain <- Some (Domain.spawn (fun () -> worker_loop pool w))
 
 let create ?jobs () =
   let size =
@@ -36,12 +72,32 @@ let create ?jobs () =
   in
   let workers =
     Array.init (size - 1) (fun _ ->
-        { queue = Queue.create (); mutex = Mutex.create (); cond = Condition.create () })
+        {
+          queue = Queue.create ();
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          alive = Atomic.make true;
+          domain = None;
+        })
   in
-  let pool = { size; workers; stop = Atomic.make false; domains = [] } in
-  pool.domains <-
-    Array.to_list (Array.map (fun w -> Domain.spawn (fun () -> worker_loop pool w)) workers);
+  let pool = { size; workers; stop = Atomic.make false } in
+  Array.iter (fun w -> spawn pool w) workers;
   pool
+
+(* Respawn any worker whose domain died (a contained catastrophic task
+   failure).  Called from the owner domain before each dispatch, so a
+   crashed worker costs one trip through here, not the pool. *)
+let ensure_live pool =
+  Array.iter
+    (fun w ->
+      if not (Atomic.get w.alive) then begin
+        (* the domain set alive := false on its way out; join releases it *)
+        Option.iter Domain.join w.domain;
+        Atomic.set w.alive true;
+        Stats.record_worker_respawn ();
+        spawn pool w
+      end)
+    pool.workers
 
 let submit w task =
   Mutex.lock w.mutex;
@@ -57,8 +113,11 @@ let shutdown pool =
       Condition.broadcast w.cond;
       Mutex.unlock w.mutex)
     pool.workers;
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
+  Array.iter
+    (fun w ->
+      Option.iter Domain.join w.domain;
+      w.domain <- None)
+    pool.workers
 
 let with_pool ?jobs ?budget f =
   let pool = create ?jobs () in
@@ -80,6 +139,7 @@ let parallel_map ?budget pool f xs =
           f x)
         xs
   | xs ->
+      ensure_live pool;
       let input = Array.of_list xs in
       let n = Array.length input in
       let out = Array.make n None in
@@ -88,6 +148,18 @@ let parallel_map ?budget pool f xs =
       let first_exn = Atomic.make None in
       let done_mutex = Mutex.create () in
       let done_cond = Condition.create () in
+      (* Every chunk settles through here exactly once — from its own
+         bookkeeping on success, or from the worker's containment
+         [fail] channel when the chunk itself was lost. *)
+      let settle p =
+        Stats.record_task ~slot:p;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          (* Last chunk: wake the caller, who may already be waiting. *)
+          Mutex.lock done_mutex;
+          Condition.broadcast done_cond;
+          Mutex.unlock done_mutex
+        end
+      in
       (* Slot [p] owns the index range [bound p, bound (p+1)). *)
       let bound p = p * n / parts in
       let run_chunk p =
@@ -97,16 +169,20 @@ let parallel_map ?budget pool f xs =
              out.(i) <- Some (f input.(i))
            done
          with e -> ignore (Atomic.compare_and_set first_exn None (Some e)));
-        Stats.record_task ~slot:p;
-        if Atomic.fetch_and_add remaining (-1) = 1 then begin
-          (* Last chunk: wake the caller, who may already be waiting. *)
-          Mutex.lock done_mutex;
-          Condition.broadcast done_cond;
-          Mutex.unlock done_mutex
-        end
+        settle p
+      in
+      let fail_chunk e =
+        ignore (Atomic.compare_and_set first_exn None (Some e))
       in
       for p = 1 to parts - 1 do
-        submit pool.workers.(p - 1) (fun () -> run_chunk p)
+        submit pool.workers.(p - 1)
+          {
+            run = (fun () -> run_chunk p);
+            fail =
+              (fun e ->
+                fail_chunk e;
+                settle p);
+          }
       done;
       run_chunk 0;
       Mutex.lock done_mutex;

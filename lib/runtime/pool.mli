@@ -14,7 +14,17 @@
 
     Combinators must not be called from inside a task running on the
     same pool (chunks are pinned to worker queues, so a nested call can
-    wait on the very slot it occupies). *)
+    wait on the very slot it occupies).
+
+    {b Crash containment.}  Workers execute tasks under a wrapper that
+    routes any escaping exception — including an injected
+    {!Fault.Worker_raise}, which is raised {e outside} the task's own
+    handlers — to the submitter's failure channel, so a crashed task
+    always settles its slot and {!parallel_map} cannot wedge waiting on
+    it.  A domain-fatal failure additionally kills the worker's domain;
+    the pool detects the dead domain on its next dispatch and respawns
+    it ({!Stats} counts the respawns), so a pool survives worker crashes
+    without losing capacity. *)
 
 type t
 
@@ -52,5 +62,6 @@ val shutdown : t -> unit
     cancels the budget is installed for the duration
     ({!Budget.with_sigint}): Ctrl-C then drains the workers cooperatively
     and [f]'s partial results survive, instead of the process dying
-    mid-write. *)
+    mid-write.  The previous SIGINT handler is restored on exit, so
+    nested and repeated [with_pool] calls compose. *)
 val with_pool : ?jobs:int -> ?budget:Budget.t -> (t -> 'a) -> 'a

@@ -5,6 +5,7 @@ type snapshot = {
   valence_cache_misses : int;
   tasks_executed : int;
   domains_utilised : int;
+  workers_respawned : int;
 }
 
 let states_expanded = Atomic.make 0
@@ -12,6 +13,7 @@ let dedup_hits = Atomic.make 0
 let valence_cache_hits = Atomic.make 0
 let valence_cache_misses = Atomic.make 0
 let tasks_executed = Atomic.make 0
+let workers_respawned = Atomic.make 0
 
 (* One bit per pool slot; popcount = "domains utilised". *)
 let domain_mask = Atomic.make 0
@@ -32,6 +34,8 @@ let record_task ~slot =
   add tasks_executed 1;
   set_bit (1 lsl min slot 62)
 
+let record_worker_respawn () = add workers_respawned 1
+
 let popcount n =
   let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
   go 0 n
@@ -44,6 +48,7 @@ let snapshot () =
     valence_cache_misses = Atomic.get valence_cache_misses;
     tasks_executed = Atomic.get tasks_executed;
     domains_utilised = popcount (Atomic.get domain_mask);
+    workers_respawned = Atomic.get workers_respawned;
   }
 
 let reset () =
@@ -52,6 +57,7 @@ let reset () =
   Atomic.set valence_cache_hits 0;
   Atomic.set valence_cache_misses 0;
   Atomic.set tasks_executed 0;
+  Atomic.set workers_respawned 0;
   Atomic.set domain_mask 0
 
 let pp ppf s =
@@ -62,6 +68,7 @@ let pp ppf s =
     \  valence cache hits    %d@,\
     \  valence cache misses  %d@,\
     \  tasks executed        %d@,\
-    \  domains utilised      %d@]@."
+    \  domains utilised      %d@,\
+    \  workers respawned     %d@]@."
     s.states_expanded s.dedup_hits s.valence_cache_hits s.valence_cache_misses
-    s.tasks_executed s.domains_utilised
+    s.tasks_executed s.domains_utilised s.workers_respawned

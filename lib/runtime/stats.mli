@@ -17,6 +17,8 @@ type snapshot = {
   domains_utilised : int;
       (** distinct pool slots (caller = slot 0, workers = 1..) that
           executed at least one chunk since the last [reset] *)
+  workers_respawned : int;
+      (** dead worker domains replaced by {!Pool} crash containment *)
 }
 
 val reset : unit -> unit
@@ -35,3 +37,6 @@ val record_valence_lookup : hit:bool -> unit
 (** [record_task ~slot] counts one executed chunk and marks pool slot
     [slot] as utilised (slots >= 62 share the last bit). *)
 val record_task : slot:int -> unit
+
+(** One dead worker domain was detected and respawned. *)
+val record_worker_respawn : unit -> unit

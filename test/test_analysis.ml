@@ -102,6 +102,41 @@ let test_checker_budget () =
   in
   check "omission checker truncates too" true (o.Omission_check.status <> Budget.Complete)
 
+(* The omission checker's budget-status paths, mirroring the consensus
+   ones: Complete on an unbudgeted run, a States truncation charged per
+   explored state under a tight cap, and a generous budget changing
+   nothing at all. *)
+let test_omission_budget_paths () =
+  let protocol = Layered_protocols.Sync_coordinator.make ~t:1 in
+  let full = Omission_check.check ~protocol ~n:3 ~t:1 ~rounds:6 () in
+  check "unbudgeted omission check is Complete" true
+    (full.Omission_check.status = Budget.Complete);
+  check "coordinator verdicts hold" true
+    (full.Omission_check.agreement_ok && full.Omission_check.validity_ok
+   && full.Omission_check.termination_ok);
+  let capped =
+    Omission_check.check ~protocol ~n:3 ~t:1 ~rounds:6
+      ~budget:(Budget.create ~max_states:10 ()) ()
+  in
+  (match capped.Omission_check.status with
+  | Budget.Truncated { Budget.reason = Budget.States; states_seen; _ } ->
+      check "charged per state: the trip lands at the cap, not far past it" true
+        (states_seen >= 10 && states_seen < full.Omission_check.states_explored);
+      check "truncated run explored a proper subset" true
+        (capped.Omission_check.states_explored < full.Omission_check.states_explored)
+  | Budget.Truncated _ -> Alcotest.fail "expected a States truncation"
+  | Budget.Complete -> Alcotest.fail "max_states=10 failed to truncate");
+  let generous =
+    Omission_check.check ~protocol ~n:3 ~t:1 ~rounds:6
+      ~budget:(Budget.create ~max_states:1_000_000 ()) ()
+  in
+  check "generous budget is invisible" true
+    (generous.Omission_check.status = Budget.Complete
+    && generous.Omission_check.states_explored = full.Omission_check.states_explored
+    && generous.Omission_check.agreement_ok = full.Omission_check.agreement_ok
+    && generous.Omission_check.worst_decision_round
+       = full.Omission_check.worst_decision_round)
+
 (* A raising experiment becomes a Fail row carrying the exception text;
    the other experiments still report. *)
 let test_registry_exception_row () =
@@ -180,6 +215,7 @@ let () =
           Alcotest.test_case "sweep" `Quick test_sweep;
           Alcotest.test_case "sweep under budget" `Quick test_sweep_budget;
           Alcotest.test_case "checkers under budget" `Quick test_checker_budget;
+          Alcotest.test_case "omission budget paths" `Quick test_omission_budget_paths;
           Alcotest.test_case "registry isolates failures" `Quick
             test_registry_exception_row;
           Alcotest.test_case "chains" `Quick test_chains;

@@ -288,6 +288,46 @@ let test_stats_monotone_and_reset () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Crash containment (chaos regression) *)
+
+(* A crash raised in a worker domain around its task — the injected
+   [Worker_raise] fault — must surface from [parallel_map] instead of
+   wedging it, must not cost the slot, and the dead domain must be
+   respawned on the next dispatch.  Three maps at jobs=2 dispatch three
+   worker tasks, covering every seed-derived firing index. *)
+let test_worker_raise_contained () =
+  let before = (Stats.snapshot ()).Stats.workers_respawned in
+  Fault.arm ~seed:2026 Fault.Worker_raise;
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let xs = List.init 64 Fun.id in
+          let expect = List.map (fun x -> x * 7) xs in
+          let raised = ref 0 in
+          for _ = 1 to 3 do
+            match Pool.parallel_map pool (fun x -> x * 7) xs with
+            | got -> check "clean pass computes the right list" true (got = expect)
+            | exception Fault.Injected Fault.Worker_raise -> incr raised
+          done;
+          check_int "the injected crash surfaced exactly once" 1 !raised;
+          check_int "the fault fired exactly once" 1 (Fault.fired ());
+          Alcotest.(check (list int)) "pool usable after the crash" [ 2; 3; 4 ]
+            (Pool.parallel_map pool (fun x -> x + 1) [ 1; 2; 3 ])));
+  let after = (Stats.snapshot ()).Stats.workers_respawned in
+  check "the dead worker domain was respawned" true (after > before)
+
+(* Budgeted [with_pool] installs a SIGINT-to-cancel handler; nested and
+   repeated uses must restore the caller's handler on the way out, not
+   each other's. *)
+let test_with_pool_sigint_restore () =
+  let prev = Sys.signal Sys.sigint Sys.Signal_ignore in
+  Pool.with_pool ~jobs:2 ~budget:(Budget.create ()) (fun _ ->
+      Pool.with_pool ~jobs:2 ~budget:(Budget.create ()) (fun _ -> ()));
+  Pool.with_pool ~jobs:2 ~budget:(Budget.create ()) (fun _ -> ());
+  let observed = Sys.signal Sys.sigint prev in
+  check "handler restored after nested and repeated budgeted with_pool" true
+    (observed = Sys.Signal_ignore)
+
 let () =
   Alcotest.run "layered_runtime"
     [
@@ -319,4 +359,11 @@ let () =
         ] );
       ( "stats",
         [ Alcotest.test_case "monotone and reset" `Quick test_stats_monotone_and_reset ] );
+      ( "containment",
+        [
+          Alcotest.test_case "worker crash contained and respawned" `Quick
+            test_worker_raise_contained;
+          Alcotest.test_case "SIGINT handler restored" `Quick
+            test_with_pool_sigint_restore;
+        ] );
     ]
