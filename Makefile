@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke chaos-smoke fmt
+.PHONY: build test bench-smoke chaos-smoke resume-smoke fmt
 
 build:
 	dune build
@@ -16,7 +16,13 @@ bench-smoke:
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.
 chaos-smoke:
-	dune exec bin/main.exe -- chaos --seed 42 --trials 21
+	dune exec bin/main.exe -- chaos --seed 42 --trials 27
+
+# SIGKILL an `all --checkpoint-dir` run mid-flight, resume it, and
+# require the resumed report to be byte-identical to an uninterrupted
+# one at --jobs 1 and --jobs 4.
+resume-smoke:
+	bash scripts/resume_smoke.sh
 
 fmt:
 	@dune fmt || echo "fmt skipped (ocamlformat not available)"

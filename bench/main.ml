@@ -11,8 +11,8 @@
    Run with --smoke to execute every kernel exactly once (no Bechamel):
    a cheap liveness check that keeps bench code from bit-rotting.  Run
    with --json to execute every kernel once and emit one JSON object per
-   kernel (name, instance parameters, wall time, states expanded) for
-   machine consumption. *)
+   kernel (name, instance parameters, wall time, states expanded,
+   checkpoint snapshot bytes) for machine consumption. *)
 
 open Bechamel
 open Toolkit
@@ -388,6 +388,84 @@ let ablation_e1_pool jobs =
       initials
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint kernels: the same (4,1) frontier instance as
+   ablation/frontier-jobs1, once with a sink persisting a snapshot at
+   every level boundary (the delta against that baseline is the
+   write-path overhead: marshal, CRC, tmp write, rename) and once
+   resuming from a mid-run generation (the restore path: validate,
+   decode, re-seed the dedup table, finish the run).  The last snapshot
+   size lands in the --json record via [last_ckpt_bytes]. *)
+
+module Ckpt = Layered_runtime.Checkpoint
+
+let last_ckpt_bytes = Atomic.make 0
+
+let ckpt_bench_dir sub =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "layered-bench-ckpt-%d-%s" (Unix.getpid ()) sub)
+
+let rm_ckpt_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let checkpoint_write =
+  let module E = (val make_sync_engine ~t:1) in
+  let succ = E.st ~t:1 in
+  let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
+  let dir = ckpt_bench_dir "write" in
+  fun () ->
+    rm_ckpt_dir dir;
+    let save snap =
+      let saved =
+        Ckpt.save ~dir ~name:"bench-write"
+          ~meta:(Ckpt.make_meta ~progress:(List.length snap.Frontier.levels) ())
+          ~payload:(Marshal.to_string snap [])
+      in
+      Atomic.set last_ckpt_bytes saved.Ckpt.bytes
+    in
+    ignore
+      (Frontier.count_reachable ~budget:(bench_budget ())
+         ~checkpoint:{ Frontier.every = 1; save } (pool 1) ~succ ~key:E.key
+         ~depth:2 x)
+
+let checkpoint_restore =
+  let module E = (val make_sync_engine ~t:1) in
+  let succ = E.st ~t:1 in
+  let x = E.initial ~inputs:[| 0; 1; 1; 0 |] in
+  let dir = ckpt_bench_dir "restore" in
+  (* Fixture: one mid-run generation (levels 0-1 delivered, level 2
+     still to discover), written once and reloaded on every run. *)
+  let fixture =
+    lazy
+      (rm_ckpt_dir dir;
+       let save snap =
+         if List.length snap.Frontier.levels = 2 then
+           ignore
+             (Ckpt.save ~dir ~name:"bench-restore"
+                ~meta:(Ckpt.make_meta ~progress:2 ())
+                ~payload:(Marshal.to_string snap []))
+       in
+       ignore
+         (Frontier.count_reachable ~checkpoint:{ Frontier.every = 1; save }
+            (pool 1) ~succ ~key:E.key ~depth:2 x))
+  in
+  fun () ->
+    Lazy.force fixture;
+    match Ckpt.load_latest ~dir ~name:"bench-restore" with
+    | None -> failwith "checkpoint/restore: fixture generation missing"
+    | Some loaded ->
+        Atomic.set last_ckpt_bytes (String.length loaded.Ckpt.payload);
+        let snap = (Marshal.from_string loaded.Ckpt.payload 0 : _ Frontier.snapshot) in
+        ignore
+          (Frontier.count_reachable ~budget:(bench_budget ()) ~resume:snap
+             (pool 1) ~succ ~key:E.key ~depth:2 x)
+
+let cleanup_ckpt_dirs () =
+  List.iter (fun sub -> rm_ckpt_dir (ckpt_bench_dir sub)) [ "write"; "restore" ]
+
+(* ------------------------------------------------------------------ *)
 (* Chaos-layer overhead: the fault sites threaded through the hot paths
    must be free when injection is disarmed (the production state, and
    always the state here).  One million probes of the disabled fast
@@ -452,6 +530,8 @@ let kernels =
     { name = "ablation/e1-pool-jobs1"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 1 };
     { name = "ablation/e1-pool-jobs2"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 2 };
     { name = "ablation/e1-pool-jobs4"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 4 };
+    { name = "checkpoint/write"; n = 4; t = 1; depth = 2; fn = checkpoint_write };
+    { name = "checkpoint/restore"; n = 4; t = 1; depth = 2; fn = checkpoint_restore };
     { name = "chaos/point-disabled"; n = 0; t = 0; depth = 0; fn = chaos_point_disabled };
     { name = "chaos/mangle-disabled"; n = 0; t = 0; depth = 0; fn = chaos_mangle_disabled };
   ]
@@ -475,16 +555,18 @@ let run_json () =
     (fun i k ->
       if i > 0 then print_string ",";
       Stats.reset ();
+      Atomic.set last_ckpt_bytes 0;
       let t0 = Unix.gettimeofday () in
       k.fn ();
       let t1 = Unix.gettimeofday () in
       let s = Stats.snapshot () in
       Printf.printf
         "\n  {\"kernel\": %S, \"n\": %d, \"t\": %d, \"depth\": %d, \"wall_ns\": %.0f, \
-         \"states\": %d}"
+         \"states\": %d, \"bytes\": %d}"
         k.name k.n k.t k.depth
         ((t1 -. t0) *. 1e9)
-        s.Stats.states_expanded)
+        s.Stats.states_expanded
+        (Atomic.get last_ckpt_bytes))
     kernels;
   print_string "\n]\n"
 
@@ -516,7 +598,11 @@ let run_bechamel () =
 
 let () =
   let has flag = Array.exists (String.equal flag) Sys.argv in
-  Fun.protect ~finally:shutdown_pools (fun () ->
+  let finally () =
+    shutdown_pools ();
+    cleanup_ckpt_dirs ()
+  in
+  Fun.protect ~finally (fun () ->
       if has "--smoke" then run_smoke ()
       else if has "--json" then run_json ()
       else run_bechamel ())

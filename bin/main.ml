@@ -38,7 +38,28 @@ let finish_stats ~stats budget =
    pass). *)
 let exit_trunc = 3
 
-let run_experiments ids markdown jobs stats budget =
+(* Checkpoint flags shared by the run/all/layers commands.  All resume
+   diagnostics go to stderr: stdout of a resumed run must stay
+   byte-identical to an uninterrupted one. *)
+type ckpt_opts = { ckpt_dir : string option; ckpt_every : int; ckpt_resume : bool }
+
+(* [--resume] without a directory has nothing to resume from; reject it
+   rather than silently running cold.  Exit 2 = usage error (0/1/3 keep
+   their meanings on a resumed run). *)
+let ckpt_invalid c =
+  if c.ckpt_resume && c.ckpt_dir = None then begin
+    Format.eprintf "layered: --resume requires --checkpoint-dir.@.";
+    true
+  end
+  else false
+
+let ckpt_hint budget c =
+  match (Budget.tripped budget, c.ckpt_dir) with
+  | Some _, Some dir ->
+      Format.eprintf "checkpoint: resumable snapshots in %s (rerun with --resume)@." dir
+  | _ -> ()
+
+let run_experiments ids markdown jobs stats budget ckpt =
   let experiments =
     match ids with
     | [] -> Registry.all
@@ -50,9 +71,17 @@ let run_experiments ids markdown jobs stats budget =
             | None -> Fmt.failwith "unknown experiment %s (try `layered list`)" id)
           ids
   in
+  if ckpt_invalid ckpt then 2
+  else begin
+  let checkpoint =
+    Option.map
+      (fun dir -> { Registry.dir; resume = ckpt.ckpt_resume })
+      ckpt.ckpt_dir
+  in
   Stats.reset ();
   let results =
-    Pool.with_pool ~jobs ~budget (fun pool -> Registry.run_all ~pool ~budget experiments)
+    Pool.with_pool ~jobs ~budget (fun pool ->
+        Registry.run_all ~pool ~budget ?checkpoint experiments)
   in
   let rows =
     List.concat_map
@@ -68,6 +97,7 @@ let run_experiments ids markdown jobs stats budget =
       Format.printf "TRUNCATED: budget exhausted (%a); the report above is partial.@."
         Budget.pp_reason reason
   | None -> ());
+  ckpt_hint budget ckpt;
   finish_stats ~stats budget;
   if not (Report.all_pass rows) then begin
     Format.printf "FAILURES among %d checks.@." (List.length rows);
@@ -79,6 +109,7 @@ let run_experiments ids markdown jobs stats budget =
     | None ->
         Format.printf "All %d checks passed.@." (List.length rows);
         0
+  end
 
 open Cmdliner
 
@@ -154,6 +185,42 @@ let budget_term =
   in
   Term.(const make $ timeout $ max_states $ max_mem)
 
+let ckpt_term =
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write crash-safe, CRC-checksummed snapshots of run progress into DIR \
+             (created if missing; each save is a new generation, written atomically). \
+             $(b,run)/$(b,all) snapshot each experiment's rows as it completes; \
+             $(b,layers) snapshots the BFS level prefix.")
+  in
+  let every =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"checkpoint-every") 1
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:
+            "Snapshot every K completed BFS levels (always at level boundaries, so \
+             snapshot content is identical across $(b,--jobs)).  Used by $(b,layers); \
+             experiment runs snapshot per experiment regardless.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the newest intact generation in $(b,--checkpoint-dir) \
+             (torn or corrupt generations are skipped).  Work not covered by a \
+             snapshot is re-run; output and exit codes are identical to an \
+             uninterrupted run.")
+  in
+  Term.(
+    const (fun ckpt_dir ckpt_every ckpt_resume -> { ckpt_dir; ckpt_every; ckpt_resume })
+    $ dir $ every $ resume)
+
 let list_cmd =
   let doc = "List available experiments." in
   let f () =
@@ -168,13 +235,16 @@ let run_cmd =
   let doc = "Run selected experiments (by id, e.g. E7)." in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids $ markdown $ jobs_arg $ stats_arg $ budget_term)
+    Term.(
+      const run_experiments $ ids $ markdown $ jobs_arg $ stats_arg $ budget_term
+      $ ckpt_term)
 
 let all_cmd =
   let doc = "Run every experiment." in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run_experiments $ const [] $ markdown $ jobs_arg $ stats_arg $ budget_term)
+      const run_experiments $ const [] $ markdown $ jobs_arg $ stats_arg $ budget_term
+      $ ckpt_term)
 
 let n_arg =
   Arg.(
@@ -270,18 +340,30 @@ let layers_cmd =
       & opt (bounded_int ~min:0 ~what:"depth") 2
       & info [ "d"; "depth" ] ~docv:"D" ~doc:"Layers to explore (at least 0).")
   in
-  let f model n t depth jobs stats budget =
-    Stats.reset ();
-    let sweep =
-      Pool.with_pool ~jobs ~budget (fun pool ->
-          Sweep.run ~pool ~budget ~model ~n ~t ~depth ())
-    in
-    Format.printf "%a" Sweep.pp sweep;
-    finish_stats ~stats budget;
-    match sweep.Sweep.status with Budget.Complete -> 0 | _ -> exit_trunc
+  let f model n t depth jobs stats budget ckpt =
+    if ckpt_invalid ckpt then 2
+    else begin
+      let checkpoint =
+        Option.map
+          (fun dir ->
+            { Sweep.dir; every = ckpt.ckpt_every; resume = ckpt.ckpt_resume })
+          ckpt.ckpt_dir
+      in
+      Stats.reset ();
+      let sweep =
+        Pool.with_pool ~jobs ~budget (fun pool ->
+            Sweep.run ~pool ~budget ?checkpoint ~model ~n ~t ~depth ())
+      in
+      Format.printf "%a" Sweep.pp sweep;
+      ckpt_hint budget ckpt;
+      finish_stats ~stats budget;
+      match sweep.Sweep.status with Budget.Complete -> 0 | _ -> exit_trunc
+    end
   in
   Cmd.v (Cmd.info "layers" ~doc)
-    Term.(const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg $ budget_term)
+    Term.(
+      const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg $ budget_term
+      $ ckpt_term)
 
 let chain_cmd =
   let doc =
@@ -365,7 +447,7 @@ let chaos_cmd =
   let trials =
     Arg.(
       value
-      & opt (bounded_int ~min:1 ~what:"trials") 21
+      & opt (bounded_int ~min:1 ~what:"trials") 27
       & info [ "trials" ] ~docv:"N"
           ~doc:
             "Number of trials, assigned round-robin over the (site, oracle) pairing \

@@ -30,6 +30,10 @@ let pairings =
       [ "complete/frontier"; "complete/consensus"; "complete/omission" ] );
     ( Fault.Flip_valence_bit,
       [ "valence-perm/floodset"; "valence-perm/early"; "valence-perm/mobile" ] );
+    ( Fault.Torn_checkpoint_write,
+      [ "recovery/rollback"; "resume-eq/frontier"; "resume-eq/registry" ] );
+    ( Fault.Corrupt_checkpoint_crc,
+      [ "recovery/rollback"; "resume-eq/frontier"; "resume-eq/registry" ] );
   ]
 
 (* Any exception out of an oracle counts as the oracle failing — under

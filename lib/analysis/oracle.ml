@@ -2,6 +2,7 @@ open Layered_core
 module Budget = Layered_runtime.Budget
 module Pool = Layered_runtime.Pool
 module Frontier = Layered_runtime.Frontier
+module Ckpt = Layered_runtime.Checkpoint
 
 type verdict = { ok : bool; detail : string }
 type t = { name : string; what : string; check : jobs:int -> verdict }
@@ -354,6 +355,194 @@ let cross_engine_kset ~jobs:_ =
   if Report.all_pass rows then pass_
   else fail "the three substrates disagree on the 2-set algorithm"
 
+(* ------------------------------------------------------------------ *)
+(* Durability: checkpoint/resume equivalence and torn-write recovery.  *)
+(* Each oracle runs its workload in a private temp directory, then     *)
+(* scans *every* generation left on disk: a torn or corrupt one —      *)
+(* whatever rollback absorbed it — is a detection.  Details mention    *)
+(* counts, never paths or which file, so output stays byte-identical   *)
+(* across job counts.                                                  *)
+
+let tmp_counter = Atomic.make 0
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let with_tmp_dir f =
+  let base = Filename.get_temp_dir_name () in
+  let rec fresh () =
+    let dir =
+      Filename.concat base
+        (Printf.sprintf "layered-oracle-%d-%d" (Unix.getpid ())
+           (Atomic.fetch_and_add tmp_counter 1))
+    in
+    match Unix.mkdir dir 0o700 with
+    | () -> dir
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> fresh ()
+  in
+  let dir = fresh () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let corrupt_generations ~dir names =
+  List.concat_map
+    (fun name ->
+      List.filter (fun (_, intact) -> not intact) (Ckpt.scan ~dir ~name))
+    names
+
+(* Kill a frontier BFS with a states cap, resume from the newest intact
+   snapshot, and demand the resumed levels equal an uninterrupted run's
+   — then audit every generation (>= 7 saves, so an armed checkpoint
+   fault is certain to fire). *)
+let resume_frontier ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      with_tmp_dir (fun dir ->
+          let name = "frontier" in
+          let depth = 8 in
+          let keys o = List.map (List.map tree_key) o.Budget.value in
+          let full = Frontier.levels pool ~succ:tree_succ ~key:tree_key ~depth 0 in
+          let save (snap : int Frontier.snapshot) =
+            ignore
+              (Ckpt.save ~dir ~name
+                 ~meta:
+                   (Ckpt.make_meta ~progress:(List.length snap.Frontier.levels) ())
+                 ~payload:(Marshal.to_string snap []))
+          in
+          let budget = Budget.create ~max_states:80 () in
+          let interrupted =
+            Frontier.levels ~budget
+              ~checkpoint:{ Frontier.every = 1; save }
+              pool ~succ:tree_succ ~key:tree_key ~depth 0
+          in
+          match interrupted.Budget.status with
+          | Budget.Complete -> fail "max_states=80 failed to interrupt the run"
+          | Budget.Truncated _ -> (
+              match Ckpt.load_latest ~dir ~name with
+              | None -> fail "no intact generation to resume from"
+              | Some loaded -> (
+                  match
+                    (Marshal.from_string loaded.Ckpt.payload 0
+                      : int Frontier.snapshot)
+                  with
+                  | exception _ -> fail "intact generation failed to decode"
+                  | snap -> (
+                      let resumed =
+                        Frontier.levels ~resume:snap pool ~succ:tree_succ
+                          ~key:tree_key ~depth 0
+                      in
+                      let corrupt = corrupt_generations ~dir [ name ] in
+                      match resumed.Budget.status with
+                      | Budget.Truncated _ -> fail "resumed run did not complete"
+                      | Budget.Complete ->
+                          if keys resumed <> keys full then
+                            fail "resumed levels differ from the uninterrupted run"
+                          else if corrupt <> [] then
+                            fail
+                              (Printf.sprintf
+                                 "detected %d torn/corrupt generation(s); \
+                                  rollback still reproduced the run"
+                                 (List.length corrupt))
+                          else pass_)))))
+
+(* Kill a registry run mid-flight (a probe cancels the budget), resume,
+   and demand the resumed report equal an uninterrupted one — then audit
+   every per-experiment generation (6 probes = 6 saves across the
+   interrupted + resumed runs). *)
+let resume_registry ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      with_tmp_dir (fun dir ->
+          let cancel_target = ref None in
+          let probes =
+            List.init 6 (fun i ->
+                let id = Printf.sprintf "RP%d" (i + 1) in
+                {
+                  Registry.id;
+                  title = "resume probe";
+                  run =
+                    (fun () ->
+                      if i = 3 then Option.iter Budget.cancel !cancel_target;
+                      [
+                        Report.check ~id ~claim:"probe" ~params:""
+                          ~expected:"runs" ~measured:"ran" true;
+                      ]);
+                })
+          in
+          let render results =
+            Report.to_markdown (List.concat_map snd results)
+          in
+          let reference = render (Registry.run_all ~pool probes) in
+          let budget = Budget.create () in
+          cancel_target := Some budget;
+          let _interrupted : (Registry.experiment * Report.row list) list =
+            Registry.run_all ~pool ~budget
+              ~checkpoint:{ Registry.dir; resume = false }
+              probes
+          in
+          cancel_target := None;
+          let resumed =
+            render
+              (Registry.run_all ~pool
+                 ~checkpoint:{ Registry.dir; resume = true }
+                 probes)
+          in
+          let corrupt =
+            corrupt_generations ~dir (List.map Registry.checkpoint_name probes)
+          in
+          if resumed <> reference then
+            fail "resumed report differs from the uninterrupted run"
+          else if corrupt <> [] then
+            fail
+              (Printf.sprintf
+                 "detected %d torn/corrupt generation(s); resume rolled back \
+                  and still matched"
+                 (List.length corrupt))
+          else pass_))
+
+(* Write three generations, then demand the newest *intact* one load
+   with the exact payload it was saved with: a torn or corrupt latest
+   generation must roll back to the previous good one — never crash,
+   never hand back garbage.  Three saves exactly cover the injector's
+   firing window, so an armed checkpoint fault is certain to fire and
+   may land on any generation, including the latest. *)
+let recovery_rollback ~jobs:_ =
+  with_tmp_dir (fun dir ->
+      let name = "roll" in
+      let payloads =
+        List.init 3 (fun i -> Printf.sprintf "generation-%d-payload" (i + 1))
+      in
+      List.iter
+        (fun payload ->
+          ignore
+            (Ckpt.save ~dir ~name ~meta:(Ckpt.make_meta ~progress:0 ()) ~payload))
+        payloads;
+      let corrupt = corrupt_generations ~dir [ name ] in
+      match Ckpt.load_latest ~dir ~name with
+      | None -> fail "every generation rejected: nothing to roll back to"
+      | Some loaded ->
+          if
+            loaded.Ckpt.generation < 1
+            || loaded.Ckpt.generation > List.length payloads
+            || loaded.Ckpt.payload
+               <> List.nth payloads (loaded.Ckpt.generation - 1)
+          then
+            fail
+              (Printf.sprintf
+                 "generation %d loaded the wrong payload (corruption accepted?)"
+                 loaded.Ckpt.generation)
+          else if corrupt <> [] then
+            fail
+              (Printf.sprintf
+                 "detected %d torn/corrupt generation(s); rolled back to \
+                  generation %d intact"
+                 (List.length corrupt) loaded.Ckpt.generation)
+          else if loaded.Ckpt.generation <> List.length payloads then
+            fail "newest generation intact but not the one loaded"
+          else pass_)
+
 let all =
   [
     {
@@ -445,6 +634,24 @@ let all =
       name = "cross-engine/kset";
       what = "one 2-set algorithm, three substrates: E19 invariants all pass";
       check = cross_engine_kset;
+    };
+    {
+      name = "resume-eq/frontier";
+      what =
+        "a states-capped BFS resumed from its checkpoint equals the uninterrupted run; every generation intact";
+      check = resume_frontier;
+    };
+    {
+      name = "resume-eq/registry";
+      what =
+        "a cancelled registry run resumed from per-experiment snapshots reports identically; every generation intact";
+      check = resume_registry;
+    };
+    {
+      name = "recovery/rollback";
+      what =
+        "the newest intact generation loads with its exact payload; torn/corrupt ones are rejected, never resumed from";
+      check = recovery_rollback;
     };
   ]
 

@@ -111,66 +111,123 @@ let all =
 let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
 
+type checkpoint = { dir : string; resume : bool }
+
+let checkpoint_name e = "exp-" ^ String.lowercase_ascii e.id
+
 (* One experiment raising (or running out of budget) must not cost the
    others their rows: failures become Fail rows, budget exhaustion
    becomes an Info "skipped" row, and the map itself is never budgeted
    (a budgeted map would abort wholesale and lose the partial report). *)
-let run_all ?pool ?budget experiments =
+let run_all ?pool ?budget ?checkpoint experiments =
   let module Budget = Layered_runtime.Budget in
+  let module Stats = Layered_runtime.Stats in
+  let module Ckpt = Layered_runtime.Checkpoint in
   let info_row e measured =
     Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
       ~expected:"run to completion" ~measured Layered_core.Report.Info
   in
-  let run e =
-    match Budget.exceeded_opt budget with
-    | Some reason ->
-        ( e,
-          [
-            info_row e
-              (Format.asprintf "skipped: budget exhausted (%a)" Budget.pp_reason
-                 reason);
-          ] )
+  (* Per-experiment durability: an experiment that ran to completion on
+     its first attempt has its rows snapshotted under its own name, so a
+     killed run resumes by loading finished experiments and re-running
+     only the rest.  Skips, failures and recovered retries are not
+     snapshotted — their rows describe this process's mishaps, and a
+     resumed report must be byte-identical to an uninterrupted one. *)
+  let load e =
+    match checkpoint with
+    | Some { dir; resume = true } -> (
+        match Ckpt.load_latest ~dir ~name:(checkpoint_name e) with
+        | None -> None
+        | Some loaded -> (
+            match
+              (Marshal.from_string loaded.Ckpt.payload 0
+                : Layered_core.Report.row list)
+            with
+            | rows -> Some rows
+            | exception _ -> None))
+    | _ -> None
+  in
+  let store e rows =
+    match checkpoint with
+    | Some { dir; _ } ->
+        ignore
+          (Ckpt.save ~dir ~name:(checkpoint_name e)
+             ~meta:(Ckpt.make_meta ?budget ~progress:1 ())
+             ~payload:(Marshal.to_string (rows : Layered_core.Report.row list) []))
+    | None -> ()
+  in
+  (* Phase 1, possibly on a pool worker: one attempt, no retry.  The
+     counter delta of a failed attempt is measured here so the caller
+     can subtract work that produced no rows.  (Under a parallel map the
+     delta may include concurrent experiments' counts; [Stats.diff]
+     clamps, so the subtraction errs toward keeping counts.) *)
+  let attempt e =
+    match load e with
+    | Some rows -> (e, `Loaded rows)
     | None -> (
-        match e.run () with
-        | rows -> (e, rows)
-        | exception exn1 -> (
-            (* A first failure gets one serial retry: a transient fault
-               (a crashed worker, an injected chaos exception) should not
-               cost the experiment its rows.  Either way the row says
-               what happened. *)
+        match Budget.exceeded_opt budget with
+        | Some reason ->
+            ( e,
+              `Skipped
+                (Format.asprintf "skipped: budget exhausted (%a)"
+                   Budget.pp_reason reason) )
+        | None -> (
+            let before = Stats.snapshot () in
             match e.run () with
             | rows ->
-                ( e,
-                  rows
-                  @ [
-                      info_row e
-                        (Printf.sprintf
-                           "recovered: first attempt raised %s; serial retry \
-                            succeeded"
-                           (Printexc.to_string exn1));
-                    ] )
-            | exception exn2 ->
-                ( e,
-                  [
-                    Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
-                      ~expected:"run to completion"
-                      ~measured:
-                        (Printf.sprintf "raised: %s (serial retry raised: %s)"
-                           (Printexc.to_string exn1) (Printexc.to_string exn2))
-                      Layered_core.Report.Fail;
-                  ] )))
+                store e rows;
+                (e, `Ran rows)
+            | exception exn ->
+                (e, `Raised (exn, Stats.diff (Stats.snapshot ()) before))))
   in
-  let serial () = List.map run experiments in
+  (* Phase 2, always on the caller domain: a raising experiment gets its
+     one retry here, outside the pool, where a poisoned or crashed
+     worker cannot fail it a second time. *)
+  let finish (e, outcome) =
+    match outcome with
+    | `Loaded rows | `Ran rows -> (e, rows)
+    | `Skipped measured -> (e, [ info_row e measured ])
+    | `Raised (exn1, delta) -> (
+        Stats.restore (Stats.diff (Stats.snapshot ()) delta);
+        match e.run () with
+        | rows ->
+            store e rows;
+            ( e,
+              rows
+              @ [
+                  info_row e
+                    (Printf.sprintf
+                       "recovered: first attempt raised %s; rerun outside the \
+                        pool succeeded"
+                       (Printexc.to_string exn1));
+                ] )
+        | exception exn2 ->
+            ( e,
+              [
+                Layered_core.Report.row ~id:e.id ~claim:e.title ~params:""
+                  ~expected:"run to completion"
+                  ~measured:
+                    (Printf.sprintf
+                       "raised: %s (rerun outside the pool raised: %s)"
+                       (Printexc.to_string exn1) (Printexc.to_string exn2))
+                  Layered_core.Report.Fail;
+              ] ))
+  in
+  let serial () = List.map (fun e -> finish (attempt e)) experiments in
   match pool with
   | Some pool when Layered_runtime.Pool.jobs pool > 1 -> (
-      (* Experiment-level exceptions are contained inside [run]; an
+      (* Experiment-level exceptions are contained inside [attempt]; an
          exception out of the map itself is pool infrastructure failing
-         (e.g. an injected worker crash killed a chunk before [run]
+         (e.g. an injected worker crash killed a chunk before [attempt]
          started).  Fall back to a full serial rerun so the report
-         survives, and leave an Info row saying so. *)
-      match Layered_runtime.Pool.parallel_map pool run experiments with
-      | results -> results
+         survives, and leave an Info row saying so.  The aborted map's
+         partial counter contribution is rolled back first, so the final
+         snapshot reflects the run that produced the rows. *)
+      let before_map = Stats.snapshot () in
+      match Layered_runtime.Pool.parallel_map pool attempt experiments with
+      | attempts -> List.map finish attempts
       | exception infra -> (
+          Stats.restore before_map;
           match serial () with
           | [] -> []
           | (e, rows) :: rest ->

@@ -9,20 +9,36 @@ type experiment = {
 val all : experiment list
 val find : string -> experiment option
 
-(** [run_all ?pool ?budget experiments] runs each experiment and pairs
-    it with its report rows, preserving list order.  With a [pool] of
-    more than one job the experiments execute in parallel across the
-    pool's domains (each driver builds its own engines and caches, so
-    they are mutually independent); results are stitched back
+(** Per-experiment durable checkpointing: each experiment that completes
+    cleanly has its rows snapshotted into [dir] under
+    {!checkpoint_name}; with [resume], experiments whose snapshot loads
+    intact are not re-run.  Only clean first-attempt rows are
+    snapshotted (not budget skips, failures or recovered retries), so a
+    resumed report is byte-identical to an uninterrupted one. *)
+type checkpoint = { dir : string; resume : bool }
+
+(** The snapshot base name used for an experiment ([exp-<id>]). *)
+val checkpoint_name : experiment -> string
+
+(** [run_all ?pool ?budget ?checkpoint experiments] runs each experiment
+    and pairs it with its report rows, preserving list order.  With a
+    [pool] of more than one job the experiments execute in parallel
+    across the pool's domains (each driver builds its own engines and
+    caches, so they are mutually independent); results are stitched back
     deterministically, so output is identical to the serial run.
 
-    A raising experiment is retried once, serially: if the retry
-    succeeds its rows are kept and an [Info] row notes the recovery; if
-    it raises again the experiment contributes a single [Fail] row
-    carrying both exception texts.  An exception out of the parallel map
+    A raising experiment is retried once {e on the caller domain,
+    outside the pool} — a poisoned or crashed worker cannot fail it a
+    second time.  If the retry succeeds its rows are kept and an [Info]
+    row notes the recovery; if it raises again the experiment
+    contributes a single [Fail] row carrying both exception texts.
+    Either way the failed attempt's counter delta is rolled back, so the
+    final {!Layered_runtime.Stats} snapshot reflects the run that
+    produced the reported rows.  An exception out of the parallel map
     itself (pool infrastructure failing, e.g. a crashed worker) triggers
-    a full serial rerun, noted by an [Info] row on the first experiment —
-    the report survives any single fault.  With a [budget], experiments
+    a full serial rerun — with the aborted map's counter contribution
+    rolled back — noted by an [Info] row on the first experiment; the
+    report survives any single fault.  With a [budget], experiments
     starting after it has tripped contribute an [Info] "skipped" row;
     the budget is deliberately {e not} passed to the parallel map, so
     already-running experiments finish and every experiment gets a
@@ -30,5 +46,6 @@ val find : string -> experiment option
 val run_all :
   ?pool:Layered_runtime.Pool.t ->
   ?budget:Layered_runtime.Budget.t ->
+  ?checkpoint:checkpoint ->
   experiment list ->
   (experiment * Layered_core.Report.row list) list

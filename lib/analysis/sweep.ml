@@ -1,11 +1,18 @@
 open Layered_core
 
 module Budget = Layered_runtime.Budget
+module Ckpt = Layered_runtime.Checkpoint
+module Stats = Layered_runtime.Stats
+module Frontier = Layered_runtime.Frontier
 
 type level = { depth : int; reachable : int; layer_min : int; layer_max : int }
 type t = { model : string; n : int; levels : level list; status : Budget.status }
+type checkpoint = { dir : string; every : int; resume : bool }
 
 let models = [ "mobile"; "sync"; "sm"; "mp"; "smp"; "iis" ]
+
+let checkpoint_name ~model ~n ~t ~depth =
+  Printf.sprintf "sweep-%s-n%d-t%d-d%d" model n t depth
 
 (* A mixed input vector: process 1 gets 0, the rest 1. *)
 let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.one)
@@ -19,8 +26,8 @@ let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.
    over the states: a truncated run therefore never re-pays for work the
    budget already cut off.  Min/max are order-independent, so the
    accumulation is deterministic across job counts. *)
-let sweep_generic (type a) ~pool ?budget ~(succ : a -> a list) ~(key : a -> string)
-    ~(x0 : a) ~depth () =
+let sweep_generic (type a) ~pool ?budget ?ckpt ~name ~(succ : a -> a list)
+    ~(key : a -> string) ~(x0 : a) ~depth () =
   let cur_min = Atomic.make max_int and cur_max = Atomic.make 0 in
   let rec fold_atomic better a v =
     let c = Atomic.get a in
@@ -47,9 +54,64 @@ let sweep_generic (type a) ~pool ?budget ~(succ : a -> a list) ~(key : a -> stri
     sizes := List.length level :: !sizes;
     last_level := level
   in
+  (* The snapshot payload carries the frontier's own resume state plus
+     this sweep's harvested per-level stats (oldest first), so a resumed
+     run reports the same rows without re-expanding the prefix. *)
+  let resume : a Frontier.snapshot option =
+    match ckpt with
+    | Some { dir; resume = true; _ } -> (
+        match Ckpt.load_latest ~dir ~name with
+        | None -> None
+        | Some loaded -> (
+            match
+              (Marshal.from_string loaded.Ckpt.payload 0
+                : a Frontier.snapshot * (int * int) list)
+            with
+            | exception _ -> None
+            | snap, harvested ->
+                sizes := List.rev_map List.length snap.Frontier.levels;
+                stats := List.rev harvested;
+                (match List.rev snap.Frontier.levels with
+                | last :: _ -> last_level := last
+                | [] -> ());
+                (* Re-impose the interrupted run's consumption: caps trip
+                   at the same boundary, and a resume cannot buy wall
+                   time the original run had already spent.  The prefix's
+                   counters merge in exactly (the restart level's
+                   expansion was not yet counted at save time). *)
+                (match budget with
+                | Some b ->
+                    Budget.charge b loaded.Ckpt.meta.Ckpt.states_charged;
+                    Option.iter
+                      (fun remaining_s ->
+                        Budget.restrict_deadline b ~remaining_s)
+                      loaded.Ckpt.meta.Ckpt.deadline_remaining_s
+                | None -> ());
+                Stats.merge loaded.Ckpt.meta.Ckpt.stats;
+                Some snap))
+    | _ -> None
+  in
+  let checkpoint =
+    Option.map
+      (fun { dir; every; _ } ->
+        {
+          Frontier.every;
+          save =
+            (fun (snap : a Frontier.snapshot) ->
+              let payload = Marshal.to_string (snap, List.rev !stats) [] in
+              ignore
+                (Ckpt.save ~dir ~name
+                   ~meta:
+                     (Ckpt.make_meta ?budget
+                        ~progress:(List.length snap.Frontier.levels)
+                        ())
+                   ~payload));
+        })
+      ckpt
+  in
   let status =
-    Layered_runtime.Frontier.iter_levels ?budget pool ~succ:succ_counted ~key ~depth ~f
-      x0
+    Frontier.iter_levels ?budget ?checkpoint ?resume pool ~succ:succ_counted
+      ~key ~depth ~f x0
   in
   let sizes = Array.of_list (List.rev !sizes) in
   let harvested = Array.of_list (List.rev !stats) in
@@ -99,10 +161,11 @@ let sweep_generic (type a) ~pool ?budget ~(succ : a -> a list) ~(key : a -> stri
    domains. *)
 let serial_pool = lazy (Layered_runtime.Pool.create ~jobs:1 ())
 
-let run ?pool ?budget ~model ~n ~t ~depth () =
+let run ?pool ?budget ?checkpoint ~model ~n ~t ~depth () =
   let pool = match pool with Some p -> p | None -> Lazy.force serial_pool in
+  let name = checkpoint_name ~model ~n ~t ~depth in
   let sweep_generic ~succ ~key ~x0 ~depth =
-    sweep_generic ~pool ?budget ~succ ~key ~x0 ~depth ()
+    sweep_generic ~pool ?budget ?ckpt:checkpoint ~name ~succ ~key ~x0 ~depth ()
   in
   let levels, status =
     match model with

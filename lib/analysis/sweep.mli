@@ -17,9 +17,23 @@ type t = {
       (** [Complete], or [Truncated] with [levels] the completed prefix *)
 }
 
+(** Durable-checkpoint configuration: snapshots go to [dir] every
+    [every] completed BFS levels; with [resume] the sweep first loads
+    the newest intact generation (if any) and continues from it instead
+    of re-expanding the prefix.  A resumed budgeted sweep re-charges the
+    snapshot's recorded state count and re-imposes its remaining
+    deadline, so budget trips land at the same boundary as an
+    uninterrupted run. *)
+type checkpoint = { dir : string; every : int; resume : bool }
+
 (** Available model names: ["mobile"], ["sync"] (t-resilient, takes [t]),
     ["sm"], ["mp"], ["smp"] (synchronic message passing), ["iis"]. *)
 val models : string list
+
+(** The snapshot base name [run] uses for a given sweep — one checkpoint
+    lineage per (model, n, t, depth) so unrelated sweeps sharing a
+    directory never cross-resume. *)
+val checkpoint_name : model:string -> n:int -> t:int -> depth:int -> string
 
 (** [run ?pool ?budget ~model ~n ~t ~depth ()] sweeps the given substrate
     from one mixed initial state.  [t] is used by ["sync"] (resilience)
@@ -34,6 +48,7 @@ val models : string list
 val run :
   ?pool:Layered_runtime.Pool.t ->
   ?budget:Layered_runtime.Budget.t ->
+  ?checkpoint:checkpoint ->
   model:string ->
   n:int ->
   t:int ->

@@ -7,7 +7,7 @@ type status = Complete | Truncated of truncation
 type 'a outcome = { value : 'a; status : status }
 
 type t = {
-  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  deadline : float option Atomic.t;  (* absolute, Unix.gettimeofday scale *)
   max_states : int option;
   max_heap_words : int option;
   cancelled : bool Atomic.t;
@@ -29,7 +29,7 @@ let create ?timeout_s ?max_states ?max_memory_mb () =
   | Some n when n < 1 -> invalid_arg "Budget.create: max_memory_mb must be >= 1"
   | _ -> ());
   {
-    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
+    deadline = Atomic.make (Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s);
     max_states;
     max_heap_words = Option.map (fun mb -> mb * 1024 * 1024 / word_bytes) max_memory_mb;
     cancelled = Atomic.make false;
@@ -42,6 +42,24 @@ let cancel t = Atomic.set t.cancelled true
 let is_cancelled t = Atomic.get t.cancelled
 let charge t n = if n <> 0 then ignore (Atomic.fetch_and_add t.states n)
 let states_seen t = Atomic.get t.states
+
+let deadline_remaining t =
+  Option.map
+    (fun d -> Float.max 0. (d -. Unix.gettimeofday ()))
+    (Atomic.get t.deadline)
+
+let restrict_deadline t ~remaining_s =
+  if remaining_s < 0. then
+    invalid_arg "Budget.restrict_deadline: remaining_s must be >= 0";
+  let candidate = Unix.gettimeofday () +. remaining_s in
+  let rec tighten () =
+    let cur = Atomic.get t.deadline in
+    let next =
+      match cur with None -> candidate | Some d -> Float.min d candidate
+    in
+    if not (Atomic.compare_and_set t.deadline cur (Some next)) then tighten ()
+  in
+  tighten ()
 
 (* The heap watermark costs a [Gc.quick_stat] (no heap walk, but not
    free either); sample it every 64th check. *)
@@ -57,7 +75,9 @@ let probe_limits t =
     | Some cap when Atomic.get t.states > cap -> Some States
     | _ -> (
         let late =
-          match t.deadline with Some d -> Unix.gettimeofday () > d | None -> false
+          match Atomic.get t.deadline with
+          | Some d -> Unix.gettimeofday () > d
+          | None -> false
         in
         if late then Some Deadline
         else

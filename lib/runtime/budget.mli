@@ -60,6 +60,17 @@ val charge : t -> int -> unit
 
 val states_seen : t -> int
 
+(** Wall-clock seconds until the deadline (clamped at 0), or [None] when
+    the budget has no deadline.  What a checkpoint records so a resumed
+    run cannot be granted more total time than the original one. *)
+val deadline_remaining : t -> float option
+
+(** [restrict_deadline t ~remaining_s] tightens the deadline to at most
+    [remaining_s] seconds from now — it never extends an earlier
+    deadline.  Used on resume to re-impose the time a checkpointed run
+    had already spent.  Raises [Invalid_argument] on a negative value. *)
+val restrict_deadline : t -> remaining_s:float -> unit
+
 (** [exceeded t] is the first limit observed to be exhausted, or [None].
     Cancellation and the states cap are checked on every call; the
     deadline is checked whenever one is set; the heap watermark is

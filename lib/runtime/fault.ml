@@ -6,13 +6,16 @@ type site =
   | Worker_stall
   | Spurious_cancel
   | Flip_valence_bit
+  | Torn_checkpoint_write
+  | Corrupt_checkpoint_crc
 
 exception Injected of site
 
 let all =
   [
     Drop_successor; Duplicate_state; Corrupt_dedup_shard; Worker_raise;
-    Worker_stall; Spurious_cancel; Flip_valence_bit;
+    Worker_stall; Spurious_cancel; Flip_valence_bit; Torn_checkpoint_write;
+    Corrupt_checkpoint_crc;
   ]
 
 let site_name = function
@@ -23,6 +26,8 @@ let site_name = function
   | Worker_stall -> "worker_stall"
   | Spurious_cancel -> "spurious_cancel"
   | Flip_valence_bit -> "flip_valence_bit"
+  | Torn_checkpoint_write -> "torn_checkpoint_write"
+  | Corrupt_checkpoint_crc -> "corrupt_checkpoint_crc"
 
 let site_of_name s = List.find_opt (fun site -> site_name site = s) all
 let pp_site ppf s = Format.pp_print_string ppf (site_name s)
@@ -38,6 +43,7 @@ let stall_seconds = 0.25
 (* The one hot-path guard.  Everything below it is only read when armed. *)
 let enabled = Atomic.make false
 let armed_site : site option Atomic.t = Atomic.make None
+let armed_seed = Atomic.make 0
 let visit_count = Atomic.make 0
 let fire_count = Atomic.make 0
 let fire_at = Atomic.make 0
@@ -58,6 +64,7 @@ let fire_window = 3
 
 let arm ~seed site =
   Atomic.set armed_site (Some site);
+  Atomic.set armed_seed seed;
   Atomic.set visit_count 0;
   Atomic.set fire_count 0;
   Atomic.set fire_at (mix seed mod fire_window);
@@ -68,6 +75,11 @@ let disarm () =
   Atomic.set armed_site None
 
 let armed () = if Atomic.get enabled then Atomic.get armed_site else None
+
+let armed_with () =
+  match armed () with
+  | None -> None
+  | Some site -> Some (site, Atomic.get armed_seed)
 
 let point site =
   Atomic.get enabled

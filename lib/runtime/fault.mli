@@ -38,6 +38,12 @@ type site =
   | Spurious_cancel
       (** a budget probe reports [Interrupted] though nobody cancelled *)
   | Flip_valence_bit  (** a valence classification returns a wrong verdict *)
+  | Torn_checkpoint_write
+      (** a checkpoint file is truncated mid-write, as by a crash or a
+          full disk, leaving a short (torn) generation on disk *)
+  | Corrupt_checkpoint_crc
+      (** a checkpoint payload byte is flipped {e after} the CRC was
+          computed, so the stored checksum no longer matches the body *)
 
 (** Raised into the runtime by the [Worker_raise] site. *)
 exception Injected of site
@@ -66,6 +72,11 @@ val arm : seed:int -> site -> unit
 val disarm : unit -> unit
 
 val armed : unit -> site option
+
+(** Like {!armed}, but also reports the seed injection was armed with —
+    recorded in checkpoint metadata so a resumed run knows a snapshot was
+    written under fire. *)
+val armed_with : unit -> (site * int) option
 
 (** [point site] is [true] iff the armed fault fires at this visit.
     Call sites must make the documented misbehaviour happen when it

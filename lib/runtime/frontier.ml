@@ -49,9 +49,28 @@ module Shards = struct
             Hashtbl.replace tbl k (-1);
             true
         | _ -> false)
+
+  (* Sorted committed keys — the resume seed for a fresh table.  Takes
+     each shard's mutex, though every caller runs at a level boundary
+     where no pool pass is in flight. *)
+  let committed t =
+    let acc = ref [] in
+    Array.iteri
+      (fun i tbl ->
+        let m = t.mutexes.(i) in
+        Mutex.lock m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock m)
+          (fun () ->
+            Hashtbl.iter (fun k v -> if v = -1 then acc := k :: !acc) tbl))
+      t.tables;
+    List.sort compare !acc
 end
 
 let default_shards = 64
+
+type 'a snapshot = { levels : 'a list list; committed : string list }
+type 'a checkpoint = { every : int; save : 'a snapshot -> unit }
 
 (* Drive the level-synchronous BFS, calling [f] on each level (the root
    singleton included) as it is completed.  Returns the budget status:
@@ -60,9 +79,8 @@ let default_shards = 64
    a States truncation is deterministic across job counts, while a
    deadline/cancellation firing mid-level (via [Budget.Exhausted] out of
    a pool pass) abandons that level wholesale. *)
-let iter_levels ?budget pool ~succ ~key ~depth ~f x0 =
+let iter_levels ?budget ?checkpoint ?resume pool ~succ ~key ~depth ~f x0 =
   let tbl = Shards.create ~shards:default_shards in
-  Shards.commit tbl (key x0);
   let expand frontier =
     Stats.add_states_expanded (List.length frontier);
     let candidates = List.concat (Pool.parallel_map ?budget pool succ frontier) in
@@ -82,6 +100,28 @@ let iter_levels ?budget pool ~succ ~key ~depth ~f x0 =
        (the dropped state's key stays committed in the shards) *)
     Fault.mangle_level next
   in
+  (* Checkpoint plumbing.  The completed-level prefix is accumulated
+     only when a sink is present; snapshots are cut exclusively at level
+     boundaries, after [f] returned, so their content (levels + committed
+     keys) is identical for every job count.  A level whose [f] raised
+     [Exhausted] is never recorded: the snapshot always describes work
+     the consumer actually absorbed. *)
+  let kept = ref [] (* delivered levels, newest first *) in
+  let unsaved = ref 0 in
+  let record level =
+    match checkpoint with
+    | None -> ()
+    | Some _ ->
+        kept := level :: !kept;
+        incr unsaved
+  in
+  let flush ~force =
+    match checkpoint with
+    | Some ck when !unsaved > 0 && (force || !unsaved >= max 1 ck.every) ->
+        ck.save { levels = List.rev !kept; committed = Shards.committed tbl };
+        unsaved := 0
+    | _ -> ()
+  in
   (* [go d frontier]: [frontier] is the completed level [d]; expanding it
      yields level [d + 1].  A truncation while (or before) expanding
      level [d]'s successors reports [at_depth = d]. *)
@@ -98,14 +138,39 @@ let iter_levels ?budget pool ~succ ~key ~depth ~f x0 =
               Budget.charge_opt budget (List.length next);
               match f next with
               | exception Budget.Exhausted reason -> Some (reason, d + 1)
-              | () -> go (d + 1) next))
+              | () ->
+                  record next;
+                  flush ~force:false;
+                  go (d + 1) next))
   in
-  Budget.charge_opt budget 1;
   let trunc =
-    match f [ x0 ] with
-    | exception Budget.Exhausted reason -> Some (reason, 0)
-    | () -> go 0 [ x0 ]
+    match resume with
+    | Some { levels = _ :: _ as prefix; committed } ->
+        (* Re-seed the dedup table from the snapshot and restart at its
+           last completed level.  The prefix is neither re-delivered to
+           [f] nor re-charged to the budget: callers rebuild their own
+           accumulators from the snapshot, and the budget is expected to
+           be re-charged from the snapshot's recorded consumption.
+           Re-expanding the restart level rediscovers exactly the
+           successors the interrupted run would have claimed next, since
+           every earlier claim is committed. *)
+        List.iter (Shards.commit tbl) committed;
+        if Option.is_some checkpoint then kept := List.rev prefix;
+        let d0 = List.length prefix - 1 in
+        go d0 (List.nth prefix d0)
+    | Some { levels = []; _ } | None -> (
+        Shards.commit tbl (key x0);
+        Budget.charge_opt budget 1;
+        match f [ x0 ] with
+        | exception Budget.Exhausted reason -> Some (reason, 0)
+        | () ->
+            record [ x0 ];
+            flush ~force:false;
+            go 0 [ x0 ])
   in
+  (* Budget exhaustion (deadline, cap, SIGINT-driven cancellation) and
+     clean completion alike flush whatever levels are not yet on disk. *)
+  flush ~force:true;
   match trunc with
   | None -> Budget.Complete
   | Some (reason, at_depth) -> (
@@ -113,21 +178,32 @@ let iter_levels ?budget pool ~succ ~key ~depth ~f x0 =
       | Some b -> Budget.truncated b ~reason ~at_depth
       | None -> assert false (* Exhausted only arises from a budget *))
 
-let levels ?budget pool ~succ ~key ~depth x0 =
-  let acc = ref [] in
+(* The wrappers seed their accumulators from the resume prefix, because
+   [iter_levels ~resume] does not re-deliver prefix levels to [f]. *)
+let levels ?budget ?checkpoint ?resume pool ~succ ~key ~depth x0 =
+  let acc =
+    ref (match resume with Some r -> List.rev r.levels | None -> [])
+  in
   let status =
-    iter_levels ?budget pool ~succ ~key ~depth ~f:(fun level -> acc := level :: !acc) x0
+    iter_levels ?budget ?checkpoint ?resume pool ~succ ~key ~depth
+      ~f:(fun level -> acc := level :: !acc)
+      x0
   in
   { Budget.value = List.rev !acc; status }
 
-let reachable ?budget pool ~succ ~key ~depth x0 =
-  let o = levels ?budget pool ~succ ~key ~depth x0 in
+let reachable ?budget ?checkpoint ?resume pool ~succ ~key ~depth x0 =
+  let o = levels ?budget ?checkpoint ?resume pool ~succ ~key ~depth x0 in
   { o with Budget.value = List.concat o.Budget.value }
 
-let count_reachable ?budget pool ~succ ~key ~depth x0 =
-  let n = ref 0 in
+let count_reachable ?budget ?checkpoint ?resume pool ~succ ~key ~depth x0 =
+  let n =
+    ref
+      (match resume with
+      | Some r -> List.fold_left (fun a l -> a + List.length l) 0 r.levels
+      | None -> 0)
+  in
   let status =
-    iter_levels ?budget pool ~succ ~key ~depth
+    iter_levels ?budget ?checkpoint ?resume pool ~succ ~key ~depth
       ~f:(fun level -> n := !n + List.length level)
       x0
   in

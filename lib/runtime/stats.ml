@@ -60,6 +60,47 @@ let reset () =
   Atomic.set workers_respawned 0;
   Atomic.set domain_mask 0
 
+(* [domains_utilised] is a popcount, so restoring it can only mark "that
+   many slots": the low bits stand in for whichever slots were live. *)
+let mask_of_count k = (1 lsl min (max k 0) 62) - 1
+
+let restore s =
+  Atomic.set states_expanded s.states_expanded;
+  Atomic.set dedup_hits s.dedup_hits;
+  Atomic.set valence_cache_hits s.valence_cache_hits;
+  Atomic.set valence_cache_misses s.valence_cache_misses;
+  Atomic.set tasks_executed s.tasks_executed;
+  Atomic.set workers_respawned s.workers_respawned;
+  Atomic.set domain_mask (mask_of_count s.domains_utilised)
+
+let merge s =
+  add states_expanded s.states_expanded;
+  add dedup_hits s.dedup_hits;
+  add valence_cache_hits s.valence_cache_hits;
+  add valence_cache_misses s.valence_cache_misses;
+  add tasks_executed s.tasks_executed;
+  add workers_respawned s.workers_respawned;
+  let rec or_mask m =
+    let cur = Atomic.get domain_mask in
+    let next = cur lor m in
+    if cur <> next && not (Atomic.compare_and_set domain_mask cur next) then
+      or_mask m
+  in
+  or_mask (mask_of_count s.domains_utilised)
+
+let diff a b =
+  let d x y = max 0 (x - y) in
+  {
+    states_expanded = d a.states_expanded b.states_expanded;
+    dedup_hits = d a.dedup_hits b.dedup_hits;
+    valence_cache_hits = d a.valence_cache_hits b.valence_cache_hits;
+    valence_cache_misses = d a.valence_cache_misses b.valence_cache_misses;
+    tasks_executed = d a.tasks_executed b.tasks_executed;
+    (* utilisation is a set, not a count: a "delta" keeps [a]'s view *)
+    domains_utilised = a.domains_utilised;
+    workers_respawned = d a.workers_respawned b.workers_respawned;
+  }
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>runtime stats:@,\

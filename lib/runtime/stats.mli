@@ -25,6 +25,24 @@ val reset : unit -> unit
 val snapshot : unit -> snapshot
 val pp : Format.formatter -> snapshot -> unit
 
+(** [restore s] overwrites the live counters with [s] — used to roll the
+    counters back to a pre-attempt snapshot when the work that bumped
+    them is discarded (a failed experiment attempt that gets rerun, a
+    parallel map superseded by a serial fallback).  [domains_utilised]
+    is a popcount, so restore marks that many low slots as utilised
+    rather than the original slot set. *)
+val restore : snapshot -> unit
+
+(** [merge s] adds [s]'s counts into the live counters — used when a
+    resumed run inherits the counter state of the checkpointed prefix. *)
+val merge : snapshot -> unit
+
+(** [diff a b] is the pointwise difference [a - b], clamped at zero:
+    the counter delta between two snapshots taken around an attempt.
+    [domains_utilised] is carried over from [a] (deltas of a popcount
+    are not meaningful). *)
+val diff : snapshot -> snapshot -> snapshot
+
 (** {1 Incrementors}
 
     Cheap and lock-free; safe from any domain.  No-ops when the delta is

@@ -173,6 +173,189 @@ let test_registry_exception_row () =
       check "skipped row says why" true (contains row.Report.measured "interrupted")
   | _ -> Alcotest.fail "expected one skipped row"
 
+module RtStats = Layered_runtime.Stats
+module Pool = Layered_runtime.Pool
+module Fault = Layered_runtime.Fault
+
+let tmp_counter = ref 0
+
+let with_tmp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "layered-test-analysis-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun x -> rm (Filename.concat path x)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let pass_row id =
+  Report.row ~id ~claim:"c" ~params:"" ~expected:"x" ~measured:"x" Report.Pass
+
+(* The one retry of a raising experiment runs on the caller domain,
+   outside the pool — a poisoned worker cannot fail it a second time. *)
+let test_registry_retry_on_caller_domain () =
+  let attempts = Atomic.make [] in
+  let note () =
+    let rec go () =
+      let cur = Atomic.get attempts in
+      if not (Atomic.compare_and_set attempts cur (Domain.self () :: cur)) then go ()
+    in
+    go ()
+  in
+  let flaky =
+    {
+      Registry.id = "EFLAKY";
+      title = "raises on its first attempt";
+      run =
+        (fun () ->
+          note ();
+          if List.length (Atomic.get attempts) = 1 then failwith "flaky-once";
+          [ pass_row "EFLAKY" ]);
+    }
+  in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match Registry.run_all ~pool [ flaky ] with
+      | [ (_, [ pass; info ]) ] ->
+          check "retry produced the Pass row" true (pass.Report.status = Report.Pass);
+          check "Info row credits the out-of-pool rerun" true
+            (info.Report.status = Report.Info
+            && contains info.Report.measured "outside the pool");
+          (match List.rev (Atomic.get attempts) with
+          | [ _; second ] ->
+              check "the retry ran on the caller domain" true (second = Domain.self ())
+          | _ -> Alcotest.fail "expected exactly two attempts")
+      | _ -> Alcotest.fail "expected one Pass plus one recovery Info row")
+
+(* An injected worker crash mid-map must not cost any experiment its
+   rows: the registry falls back to a serial rerun and says so. *)
+let test_registry_survives_worker_crash () =
+  let exps =
+    List.init 8 (fun i ->
+        let id = Printf.sprintf "EW%d" i in
+        { Registry.id = id; title = "healthy"; run = (fun () -> [ pass_row id ]) })
+  in
+  Fault.arm ~seed:11 Fault.Worker_raise;
+  let results =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool -> Registry.run_all ~pool exps))
+  in
+  check "the injected crash fired" true (Fault.fired () = 1);
+  check "every experiment reports" true (List.length results = 8);
+  List.iter
+    (fun ((e : Registry.experiment), rows) ->
+      check (e.Registry.id ^ " kept its Pass row") true
+        (List.exists (fun (r : Report.row) -> r.Report.status = Report.Pass) rows);
+      check (e.Registry.id ^ " has no Fail row") true
+        (List.for_all (fun (r : Report.row) -> r.Report.status <> Report.Fail) rows))
+    results;
+  check "the serial fallback left its Info row" true
+    (List.exists
+       (fun (_, rows) ->
+         List.exists
+           (fun (r : Report.row) -> contains r.Report.measured "reran serially")
+           rows)
+       results)
+
+(* The failed attempt's counter delta is rolled back: only the attempt
+   that produced the reported rows is reflected in the Stats snapshot. *)
+let test_registry_retry_stats_rollback () =
+  let calls = ref 0 in
+  let e =
+    {
+      Registry.id = "EDELTA";
+      title = "counts states";
+      run =
+        (fun () ->
+          incr calls;
+          if !calls = 1 then begin
+            RtStats.add_states_expanded 1000;
+            failwith "first attempt dies"
+          end
+          else begin
+            RtStats.add_states_expanded 7;
+            [ pass_row "EDELTA" ]
+          end);
+    }
+  in
+  let before = (RtStats.snapshot ()).RtStats.states_expanded in
+  let results = Registry.run_all [ e ] in
+  let after = (RtStats.snapshot ()).RtStats.states_expanded in
+  check "experiment recovered" true
+    (match results with
+    | [ (_, rows) ] ->
+        List.exists (fun (r : Report.row) -> r.Report.status = Report.Pass) rows
+    | _ -> false);
+  Alcotest.(check int) "only the successful attempt's work is counted" 7
+    (after - before)
+
+(* Resume skips experiments whose snapshot loads intact, and the
+   resulting report is identical to an uninterrupted run. *)
+let test_registry_checkpoint_resume () =
+  with_tmp_dir (fun dir ->
+      let e1_ran = ref 0 in
+      let e1 =
+        {
+          Registry.id = "ER1";
+          title = "t1";
+          run =
+            (fun () ->
+              incr e1_ran;
+              [ pass_row "ER1" ]);
+        }
+      in
+      let e2 = { Registry.id = "ER2"; title = "t2"; run = (fun () -> [ pass_row "ER2" ]) } in
+      (* the interrupted run finished only ER1 before dying *)
+      ignore (Registry.run_all ~checkpoint:{ Registry.dir; resume = false } [ e1 ]);
+      check "ER1 ran in the interrupted run" true (!e1_ran = 1);
+      (* on resume ER1 must load from disk, never re-run *)
+      let poisoned =
+        { e1 with Registry.run = (fun () -> Alcotest.fail "ER1 re-ran despite a snapshot") }
+      in
+      let resumed =
+        Registry.run_all ~checkpoint:{ Registry.dir; resume = true } [ poisoned; e2 ]
+      in
+      let reference = Registry.run_all [ e1; e2 ] in
+      check "resumed rows identical to an uninterrupted run" true
+        (List.map snd resumed = List.map snd reference))
+
+(* A truncated sweep resumed under the same cap reproduces the truncated
+   report exactly; resumed without the cap it completes to the
+   uninterrupted rows. *)
+let test_sweep_checkpoint_resume () =
+  with_tmp_dir (fun dir ->
+      let run ?budget ?(resume = false) ~ckpt () =
+        let checkpoint =
+          if ckpt then Some { Sweep.dir; every = 1; resume } else None
+        in
+        Sweep.run ?budget ?checkpoint ~model:"sync" ~n:4 ~t:1 ~depth:3 ()
+      in
+      let full = run ~ckpt:false () in
+      let capped = run ~budget:(Budget.create ~max_states:5 ()) ~ckpt:true () in
+      check "cap truncated the checkpointed run" true
+        (capped.Sweep.status <> Budget.Complete);
+      (* same cap on resume: consumption is re-imposed, so the report is
+         reproduced bit for bit (and no new generation is written) *)
+      let recapped =
+        run ~budget:(Budget.create ~max_states:5 ()) ~ckpt:true ~resume:true ()
+      in
+      check "recapped resume reproduces the truncation" true
+        (recapped.Sweep.levels = capped.Sweep.levels
+        && recapped.Sweep.status = capped.Sweep.status);
+      (* no cap on resume: completes to the uninterrupted rows *)
+      let resumed = run ~ckpt:true ~resume:true () in
+      check "uncapped resume completes" true (resumed.Sweep.status = Budget.Complete);
+      check "resumed rows equal the uninterrupted sweep" true
+        (resumed.Sweep.levels = full.Sweep.levels))
+
 let test_chains () =
   (* Ever-bivalent models: chains complete; where every process moves
      each layer the decision deadline forces a violation, while the
@@ -218,6 +401,16 @@ let () =
           Alcotest.test_case "omission budget paths" `Quick test_omission_budget_paths;
           Alcotest.test_case "registry isolates failures" `Quick
             test_registry_exception_row;
+          Alcotest.test_case "retry runs on the caller domain" `Quick
+            test_registry_retry_on_caller_domain;
+          Alcotest.test_case "registry survives a worker crash" `Quick
+            test_registry_survives_worker_crash;
+          Alcotest.test_case "retry rolls back failed-attempt stats" `Quick
+            test_registry_retry_stats_rollback;
+          Alcotest.test_case "registry checkpoint resume" `Quick
+            test_registry_checkpoint_resume;
+          Alcotest.test_case "sweep checkpoint resume" `Quick
+            test_sweep_checkpoint_resume;
           Alcotest.test_case "chains" `Quick test_chains;
           Alcotest.test_case "dot export" `Quick test_export_dot;
         ] );

@@ -1,0 +1,326 @@
+(* Unit tests for the durable checkpoint layer: format roundtrip,
+   generation numbering, torn-write/corrupt-CRC rollback, and
+   checkpoint/resume equivalence of the parallel frontier BFS. *)
+
+open Layered_runtime
+module Ckpt = Checkpoint
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories *)
+
+let tmp_counter = ref 0
+
+let with_tmp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "layered-test-ckpt-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun x -> rm (Filename.concat path x)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+(* The on-disk name format is part of the documented contract
+   ([<name>.g%06d.ckpt]); the corruption tests lean on it. *)
+let gen_path dir name g = Filename.concat dir (Printf.sprintf "%s.g%06d.ckpt" name g)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* A crash mid-write: only a prefix of the file made it to disk. *)
+let tear path =
+  let data = read_file path in
+  write_file path (String.sub data 0 (String.length data / 2))
+
+(* Silent media corruption: one body byte flipped, length intact. *)
+let flip_byte path =
+  let data = read_file path in
+  let b = Bytes.of_string data in
+  let i = Bytes.length b - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  write_file path (Bytes.to_string b)
+
+let meta ?budget progress = Ckpt.make_meta ?budget ~progress ()
+
+(* ------------------------------------------------------------------ *)
+(* Format roundtrip and generations *)
+
+let test_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let b = Budget.create ~timeout_s:60.0 ~max_states:100 () in
+      Budget.charge b 7;
+      let saved =
+        Ckpt.save ~dir ~name:"rt" ~meta:(meta ~budget:b 3) ~payload:"the payload"
+      in
+      check_int "first save is generation 1" 1 saved.Ckpt.generation;
+      check "on-disk size covers header + body" true (saved.Ckpt.bytes > 16);
+      match Ckpt.load_latest ~dir ~name:"rt" with
+      | None -> Alcotest.fail "roundtrip load failed"
+      | Some l ->
+          Alcotest.(check string) "payload" "the payload" l.Ckpt.payload;
+          check_int "generation" 1 l.Ckpt.generation;
+          check_int "rejected" 0 l.Ckpt.rejected;
+          check_int "version" Ckpt.current_version l.Ckpt.meta.Ckpt.version;
+          check_int "progress" 3 l.Ckpt.meta.Ckpt.progress;
+          check_int "states charged" 7 l.Ckpt.meta.Ckpt.states_charged;
+          (match l.Ckpt.meta.Ckpt.deadline_remaining_s with
+          | Some s -> check "deadline remaining within budget" true (s > 0. && s <= 60.)
+          | None -> Alcotest.fail "expected a recorded deadline");
+          check "no fault armed at save" true (l.Ckpt.meta.Ckpt.fault = None))
+
+let test_meta_captures_armed_fault () =
+  Fault.arm ~seed:99 Fault.Torn_checkpoint_write;
+  let m = Fun.protect ~finally:Fault.disarm (fun () -> meta 0) in
+  check "armed site and seed recorded" true
+    (m.Ckpt.fault = Some ("torn_checkpoint_write", 99))
+
+let test_generations_accumulate () =
+  with_tmp_dir (fun dir ->
+      List.iter
+        (fun g -> ignore (Ckpt.save ~dir ~name:"acc" ~meta:(meta g) ~payload:(string_of_int g)))
+        [ 1; 2; 3 ];
+      Alcotest.(check (list int)) "generations" [ 1; 2; 3 ] (Ckpt.generations ~dir ~name:"acc");
+      (match Ckpt.load_latest ~dir ~name:"acc" with
+      | Some l ->
+          check_int "newest wins" 3 l.Ckpt.generation;
+          Alcotest.(check string) "newest payload" "3" l.Ckpt.payload
+      | None -> Alcotest.fail "load failed");
+      (* names are namespaced: a sibling name sees nothing *)
+      check "sibling name isolated" true (Ckpt.load_latest ~dir ~name:"other" = None);
+      (* no .tmp litter once saves returned *)
+      Array.iter
+        (fun f -> check ("no tmp litter: " ^ f) false (Filename.check_suffix f ".tmp"))
+        (Sys.readdir dir))
+
+let test_missing_dir () =
+  check "absent directory loads None" true
+    (Ckpt.load_latest ~dir:"/nonexistent/layered-ckpt" ~name:"x" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Rollback: torn and corrupt generations are rejected, newest intact
+   generation wins *)
+
+let test_torn_latest_rolls_back () =
+  with_tmp_dir (fun dir ->
+      ignore (Ckpt.save ~dir ~name:"t" ~meta:(meta 1) ~payload:"good");
+      ignore (Ckpt.save ~dir ~name:"t" ~meta:(meta 2) ~payload:"newer");
+      tear (gen_path dir "t" 2);
+      Alcotest.(check (list (pair int bool)))
+        "scan flags the torn generation"
+        [ (1, true); (2, false) ]
+        (Ckpt.scan ~dir ~name:"t");
+      match Ckpt.load_latest ~dir ~name:"t" with
+      | Some l ->
+          check_int "rolled back to generation 1" 1 l.Ckpt.generation;
+          check_int "one newer generation rejected" 1 l.Ckpt.rejected;
+          Alcotest.(check string) "intact payload" "good" l.Ckpt.payload
+      | None -> Alcotest.fail "rollback load failed")
+
+let test_corrupt_crc_rolls_back () =
+  with_tmp_dir (fun dir ->
+      ignore (Ckpt.save ~dir ~name:"c" ~meta:(meta 1) ~payload:"good");
+      ignore (Ckpt.save ~dir ~name:"c" ~meta:(meta 2) ~payload:"newer");
+      flip_byte (gen_path dir "c" 2);
+      (match Ckpt.load_latest ~dir ~name:"c" with
+      | Some l ->
+          check_int "rolled back to generation 1" 1 l.Ckpt.generation;
+          check_int "one newer generation rejected" 1 l.Ckpt.rejected
+      | None -> Alcotest.fail "rollback load failed");
+      (* every generation damaged: the loader reports nothing usable *)
+      flip_byte (gen_path dir "c" 1);
+      check "all-corrupt loads None" true (Ckpt.load_latest ~dir ~name:"c" = None))
+
+(* The same contract driven by the injection sites inside [save]: three
+   saves under an armed fault tear or corrupt exactly one generation
+   (the seed-derived firing index is < 3), and the loader returns the
+   newest generation that survived. *)
+let fault_site_rolls_back site () =
+  with_tmp_dir (fun dir ->
+      Fault.arm ~seed:7 site;
+      Fun.protect ~finally:Fault.disarm (fun () ->
+          List.iter
+            (fun g ->
+              ignore
+                (Ckpt.save ~dir ~name:"f" ~meta:(meta g) ~payload:(string_of_int g)))
+            [ 1; 2; 3 ]);
+      check_int "the fault fired exactly once" 1 (Fault.fired ());
+      let scan = Ckpt.scan ~dir ~name:"f" in
+      check_int "exactly one generation damaged" 1
+        (List.length (List.filter (fun (_, ok) -> not ok) scan));
+      match Ckpt.load_latest ~dir ~name:"f" with
+      | Some l ->
+          Alcotest.(check string)
+            "loaded payload matches its generation"
+            (string_of_int l.Ckpt.generation)
+            l.Ckpt.payload;
+          check "loaded generation validated" true
+            (List.assoc l.Ckpt.generation scan)
+      | None -> Alcotest.fail "no intact generation survived")
+
+(* ------------------------------------------------------------------ *)
+(* Frontier checkpoint/resume *)
+
+(* A graph big enough that a 40-state cap truncates well before depth. *)
+let succ x = if x >= 500 then [] else [ ((3 * x) + 1) mod 601; (x + 7) mod 601 ]
+let key = string_of_int
+
+let save_sink ?budget dir name =
+  fun (snap : int Frontier.snapshot) ->
+   ignore
+     (Ckpt.save ~dir ~name
+        ~meta:(meta ?budget (List.length snap.Frontier.levels))
+        ~payload:(Marshal.to_string snap []))
+
+let load_snap dir name =
+  match Ckpt.load_latest ~dir ~name with
+  | None -> Alcotest.fail "no snapshot on disk"
+  | Some l -> (Marshal.from_string l.Ckpt.payload 0 : int Frontier.snapshot)
+
+(* Interrupt a capped run, resume it unbudgeted: the resumed levels must
+   be byte-identical to an uninterrupted traversal, at jobs 1 and 4. *)
+let test_frontier_resume_equivalence () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          with_tmp_dir (fun dir ->
+              let reference = (Frontier.levels pool ~succ ~key ~depth:20 1).Budget.value in
+              let b = Budget.create ~max_states:40 () in
+              let o =
+                Frontier.levels ~budget:b
+                  ~checkpoint:{ Frontier.every = 1; save = save_sink dir "bfs" }
+                  pool ~succ ~key ~depth:20 1
+              in
+              (match o.Budget.status with
+              | Budget.Truncated _ -> ()
+              | Budget.Complete -> Alcotest.fail "expected the cap to truncate");
+              let resumed =
+                Frontier.levels ~resume:(load_snap dir "bfs") pool ~succ ~key ~depth:20 1
+              in
+              check
+                (Printf.sprintf "resumed run completes at jobs=%d" jobs)
+                true
+                (resumed.Budget.status = Budget.Complete);
+              Alcotest.(check (list (list string)))
+                (Printf.sprintf "resumed levels equal uninterrupted at jobs=%d" jobs)
+                (List.map (List.map key) reference)
+                (List.map (List.map key) resumed.Budget.value))))
+    [ 1; 4 ]
+
+(* Snapshot content — delivered levels and committed keys — is identical
+   across job counts: a checkpoint taken at jobs=4 resumes a jobs=1 run
+   and vice versa. *)
+let test_snapshot_identical_across_jobs () =
+  let capture jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let snaps = ref [] in
+        let save (snap : int Frontier.snapshot) =
+          snaps := (snap.Frontier.levels, snap.Frontier.committed) :: !snaps
+        in
+        ignore
+          (Frontier.levels ~checkpoint:{ Frontier.every = 1; save } pool ~succ ~key
+             ~depth:6 1);
+        List.rev !snaps)
+  in
+  let s1 = capture 1 and s4 = capture 4 in
+  check_int "same snapshot count" (List.length s1) (List.length s4);
+  List.iter2
+    (fun (l1, c1) (l4, c4) ->
+      Alcotest.(check (list (list int))) "levels identical" l1 l4;
+      Alcotest.(check (list string)) "committed keys identical" c1 c4)
+    s1 s4
+
+(* Re-imposing the interrupted run's consumption makes the cap trip at
+   the same boundary: a resumed capped run reproduces the truncated
+   levels and status exactly. *)
+let test_cap_recharge_determinism () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      with_tmp_dir (fun dir ->
+          let b = Budget.create ~max_states:40 () in
+          let interrupted =
+            Frontier.levels ~budget:b
+              ~checkpoint:{ Frontier.every = 1; save = save_sink ~budget:b dir "cap" }
+              pool ~succ ~key ~depth:20 1
+          in
+          let loaded = Option.get (Ckpt.load_latest ~dir ~name:"cap") in
+          let snap = (Marshal.from_string loaded.Ckpt.payload 0 : int Frontier.snapshot) in
+          let b' = Budget.create ~max_states:40 () in
+          Budget.charge b' loaded.Ckpt.meta.Ckpt.states_charged;
+          let resumed = Frontier.levels ~budget:b' ~resume:snap pool ~succ ~key ~depth:20 1 in
+          check "same truncation status" true
+            (resumed.Budget.status = interrupted.Budget.status);
+          Alcotest.(check (list (list string)))
+            "same truncated levels"
+            (List.map (List.map key) interrupted.Budget.value)
+            (List.map (List.map key) resumed.Budget.value)))
+
+(* A snapshot of a completed traversal resumes to an immediate,
+   identical completion — the idempotence the CLI's --resume relies on
+   when a run was interrupted after its final flush. *)
+let test_resume_of_complete_run () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      with_tmp_dir (fun dir ->
+          let full =
+            Frontier.levels
+              ~checkpoint:{ Frontier.every = 1; save = save_sink dir "done" }
+              pool ~succ ~key ~depth:6 1
+          in
+          let resumed =
+            Frontier.levels ~resume:(load_snap dir "done") pool ~succ ~key ~depth:6 1
+          in
+          check "still complete" true (resumed.Budget.status = Budget.Complete);
+          Alcotest.(check (list (list string)))
+            "levels unchanged"
+            (List.map (List.map key) full.Budget.value)
+            (List.map (List.map key) resumed.Budget.value)))
+
+let () =
+  Alcotest.run "layered_checkpoint"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "roundtrip with meta" `Quick test_roundtrip;
+          Alcotest.test_case "meta records the armed fault" `Quick
+            test_meta_captures_armed_fault;
+          Alcotest.test_case "generations accumulate" `Quick test_generations_accumulate;
+          Alcotest.test_case "missing directory" `Quick test_missing_dir;
+        ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "torn latest generation" `Quick test_torn_latest_rolls_back;
+          Alcotest.test_case "corrupt CRC" `Quick test_corrupt_crc_rolls_back;
+          Alcotest.test_case "injected torn write" `Quick
+            (fault_site_rolls_back Fault.Torn_checkpoint_write);
+          Alcotest.test_case "injected CRC corruption" `Quick
+            (fault_site_rolls_back Fault.Corrupt_checkpoint_crc);
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "equivalence at jobs 1 and 4" `Quick
+            test_frontier_resume_equivalence;
+          Alcotest.test_case "snapshot content identical across jobs" `Quick
+            test_snapshot_identical_across_jobs;
+          Alcotest.test_case "cap recharge is deterministic" `Quick
+            test_cap_recharge_determinism;
+          Alcotest.test_case "resume of a complete run" `Quick test_resume_of_complete_run;
+        ] );
+    ]

@@ -128,6 +128,50 @@ let test_frontier_exception () =
           .Budget.value)
 
 (* ------------------------------------------------------------------ *)
+(* Shards: the frontier's dedup table under forced collisions.  With a
+   single shard every key lands in one bucket behind one mutex — the
+   worst case the propose/claim discipline must survive unchanged. *)
+
+let test_shards_min_index_wins () =
+  let t = Frontier.Shards.create ~shards:1 in
+  List.iter (fun (k, i) -> Frontier.Shards.propose t k i)
+    [ ("a", 5); ("b", 3); ("a", 2); ("a", 9); ("b", 7) ];
+  check "losing candidate cannot claim a" false (Frontier.Shards.claim t "a" 5);
+  check "losing candidate cannot claim b" false (Frontier.Shards.claim t "b" 7);
+  check "minimum index claims a" true (Frontier.Shards.claim t "a" 2);
+  check "minimum index claims b" true (Frontier.Shards.claim t "b" 3);
+  (* claims are exclusive: even the winner cannot claim twice *)
+  check "second claim of a refused" false (Frontier.Shards.claim t "a" 2);
+  Alcotest.(check (list string)) "committed keys, sorted" [ "a"; "b" ]
+    (Frontier.Shards.committed t)
+
+let test_shards_committed_never_displaced () =
+  let t = Frontier.Shards.create ~shards:1 in
+  Frontier.Shards.commit t "k";
+  (* a later level proposes the same key with an attractive low index *)
+  Frontier.Shards.propose t "k" 0;
+  check "no candidate can claim a committed key" false (Frontier.Shards.claim t "k" 0);
+  Alcotest.(check (list string)) "still committed" [ "k" ]
+    (Frontier.Shards.committed t)
+
+(* The discipline is shard-count invariant: any interleaving of the same
+   proposals yields the same winner, whether keys collide in one bucket
+   or spread over many. *)
+let test_shards_claim_determinism () =
+  let keys = List.init 40 (fun i -> Printf.sprintf "k%d" (i mod 10)) in
+  let run shards order =
+    let t = Frontier.Shards.create ~shards in
+    List.iter (fun (k, i) -> Frontier.Shards.propose t k i) order;
+    List.filteri (fun i _ -> Frontier.Shards.claim t (List.nth keys i) i)
+      (List.init (List.length keys) Fun.id)
+    |> List.length
+  in
+  let indexed = List.mapi (fun i k -> (k, i)) keys in
+  let forward = run 1 indexed and reverse = run 64 (List.rev indexed) in
+  check_int "winner set independent of shards and proposal order" forward reverse;
+  check_int "one winner per distinct key" 10 forward
+
+(* ------------------------------------------------------------------ *)
 (* Budgets *)
 
 (* A deadline expiring mid-BFS yields [Truncated], and the delivered
@@ -345,6 +389,14 @@ let () =
           Alcotest.test_case "exists_reachable" `Quick test_frontier_exists;
           Alcotest.test_case "levels partition" `Quick test_frontier_levels;
           Alcotest.test_case "exception propagation" `Quick test_frontier_exception;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "min index wins under collisions" `Quick
+            test_shards_min_index_wins;
+          Alcotest.test_case "committed keys never displaced" `Quick
+            test_shards_committed_never_displaced;
+          Alcotest.test_case "claim determinism" `Quick test_shards_claim_determinism;
         ] );
       ( "budget",
         [
