@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke chaos-smoke resume-smoke fmt
+.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke fmt
 
 build:
 	dune build
@@ -12,6 +12,16 @@ test:
 # code cannot bit-rot unexercised.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Snapshot the current kernels and diff them against the committed
+# baseline, kernel by kernel (current/baseline wall-time ratio).
+bench-compare:
+	dune exec bench/main.exe -- --json > BENCH_current.json
+	bash scripts/bench_compare.sh BENCH_baseline.json BENCH_current.json
+
+# Refresh the committed baseline after a deliberate perf change.
+bench-baseline:
+	dune exec bench/main.exe -- --json > BENCH_baseline.json
 
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.

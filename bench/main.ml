@@ -57,7 +57,7 @@ let shutdown_pools () =
 let e1_classify_initials () =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   List.iter
     (fun x -> ignore (Valence.classify v ~depth:3 x))
     (E.initial_states ~n:3 ~values)
@@ -78,14 +78,14 @@ let e3_layer_valence () =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.s1 ~record_failures:false in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   ignore (Connectivity.valence_connected ~vals:(Valence.vals v ~depth:3) (succ x))
 
 (* E4: the full ever-bivalent chain construction in M^mf. *)
 let e4_bivalent_chain () =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.s1 ~record_failures:false in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let classify x = Valence.classify v ~depth:3 x in
   let x0 =
     Option.get (Layering.find_bivalent ~classify (E.initial_states ~n:3 ~values))
@@ -149,7 +149,7 @@ let e7_verify_floodset () =
 let e7_lower_bound_chain () =
   let module E = (val make_sync_engine ~t:2) in
   let succ = E.st ~t:2 in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let classify x = Valence.classify v ~depth:4 x in
   let x0 =
     Option.get (Layering.find_bivalent ~classify (E.initial_states ~n:4 ~values))
@@ -163,7 +163,7 @@ let e7_lower_bound_chain () =
 let e8_clean_round () =
   let module E = (val sync_engine (Layered_protocols.Sync_early.make ~t:1)) in
   let succ = E.st ~t:1 in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let spec = { Explore.succ; key = E.key } in
   List.iter
     (fun x0 ->
@@ -255,7 +255,7 @@ let e13_iis_layer =
 let e14_full_info_classify () =
   let module E = (val sync_engine (Layered_protocols.Full_info.sync ~horizon:2)) in
   let succ = E.s1 ~record_failures:false in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   ignore (Valence.classify v ~depth:3 (E.initial ~inputs:[| 0; 1; 1 |]))
 
 (* E15: build the Kripke structure and one common-belief fixpoint.
@@ -320,14 +320,14 @@ let e18_omission_verify () =
 let ablation_valence_cold () =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
-  let v = Valence.create ~budget:(bench_budget ()) (E.valence_spec ~succ) in
+  let v = Valence.create ~budget:(bench_budget ()) ~ident:E.ident (E.valence_spec ~succ) in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
   ignore (Valence.classify v ~depth:3 x)
 
 let ablation_valence_warm =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let x = E.initial ~inputs:[| 0; 1; 1 |] in
   ignore (Valence.classify v ~depth:3 x);
   fun () -> ignore (Valence.classify v ~depth:3 x)
@@ -383,7 +383,7 @@ let ablation_e1_pool jobs =
   fun () ->
     Pool.parallel_iter (pool jobs)
       (fun x ->
-        let v = Valence.create (E.valence_spec ~succ) in
+        let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
         ignore (Valence.classify v ~depth:3 x))
       initials
 
@@ -466,6 +466,59 @@ let cleanup_ckpt_dirs () =
   List.iter (fun sub -> rm_ckpt_dir (ckpt_bench_dir sub)) [ "write"; "restore" ]
 
 (* ------------------------------------------------------------------ *)
+(* Similarity-graph construction: the all-pairs reference vs the
+   signature-bucketed builder, on the same fixture — the deduped
+   depth-2 reachable set of the (4,1) S^t submodel (the largest smoke
+   instance).  The fixture is shared and forced before any kernel runs
+   so neither timing includes the BFS. *)
+
+module Sim_E = (val make_sync_engine ~t:1)
+
+let simgraph_states =
+  lazy
+    (let spec = { Explore.succ = Sim_E.st ~t:1; key = Sim_E.key } in
+     let seen = Hashtbl.create 4096 in
+     List.filter
+       (fun x ->
+         let k = Sim_E.ident x in
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.add seen k ();
+           true
+         end)
+       (List.concat_map
+          (fun x0 -> Explore.reachable spec ~depth:2 x0)
+          (Sim_E.initial_states ~n:4 ~values)))
+
+let simgraph_pairwise () =
+  ignore
+    (Sim_E.similarity_graph ~builder:Simgraph.Pairwise (Lazy.force simgraph_states))
+
+let simgraph_bucketed () =
+  ignore
+    (Sim_E.similarity_graph ~builder:Simgraph.Bucketed (Lazy.force simgraph_states))
+
+(* Valence cache keying: the same cold (3,1) classification with the
+   memo table keyed by rebuilt canonical key strings vs interned ids. *)
+let valence_string_key () =
+  let module E = (val make_sync_engine ~t:1) in
+  let succ = E.st ~t:1 in
+  let v = Valence.create (E.valence_spec ~succ) in
+  List.iter
+    (fun x -> ignore (Valence.classify v ~depth:3 x))
+    (E.initial_states ~n:3 ~values)
+
+let valence_interned () =
+  let module E = (val make_sync_engine ~t:1) in
+  let succ = E.st ~t:1 in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
+  List.iter
+    (fun x -> ignore (Valence.classify v ~depth:3 x))
+    (E.initial_states ~n:3 ~values)
+
+let force_fixtures () = ignore (Lazy.force simgraph_states)
+
+(* ------------------------------------------------------------------ *)
 (* Chaos-layer overhead: the fault sites threaded through the hot paths
    must be free when injection is disarmed (the production state, and
    always the state here).  One million probes of the disabled fast
@@ -530,6 +583,10 @@ let kernels =
     { name = "ablation/e1-pool-jobs1"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 1 };
     { name = "ablation/e1-pool-jobs2"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 2 };
     { name = "ablation/e1-pool-jobs4"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 4 };
+    { name = "simgraph/pairwise"; n = 4; t = 1; depth = 2; fn = simgraph_pairwise };
+    { name = "simgraph/bucketed"; n = 4; t = 1; depth = 2; fn = simgraph_bucketed };
+    { name = "valence/string-key"; n = 3; t = 1; depth = 3; fn = valence_string_key };
+    { name = "valence/interned"; n = 3; t = 1; depth = 3; fn = valence_interned };
     { name = "checkpoint/write"; n = 4; t = 1; depth = 2; fn = checkpoint_write };
     { name = "checkpoint/restore"; n = 4; t = 1; depth = 2; fn = checkpoint_restore };
     { name = "chaos/point-disabled"; n = 0; t = 0; depth = 0; fn = chaos_point_disabled };
@@ -537,6 +594,7 @@ let kernels =
   ]
 
 let run_smoke () =
+  force_fixtures ();
   List.iter
     (fun k ->
       Printf.printf "smoke %-32s%!" k.name;
@@ -550,12 +608,17 @@ let run_smoke () =
    machine-readable snapshot (e.g. for CI trend lines), not a rigorous
    estimate. *)
 let run_json () =
+  force_fixtures ();
   print_string "[";
   List.iteri
     (fun i k ->
       if i > 0 then print_string ",";
       Stats.reset ();
       Atomic.set last_ckpt_bytes 0;
+      (* Settle the previous kernel's garbage so single-shot wall times
+         compare across adjacent kernels instead of charging one kernel
+         with its predecessor's major-GC debt. *)
+      Gc.compact ();
       let t0 = Unix.gettimeofday () in
       k.fn ();
       let t1 = Unix.gettimeofday () in
@@ -571,6 +634,7 @@ let run_json () =
   print_string "\n]\n"
 
 let run_bechamel () =
+  force_fixtures ();
   let tests = List.map (fun k -> Test.make ~name:k.name (Staged.stage k.fn)) kernels in
   let grouped = Test.make_grouped ~name:"layered" tests in
   let ols =

@@ -59,7 +59,8 @@ let ckpt_hint budget c =
       Format.eprintf "checkpoint: resumable snapshots in %s (rerun with --resume)@." dir
   | _ -> ()
 
-let run_experiments ids markdown jobs stats budget ckpt =
+let run_experiments ids markdown jobs stats budget ckpt simgraph =
+  Simgraph.set_default simgraph;
   let experiments =
     match ids with
     | [] -> Registry.all
@@ -149,6 +150,22 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Print the runtime counter snapshot to stderr when done.")
 
+(* Ablation switch for the similarity-graph construction: the bucketed
+   builder is the default; the all-pairs reference stays reachable so a
+   regression can be bisected from the CLI (stdout is byte-identical
+   either way — asserted in CI). *)
+let simgraph_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("bucketed", Simgraph.Bucketed); ("pairwise", Simgraph.Pairwise) ])
+        Simgraph.Bucketed
+    & info [ "simgraph" ] ~docv:"BUILDER"
+        ~doc:
+          "Similarity-graph builder: $(b,bucketed) (signature bucketing, the \
+           default) or $(b,pairwise) (the all-pairs reference, for ablation). \
+           Output is identical; only construction cost differs.")
+
 (* Every budgeted command gets a Budget.t even when no limit flag is
    given: the token doubles as the SIGINT cancellation point, and an
    unlimited budget costs nothing on the hot paths. *)
@@ -237,14 +254,14 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_experiments $ ids $ markdown $ jobs_arg $ stats_arg $ budget_term
-      $ ckpt_term)
+      $ ckpt_term $ simgraph_arg)
 
 let all_cmd =
   let doc = "Run every experiment." in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run_experiments $ const [] $ markdown $ jobs_arg $ stats_arg $ budget_term
-      $ ckpt_term)
+      $ ckpt_term $ simgraph_arg)
 
 let n_arg =
   Arg.(

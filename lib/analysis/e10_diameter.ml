@@ -22,15 +22,15 @@ let run_one ~n ~t ~levels =
     else begin
       let layers = List.map succ xs in
       let layer_diameters =
-        List.map (fun layer -> Connectivity.diameter ~rel:E.similar layer) layers
+        List.map (fun layer -> Connectivity.diameter_via ~graph:E.similarity_graph layer) layers
       in
       let dy =
         List.fold_left
           (fun acc d -> match (acc, d) with Some a, Some b -> Some (max a b) | _ -> None)
           (Some 0) layer_diameters
       in
-      let next = dedup_by E.key (List.concat layers) in
-      let dnext = Connectivity.diameter ~rel:E.similar next in
+      let next = dedup_by E.ident (List.concat layers) in
+      let dnext = Connectivity.diameter_via ~graph:E.similarity_graph next in
       let params = Printf.sprintf "floodset n=%d t=%d level=%d" n t level in
       let rows =
         match (dy, dnext) with
@@ -64,7 +64,7 @@ let run_one ~n ~t ~levels =
     end
   in
   let d0 =
-    match Connectivity.diameter ~rel:E.similar initials with
+    match Connectivity.diameter_via ~graph:E.similarity_graph initials with
     | Some d -> d
     | None -> -1
   in

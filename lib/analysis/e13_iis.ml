@@ -5,7 +5,7 @@ let run_one ~n ~horizon ~length =
   let module P = (val Layered_protocols.Iis_voting.make ~horizon) in
   let module E = Iis.Engine.Make (P) in
   let succ = E.layer in
-  let valence = Valence.create (E.valence_spec ~succ) in
+  let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let depth = horizon + 1 in
   let vals x = Valence.vals valence ~depth x in
   let classify x = Valence.classify valence ~depth x in
@@ -20,7 +20,7 @@ let run_one ~n ~horizon ~length =
     List.length (Iis.Engine.partitions ~n) = Iis.Engine.fubini n
   in
   let similarity_ok =
-    List.for_all (fun x -> Connectivity.connected ~rel:E.similar (succ x)) sample
+    List.for_all (fun x -> Connectivity.connected_via ~graph:E.similarity_graph (succ x)) sample
   in
   let valence_ok =
     List.for_all (fun x -> Connectivity.valence_connected ~vals (succ x)) sample

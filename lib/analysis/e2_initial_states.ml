@@ -13,8 +13,8 @@ type probe = {
    [vals = {v}] certifies v-univalence without needing every explored
    branch to terminate (which never happens in the asynchronous models,
    where one process may be excluded from every layer). *)
-let probe (type a) ~(initials : a list) ~similar ~vals =
-  let similarity = Connectivity.connected ~rel:similar initials in
+let probe (type a) ~(initials : a list) ~(graph : a Connectivity.graph_builder) ~vals =
+  let similarity = Connectivity.connected_via ~graph initials in
   let valence = Connectivity.valence_connected ~vals initials in
   let bivalent = List.exists (fun x -> Vset.cardinal (vals x) >= 2) initials in
   let anchors =
@@ -42,52 +42,52 @@ let mobile ~n ~horizon =
   let module P = (val Layered_protocols.Sync_floodset.make ~t:(horizon - 1)) in
   let module E = Layered_sync.Engine.Make (P) in
   let succ = E.s1 ~record_failures:false in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let depth = horizon + 1 in
   probe
     ~initials:(E.initial_states ~n ~values:[ Value.zero; Value.one ])
-    ~similar:E.similar
+    ~graph:E.similarity_graph
     ~vals:(fun x -> Valence.vals v ~depth x)
 
 let tresilient ~n ~t =
   let module P = (val Layered_protocols.Sync_floodset.make ~t) in
   let module E = Layered_sync.Engine.Make (P) in
   let succ = E.st ~t in
-  let v = Valence.create (E.valence_spec ~succ) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let depth = t + 2 in
   probe
     ~initials:(E.initial_states ~n ~values:[ Value.zero; Value.one ])
-    ~similar:E.similar
+    ~graph:E.similarity_graph
     ~vals:(fun x -> Valence.vals v ~depth x)
 
 let shared_memory ~n ~horizon =
   let module P = (val Layered_protocols.Sm_voting.make ~horizon) in
   let module E = Layered_async_sm.Engine.Make (P) in
-  let v = Valence.create (E.valence_spec ~succ:E.srw) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.srw) in
   let depth = horizon + 1 in
   probe
     ~initials:(E.initial_states ~n ~values:[ Value.zero; Value.one ])
-    ~similar:E.similar
+    ~graph:E.similarity_graph
     ~vals:(fun x -> Valence.vals v ~depth x)
 
 let message_passing ~n ~horizon =
   let module P = (val Layered_protocols.Mp_floodset.make ~horizon) in
   let module E = Layered_async_mp.Engine.Make (P) in
-  let v = Valence.create (E.valence_spec ~succ:E.sper) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.sper) in
   let depth = horizon + 1 in
   probe
     ~initials:(E.initial_states ~n ~values:[ Value.zero; Value.one ])
-    ~similar:E.similar
+    ~graph:E.similarity_graph
     ~vals:(fun x -> Valence.vals v ~depth x)
 
 let synchronic_mp ~n ~horizon =
   let module P = (val Layered_protocols.Sync_floodset.make ~t:(horizon - 1)) in
   let module E = Layered_async_mp.Synchronic.Make (P) in
-  let v = Valence.create (E.valence_spec ~succ:E.smp) in
+  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.smp) in
   let depth = horizon + 2 in
   probe
     ~initials:(E.initial_states ~n ~values:[ Value.zero; Value.one ])
-    ~similar:E.similar
+    ~graph:E.similarity_graph
     ~vals:(fun x -> Valence.vals v ~depth x)
 
 let run () =

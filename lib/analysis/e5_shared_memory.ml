@@ -5,7 +5,7 @@ let run_one ~n ~horizon ~length =
   let module P = (val Layered_protocols.Sm_voting.make ~horizon) in
   let module E = Sm.Engine.Make (P) in
   let succ = E.srw in
-  let valence = Valence.create (E.valence_spec ~succ) in
+  let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
   let depth = horizon + 1 in
   let vals x = Valence.vals valence ~depth x in
   let classify x = Valence.classify valence ~depth x in
@@ -57,7 +57,7 @@ let run_one ~n ~horizon ~length =
                 (0 :: Pid.all n))
             (Pid.all n)
         in
-        Connectivity.connected ~rel:E.similar y_part)
+        Connectivity.connected_via ~graph:E.similarity_graph y_part)
       sample
   in
   (* (c) valence connectivity of layers + the ever-bivalent chain *)

@@ -59,7 +59,7 @@ let covering_agreement ~n ~horizon =
       { Covering.succ = E.sper; key = E.key; terminal = E.terminal; output }
       cover
   in
-  let valence = Valence.create (E.valence_spec ~succ:E.sper) in
+  let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.sper) in
   let depth = horizon + 1 in
   let ok = ref true and checked = ref 0 in
   let rec vectors acc i =

@@ -543,6 +543,77 @@ let recovery_rollback ~jobs:_ =
             fail "newest generation intact but not the one loaded"
           else pass_)
 
+(* ------------------------------------------------------------------ *)
+(* Differential: the bucketed similarity-graph builder must produce    *)
+(* exactly the reference all-pairs graph — same node order, same edge  *)
+(* set — on every model.  States mix rounds and schedules so masked    *)
+(* signatures collide and differ in both directions.                   *)
+
+let graphs_equal (g : Graph.t) (h : Graph.t) =
+  Graph.size g = Graph.size h
+  && List.for_all
+       (fun i -> Graph.neighbours g i = Graph.neighbours h i)
+       (List.init (Graph.size g) Fun.id)
+
+let simgraph_eq ~similarity_graph states =
+  let _, reference = similarity_graph ~builder:Simgraph.Pairwise states in
+  let _, bucketed = similarity_graph ~builder:Simgraph.Bucketed states in
+  if graphs_equal reference bucketed then pass_
+  else
+    fail
+      (Printf.sprintf "builders disagree on %d states: pairwise %d edges, bucketed %d"
+         (List.length states) (Graph.edge_count reference) (Graph.edge_count bucketed))
+
+let two_values = [ Value.zero; Value.one ]
+
+let dedup_by ident states =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun x ->
+      let k = ident x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    states
+
+let sg_sync ~jobs:_ =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_sync.Engine.Make (P) in
+  let initials = E.initial_states ~n:3 ~values:two_values in
+  let layer1 = List.concat_map (E.st ~t:1) initials in
+  simgraph_eq ~similarity_graph:(fun ~builder states -> E.similarity_graph ~builder states)
+    (initials @ dedup_by E.ident layer1)
+
+let sg_iis ~jobs:_ =
+  let module P = (val Layered_protocols.Iis_voting.make ~horizon:2) in
+  let module E = Layered_iis.Engine.Make (P) in
+  let initials = E.initial_states ~n:3 ~values:two_values in
+  simgraph_eq ~similarity_graph:(fun ~builder states -> E.similarity_graph ~builder states)
+    (initials @ dedup_by E.ident (List.concat_map E.layer initials))
+
+let sg_sm ~jobs:_ =
+  let module P = (val Layered_protocols.Sm_voting.make ~horizon:2) in
+  let module E = Layered_async_sm.Engine.Make (P) in
+  let initials = E.initial_states ~n:3 ~values:two_values in
+  simgraph_eq ~similarity_graph:(fun ~builder states -> E.similarity_graph ~builder states)
+    (initials @ dedup_by E.ident (List.concat_map E.srw initials))
+
+let sg_mp ~jobs:_ =
+  let module P = (val Layered_protocols.Mp_floodset.make ~horizon:2) in
+  let module E = Layered_async_mp.Engine.Make (P) in
+  let initials = E.initial_states ~n:3 ~values:two_values in
+  simgraph_eq ~similarity_graph:(fun ~builder states -> E.similarity_graph ~builder states)
+    (initials @ dedup_by E.ident (List.concat_map E.sper initials))
+
+let sg_smp ~jobs:_ =
+  let module P = (val Layered_protocols.Sync_floodset.make ~t:1) in
+  let module E = Layered_async_mp.Synchronic.Make (P) in
+  let initials = E.initial_states ~n:3 ~values:two_values in
+  simgraph_eq ~similarity_graph:(fun ~builder states -> E.similarity_graph ~builder states)
+    (initials @ dedup_by E.ident (List.concat_map E.smp initials))
+
 let all =
   [
     {
@@ -634,6 +705,31 @@ let all =
       name = "cross-engine/kset";
       what = "one 2-set algorithm, three substrates: E19 invariants all pass";
       check = cross_engine_kset;
+    };
+    {
+      name = "simgraph-eq/sync";
+      what = "bucketed and pairwise similarity graphs identical (floodset S^t, n=3)";
+      check = sg_sync;
+    };
+    {
+      name = "simgraph-eq/iis";
+      what = "bucketed and pairwise similarity graphs identical (IIS voting, n=3)";
+      check = sg_iis;
+    };
+    {
+      name = "simgraph-eq/sm";
+      what = "bucketed and pairwise similarity graphs identical (S^rw voting, n=3)";
+      check = sg_sm;
+    };
+    {
+      name = "simgraph-eq/mp";
+      what = "bucketed and pairwise similarity graphs identical (S^per floodset, n=3)";
+      check = sg_mp;
+    };
+    {
+      name = "simgraph-eq/smp";
+      what = "bucketed and pairwise similarity graphs identical (synchronic MP, n=3)";
+      check = sg_smp;
     };
     {
       name = "resume-eq/frontier";

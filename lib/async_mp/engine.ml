@@ -13,7 +13,12 @@ let rec permutations = function
         l
 
 module Make (P : Protocol.S) = struct
-  type state = { round : int; locals : P.local array; mail : (Pid.t * P.msg) list array }
+  type state = {
+    round : int;
+    locals : P.local array;
+    mail : (Pid.t * P.msg) list array;
+    interned : Intern.slot;
+  }
 
   let n_of x = Array.length x.locals
 
@@ -23,6 +28,7 @@ module Make (P : Protocol.S) = struct
       round = 0;
       locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
       mail = Array.make n [];
+      interned = Intern.fresh_slot ();
     }
 
   let initial_states ~n ~values =
@@ -68,7 +74,9 @@ module Make (P : Protocol.S) = struct
     let locals = Array.copy x.locals and mail = Array.copy x.mail in
     (match entry with
     | Solo i ->
-        let local', outgoing = phase_of { x with locals; mail } i in
+        let local', outgoing =
+          phase_of { x with locals; mail; interned = Intern.fresh_slot () } i
+        in
         locals.(i - 1) <- local';
         mail.(i - 1) <- [];
         enqueue mail i outgoing
@@ -84,7 +92,7 @@ module Make (P : Protocol.S) = struct
         mail.(b - 1) <- [];
         enqueue mail a out_a;
         enqueue mail b out_b);
-    { x with locals; mail }
+    { x with locals; mail; interned = Intern.fresh_slot () }
 
   let pids_of_entry = function Solo i -> [ i ] | Pair (a, b) -> [ a; b ]
 
@@ -104,7 +112,7 @@ module Make (P : Protocol.S) = struct
   let apply x s =
     validate_schedule (n_of x) s;
     let x' = List.fold_left apply_entry x s in
-    { x' with round = x.round + 1 }
+    { x' with round = x.round + 1; interned = Intern.fresh_slot () }
 
   let schedules ~n =
     let all = Pid.all n in
@@ -152,7 +160,36 @@ module Make (P : Protocol.S) = struct
       x.locals;
     Buffer.contents buf
 
-  let equal x y = String.equal (key x) (key y)
+  (* Interning signature: header = round; part i bundles process i's
+     mailbox and local key, which [agree_modulo] masks together.  Each
+     mailbox entry is length-prefixed so a msg_key containing the
+     separators cannot alias across entry boundaries. *)
+  let raw_parts x =
+    let n = n_of x in
+    Array.init (n + 1) (fun i ->
+        if i = 0 then string_of_int x.round
+        else begin
+          let buf = Buffer.create 32 in
+          List.iter
+            (fun (src, m) ->
+              let mk = P.msg_key m in
+              Buffer.add_string buf (string_of_int src);
+              Buffer.add_char buf ':';
+              Buffer.add_string buf (string_of_int (String.length mk));
+              Buffer.add_char buf ':';
+              Buffer.add_string buf mk;
+              Buffer.add_char buf ';')
+            x.mail.(i - 1);
+          Buffer.add_char buf '!';
+          Buffer.add_string buf (P.key x.locals.(i - 1));
+          Buffer.contents buf
+        end)
+
+  let intern_table = Intern.create ~key ~parts:raw_parts ()
+  let meta x = Intern.memo intern_table x.interned x
+  let key x = (meta x).Intern.key
+  let ident x = (meta x).Intern.id
+  let equal x y = ident x = ident y
 
   let sper =
     let table = Hashtbl.create 4 in
@@ -170,7 +207,7 @@ module Make (P : Protocol.S) = struct
       List.filter_map
         (fun s ->
           let y = apply x s in
-          let k = key y in
+          let k = ident y in
           if Hashtbl.mem seen k then None
           else begin
             Hashtbl.add seen k ();
@@ -188,27 +225,22 @@ module Make (P : Protocol.S) = struct
   let terminal x = Array.for_all (fun l -> P.decision l <> None) x.locals
   let in_transit x = Array.fold_left (fun acc box -> acc + List.length box) 0 x.mail
 
-  let mailbox_equal a b =
-    List.length a = List.length b
-    && List.for_all2
-         (fun (s, m) (s', m') -> s = s' && String.equal (P.msg_key m) (P.msg_key m'))
-         a b
-
   (* Messages addressed to [j] are part of [j]'s interface with the
      environment: if [j] crashes they are never observed, so "agree modulo
-     j" compares the mailboxes of every process except [j]. *)
+     j" compares the mailboxes of every process except [j].  Part [i]
+     bundles mailbox and local of process [i], so the masked part-id
+     comparison is exactly the old field-by-field check. *)
   let agree_modulo x y j =
-    let n = n_of x in
-    x.round = y.round
-    && n = n_of y
-    && List.for_all
-         (fun i ->
-           i = j
-           || (mailbox_equal x.mail.(i - 1) y.mail.(i - 1)
-              && String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1))))
-         (Pid.all n)
+    Simgraph.masked_equal (meta x).Intern.parts (meta y).Intern.parts j
 
   let similar x y = List.exists (agree_modulo x y) (Pid.all (n_of x))
+
+  let sim_adapter =
+    { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness = (fun _ _ _ -> true) }
+
+  let similarity_graph ?builder states =
+    Simgraph.build ?builder ~rel:similar sim_adapter states
+
   let explore_spec = { Explore.succ = sper; key }
   let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }
 

@@ -37,6 +37,7 @@ module Make (P : Protocol.S) : sig
             sorted by source and FIFO within a source (the canonical
             delivery order; cross-source interleaving of concurrent sends
             is semantically arbitrary) *)
+    interned : Intern.slot;  (** memo cell for the state's {!Intern.meta} *)
   }
 
   val n_of : state -> int
@@ -59,6 +60,10 @@ module Make (P : Protocol.S) : sig
   val sper : state -> state list
 
   val key : state -> string
+
+  (** Dense intern id of the canonical encoding (O(1) equality). *)
+  val ident : state -> int
+
   val equal : state -> state -> bool
   val decisions : state -> Value.t option array
   val decided_vset : state -> Vset.t
@@ -74,6 +79,11 @@ module Make (P : Protocol.S) : sig
   val agree_modulo : state -> state -> Pid.t -> bool
 
   val similar : state -> state -> bool
+
+  (** Similarity graph over [states]; see {!Simgraph.build}. *)
+  val similarity_graph :
+    ?builder:Simgraph.builder -> state list -> state array * Graph.t
+
   val explore_spec : state Explore.spec
   val valence_spec : succ:(state -> state list) -> state Valence.spec
   val pp : Format.formatter -> state -> unit

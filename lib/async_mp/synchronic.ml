@@ -5,7 +5,13 @@ type action = { slow : Pid.t; mode : slowness }
 
 module Make (P : Layered_sync.Protocol.S) = struct
   type packet = { src : Pid.t; dst : Pid.t; msg : P.msg; sent : int }
-  type state = { round : int; locals : P.local array; transit : packet list }
+
+  type state = {
+    round : int;
+    locals : P.local array;
+    transit : packet list;
+    interned : Intern.slot;
+  }
 
   let n_of x = Array.length x.locals
 
@@ -15,6 +21,7 @@ module Make (P : Layered_sync.Protocol.S) = struct
       round = 0;
       locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
       transit = [];
+      interned = Intern.fresh_slot ();
     }
 
   let initial_states ~n ~values =
@@ -79,7 +86,9 @@ module Make (P : Layered_sync.Protocol.S) = struct
         (fun (idx, p) -> if Hashtbl.mem delivered idx then None else Some p)
         indexed
     in
-    { round; locals; transit }
+    { round; locals; transit; interned = Intern.fresh_slot () }
+
+  let packet_key p = Printf.sprintf "%d>%d@%d:%s" p.src p.dst p.sent (P.msg_key p.msg)
 
   let key x =
     let buf = Buffer.create 64 in
@@ -87,8 +96,7 @@ module Make (P : Layered_sync.Protocol.S) = struct
     List.iter
       (fun p ->
         Buffer.add_char buf '|';
-        Buffer.add_string buf
-          (Printf.sprintf "%d>%d@%d:%s" p.src p.dst p.sent (P.msg_key p.msg)))
+        Buffer.add_string buf (packet_key p))
       x.transit;
     Array.iter
       (fun l ->
@@ -97,14 +105,40 @@ module Make (P : Layered_sync.Protocol.S) = struct
       x.locals;
     Buffer.contents buf
 
-  let equal x y = String.equal (key x) (key y)
+  (* Interning signature: [agree_modulo] compares round + the whole
+     transit list unmasked, so they form the header part; part i is
+     process i's local key.  Packet renders are length-prefixed so a
+     msg_key containing the separators cannot alias. *)
+  let raw_parts x =
+    let n = n_of x in
+    Array.init (n + 1) (fun i ->
+        if i = 0 then begin
+          let buf = Buffer.create 32 in
+          Buffer.add_string buf (string_of_int x.round);
+          List.iter
+            (fun p ->
+              let pk = packet_key p in
+              Buffer.add_char buf '|';
+              Buffer.add_string buf (string_of_int (String.length pk));
+              Buffer.add_char buf ':';
+              Buffer.add_string buf pk)
+            x.transit;
+          Buffer.contents buf
+        end
+        else P.key x.locals.(i - 1))
+
+  let intern_table = Intern.create ~key ~parts:raw_parts ()
+  let meta x = Intern.memo intern_table x.interned x
+  let key x = (meta x).Intern.key
+  let ident x = (meta x).Intern.id
+  let equal x y = ident x = ident y
 
   let smp x =
     let seen = Hashtbl.create 64 in
     List.filter_map
       (fun a ->
         let y = apply x a in
-        let k = key y in
+        let k = ident y in
         if Hashtbl.mem seen k then None
         else begin
           Hashtbl.add seen k ();
@@ -122,19 +156,20 @@ module Make (P : Layered_sync.Protocol.S) = struct
   let terminal x = Array.for_all (fun l -> P.decision l <> None) x.locals
   let in_transit x = List.length x.transit
 
-  let packet_key p = Printf.sprintf "%d>%d@%d:%s" p.src p.dst p.sent (P.msg_key p.msg)
-
+  (* Masked part-id equality: round and the transit list live in the
+     header part (compared unmasked), locals of every [i <> j] in the
+     remaining parts. *)
   let agree_modulo x y j =
-    let n = n_of x in
-    x.round = y.round
-    && n = n_of y
-    && List.equal (fun p q -> String.equal (packet_key p) (packet_key q)) x.transit y.transit
-    && List.for_all
-         (fun i ->
-           i = j || String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1)))
-         (Pid.all n)
+    Simgraph.masked_equal (meta x).Intern.parts (meta y).Intern.parts j
 
   let similar x y = List.exists (agree_modulo x y) (Pid.all (n_of x))
+
+  let sim_adapter =
+    { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness = (fun _ _ _ -> true) }
+
+  let similarity_graph ?builder states =
+    Simgraph.build ?builder ~rel:similar sim_adapter states
+
   let explore_spec = { Explore.succ = smp; key }
   let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }
 

@@ -35,6 +35,7 @@ module Make (P : Layered_sync.Protocol.S) : sig
     round : int;
     locals : P.local array;
     transit : packet list;  (** in-transit messages, oldest first *)
+    interned : Intern.slot;  (** memo cell for the state's {!Intern.meta} *)
   }
 
   val n_of : state -> int
@@ -47,6 +48,10 @@ module Make (P : Layered_sync.Protocol.S) : sig
   val smp : state -> state list
 
   val key : state -> string
+
+  (** Dense intern id of the canonical encoding (O(1) equality). *)
+  val ident : state -> int
+
   val equal : state -> state -> bool
   val decisions : state -> Value.t option array
   val decided_vset : state -> Vset.t
@@ -54,6 +59,11 @@ module Make (P : Layered_sync.Protocol.S) : sig
   val in_transit : state -> int
   val agree_modulo : state -> state -> Pid.t -> bool
   val similar : state -> state -> bool
+
+  (** Similarity graph over [states]; see {!Simgraph.build}. *)
+  val similarity_graph :
+    ?builder:Simgraph.builder -> state list -> state array * Graph.t
+
   val explore_spec : state Explore.spec
   val valence_spec : succ:(state -> state list) -> state Valence.spec
   val pp : Format.formatter -> state -> unit

@@ -5,7 +5,12 @@ type action = { slow : Pid.t; mode : slowness }
 type event = Write of Pid.t | Scan of Pid.t
 
 module Make (P : Protocol.S) = struct
-  type state = { phase : int; locals : P.local array; regs : P.reg option array }
+  type state = {
+    phase : int;
+    locals : P.local array;
+    regs : P.reg option array;
+    interned : Intern.slot;
+  }
 
   let n_of x = Array.length x.locals
 
@@ -15,6 +20,7 @@ module Make (P : Protocol.S) = struct
       phase = 0;
       locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
       regs = Array.make n None;
+      interned = Intern.fresh_slot ();
     }
 
   let initial_states ~n ~values =
@@ -44,7 +50,7 @@ module Make (P : Protocol.S) = struct
         (match P.write ~n:(n_of x) ~pid:i x.locals.(i - 1) with
         | Some r -> regs.(i - 1) <- Some r
         | None -> ());
-        { x with regs }
+        { x with regs; interned = Intern.fresh_slot () }
     | Scan i ->
         let locals = Array.copy x.locals in
         let before = P.decision locals.(i - 1) in
@@ -54,11 +60,11 @@ module Make (P : Protocol.S) = struct
             invalid_arg "Engine: protocol violated write-once decision"
         | Some _, None -> invalid_arg "Engine: protocol erased a decision"
         | (Some _ | None), _ -> ());
-        { x with locals }
+        { x with locals; interned = Intern.fresh_slot () }
 
   let apply_events x events =
     let x' = List.fold_left apply_event x events in
-    { x' with phase = x.phase + 1 }
+    { x' with phase = x.phase + 1; interned = Intern.fresh_slot () }
 
   let apply x a = apply_events x (compile x a)
 
@@ -98,7 +104,36 @@ module Make (P : Protocol.S) = struct
       x.locals;
     Buffer.contents buf
 
-  let equal x y = String.equal (key x) (key y)
+  (* Interning signature: [agree_modulo] compares phase + the whole
+     register vector unmasked, so they form the header part; part i is
+     process i's local key.  Register renders are length-prefixed so a
+     reg_key containing the separators cannot alias. *)
+  let raw_parts x =
+    let n = n_of x in
+    Array.init (n + 1) (fun i ->
+        if i = 0 then begin
+          let buf = Buffer.create 32 in
+          Buffer.add_string buf (string_of_int x.phase);
+          Array.iter
+            (fun r ->
+              match r with
+              | Some r ->
+                  let rk = P.reg_key r in
+                  Buffer.add_char buf '|';
+                  Buffer.add_string buf (string_of_int (String.length rk));
+                  Buffer.add_char buf ':';
+                  Buffer.add_string buf rk
+              | None -> Buffer.add_string buf "|_")
+            x.regs;
+          Buffer.contents buf
+        end
+        else P.key x.locals.(i - 1))
+
+  let intern_table = Intern.create ~key ~parts:raw_parts ()
+  let meta x = Intern.memo intern_table x.interned x
+  let key x = (meta x).Intern.key
+  let ident x = (meta x).Intern.id
+  let equal x y = ident x = ident y
   let decisions x = Array.map P.decision x.locals
 
   let decided_vset x =
@@ -108,31 +143,28 @@ module Make (P : Protocol.S) = struct
 
   let terminal x = Array.for_all (fun l -> P.decision l <> None) x.locals
 
-  let reg_equal a b =
-    match (a, b) with
-    | None, None -> true
-    | Some r, Some r' -> String.equal (P.reg_key r) (P.reg_key r')
-    | None, Some _ | Some _, None -> false
-
+  (* Masked part-id equality: phase and the register vector live in the
+     header part (compared unmasked), locals of every [i <> j] in the
+     remaining parts — the old field-by-field comparison as O(n) int
+     compares on interned ids. *)
   let agree_modulo x y j =
-    let n = n_of x in
-    x.phase = y.phase
-    && n = n_of y
-    && Array.for_all2 reg_equal x.regs y.regs
-    && List.for_all
-         (fun i ->
-           i = j || String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1)))
-         (Pid.all n)
+    Simgraph.masked_equal (meta x).Intern.parts (meta y).Intern.parts j
 
   (* No finite failure in this model, so the "other non-failed process"
      condition of Definition 3.1 is automatic (n >= 2). *)
   let similar x y = List.exists (agree_modulo x y) (Pid.all (n_of x))
 
+  let sim_adapter =
+    { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness = (fun _ _ _ -> true) }
+
+  let similarity_graph ?builder states =
+    Simgraph.build ?builder ~rel:similar sim_adapter states
+
   let dedup states =
     let seen = Hashtbl.create 64 in
     List.filter
       (fun x ->
-        let k = key x in
+        let k = ident x in
         if Hashtbl.mem seen k then false
         else begin
           Hashtbl.add seen k ();

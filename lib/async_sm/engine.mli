@@ -37,6 +37,7 @@ module Make (P : Protocol.S) : sig
     phase : int;  (** completed virtual rounds *)
     locals : P.local array;
     regs : P.reg option array;  (** environment: register [V_i] at [i - 1] *)
+    interned : Intern.slot;  (** memo cell for the state's {!Intern.meta} *)
   }
 
   val n_of : state -> int
@@ -62,6 +63,10 @@ module Make (P : Protocol.S) : sig
   val schedule_legal : event list -> bool
 
   val key : state -> string
+
+  (** Dense intern id of the canonical encoding (O(1) equality). *)
+  val ident : state -> int
+
   val equal : state -> state -> bool
   val decisions : state -> Value.t option array
   val decided_vset : state -> Vset.t
@@ -72,6 +77,10 @@ module Make (P : Protocol.S) : sig
   val agree_modulo : state -> state -> Pid.t -> bool
 
   val similar : state -> state -> bool
+
+  (** Similarity graph over [states]; see {!Simgraph.build}. *)
+  val similarity_graph :
+    ?builder:Simgraph.builder -> state list -> state array * Graph.t
 
   (** The synchronic layering: [S^rw x] is the de-duplicated set of
       [apply x a] over all actions. *)

@@ -27,6 +27,25 @@ let diameter ~rel states =
   let _, g = graph_of ~rel states in
   Graph.diameter g
 
+(* Builder-based variants: the caller supplies the graph construction
+   (typically an engine's [similarity_graph], which dispatches between
+   the all-pairs and the bucketed builder), and connectivity questions
+   reduce to the same {!Graph} algorithms. *)
+
+type 'a graph_builder = ?builder:Simgraph.builder -> 'a list -> 'a array * Graph.t
+
+let connected_via ~(graph : 'a graph_builder) states =
+  let _, g = graph states in
+  Graph.is_connected g
+
+let components_via ~(graph : 'a graph_builder) states =
+  let arr, g = graph states in
+  List.map (List.map (fun i -> arr.(i))) (Graph.components g)
+
+let diameter_via ~(graph : 'a graph_builder) states =
+  let _, g = graph states in
+  Graph.diameter g
+
 let valence_connected ~vals states =
   let cached = List.map (fun x -> vals x) states in
   let arr = Array.of_list cached in

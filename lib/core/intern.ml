@@ -1,0 +1,83 @@
+module Stats = Layered_runtime.Stats
+
+type meta = { id : int; key : string; khash : int; parts : int array }
+
+(* The slot caches the meta *together with a physical token of the table
+   that produced it*.  Metas are only trusted when the token is
+   physically the live table's own: a state revived by [Marshal] (the
+   checkpoint/resume path) carries a *copy* of the token, so its cached
+   meta — whose [id]/[parts] are relative to a dead table — is discarded
+   and the state is re-interned into the live table.  The [key] string
+   inside a stale meta is still self-contained, but nothing reads it. *)
+type token = unit ref
+type slot = (meta * token) option Atomic.t
+
+let fresh_slot () = Atomic.make None
+
+type 'a t = {
+  key : 'a -> string;
+  parts : 'a -> string array;
+  token : token;
+  lock : Mutex.t;
+  table : (string, meta) Hashtbl.t;
+  pool : (string, int) Hashtbl.t;  (* part string -> dense part id *)
+  mutable next_part : int;
+}
+
+let create ?(size = 1024) ~key ~parts () =
+  {
+    key;
+    parts;
+    token = ref ();
+    lock = Mutex.create ();
+    table = Hashtbl.create size;
+    pool = Hashtbl.create (4 * size);
+    next_part = 0;
+  }
+
+let part_id t s =
+  match Hashtbl.find_opt t.pool s with
+  | Some i -> i
+  | None ->
+      let i = t.next_part in
+      t.next_part <- i + 1;
+      Hashtbl.add t.pool s i;
+      i
+
+(* The canonical key is built outside the lock (it calls protocol code);
+   the table insert — including the part-string pool updates — happens
+   under the mutex so concurrent domains interning equal states always
+   receive the same meta. *)
+let intern t x =
+  let k = t.key x in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some m ->
+          Stats.record_intern ~fresh:false;
+          m
+      | None ->
+          let parts = Array.map (part_id t) (t.parts x) in
+          let m = { id = Hashtbl.length t.table; key = k; khash = Hashtbl.hash k; parts } in
+          Hashtbl.add t.table k m;
+          Stats.record_intern ~fresh:true;
+          m)
+
+let memo t slot x =
+  match Atomic.get slot with
+  | Some (m, tok) when tok == t.token -> m
+  | Some _ | None ->
+      let m = intern t x in
+      (* Racing domains may both intern, but the mutex-guarded table
+         hands both the same meta, so the slot converges regardless of
+         write order. *)
+      Atomic.set slot (Some (m, t.token));
+      m
+
+let size t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Hashtbl.length t.table)

@@ -1,0 +1,53 @@
+(** Hash-consing of canonical state encodings (Filliâtre–Conchon style).
+
+    Engines serialise a state to a canonical key string; interning maps
+    each distinct key to a dense integer [id], so state equality becomes
+    an integer compare and downstream caches can key on ints instead of
+    rebuilt strings.  Alongside the id, the table precomputes the
+    state's {e component signature}: one dense {e part id} per
+    process-indexed component (plus a header part), the basis of the
+    bucketed similarity-graph construction in {!Simgraph} — two states
+    agree modulo process [j] exactly when their part arrays agree at
+    every index except [j].
+
+    Tables are domain-safe: inserts are mutex-guarded, so concurrent
+    domains interning equal states receive the same meta, and output
+    derived from interning is byte-identical across [--jobs] counts
+    (ids depend on interning order, but nothing ordering-sensitive is
+    ever printed). *)
+
+type meta = {
+  id : int;  (** dense intern id: [equal] states share it, others never do *)
+  key : string;  (** the canonical key, exactly as the engine renders it *)
+  khash : int;  (** hash of [key], precomputed once *)
+  parts : int array;
+      (** dense part ids: index [0] is the header (round, environment),
+          index [i >= 1] is process [i]'s component *)
+}
+
+(** A per-state memo cell for the state's meta.  Slots survive
+    [Marshal] round-trips (checkpoint/resume) safely: a revived slot is
+    detected as foreign and the state is transparently re-interned. *)
+type slot
+
+val fresh_slot : unit -> slot
+
+type 'a t
+
+(** [create ~key ~parts ()] builds an interning table.  [key] renders
+    the canonical encoding; [parts] splits the state into header +
+    per-process component strings such that two states satisfy the
+    model's [agree_modulo x y j] exactly when their parts agree
+    everywhere except index [j].  [key] must be injective on states and
+    determined by [parts] (same parts ⇒ same key). *)
+val create : ?size:int -> key:('a -> string) -> parts:('a -> string array) -> unit -> 'a t
+
+(** Intern a state: O(1) amortised on repeats (one hash of the key). *)
+val intern : 'a t -> 'a -> meta
+
+(** [memo t slot x] is [intern t x], cached in [x]'s own slot — the
+    fast path is one atomic read. *)
+val memo : 'a t -> slot -> 'a -> meta
+
+(** Number of distinct states interned so far. *)
+val size : 'a t -> int

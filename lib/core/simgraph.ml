@@ -1,0 +1,86 @@
+module Stats = Layered_runtime.Stats
+
+type builder = Pairwise | Bucketed
+
+let builder_name = function Pairwise -> "pairwise" | Bucketed -> "bucketed"
+
+(* The ablation flag: a process-wide default so the CLI can flip every
+   similarity-graph construction at once without threading a parameter
+   through each experiment. *)
+let default_builder = Atomic.make Bucketed
+let set_default b = Atomic.set default_builder b
+let default () = Atomic.get default_builder
+
+type 'a adapter = {
+  parts : 'a -> int array;
+  witness : 'a -> 'a -> int -> bool;
+}
+
+let pairwise ~rel states =
+  let arr = Array.of_list states in
+  (arr, Graph.of_pred ~size:(Array.length arr) (fun i j -> rel arr.(i) arr.(j)))
+
+let masked_equal p q j =
+  let len = Array.length p in
+  len = Array.length q
+  && begin
+       let ok = ref true in
+       for i = 0 to len - 1 do
+         if i <> j && p.(i) <> q.(i) then ok := false
+       done;
+       !ok
+     end
+
+(* For each maskable position j, bucket the m states by a hash of their
+   part ids with index j skipped: only states sharing a bucket can agree
+   modulo j.  Candidates are then verified exactly (masked part-id
+   equality, then the model's witness condition), so hash collisions
+   cost a comparison but never an edge.  O(m·n) hashing replaces the
+   O(m²·n) all-pairs probe; the verification work is output-sensitive.
+
+   Edge-set equality with [pairwise ~rel:similar] holds because states
+   that agree modulo j have identical masked signatures, hence identical
+   bucket hashes.  The emitted edge *sequence* is also independent of
+   the (interning-order-dependent) part-id values: buckets are scanned
+   in input order and false bucket-mates are filtered by the exact
+   check, so only the content-determined agree-modulo pairs survive, in
+   input order. *)
+let bucketed ad states =
+  let arr = Array.of_list states in
+  let m = Array.length arr in
+  let parts = Array.map ad.parts arr in
+  let nmask = Array.fold_left (fun acc p -> max acc (Array.length p - 1)) 0 parts in
+  let edges = ref [] in
+  let emitted = Hashtbl.create (4 * m) in
+  let candidates = ref 0 in
+  for j = 1 to nmask do
+    let buckets = Hashtbl.create (2 * m) in
+    for i = 0 to m - 1 do
+      let p = parts.(i) in
+      if Array.length p > j then begin
+        let h = ref (Array.length p) in
+        Array.iteri (fun q v -> if q <> j then h := (!h * 486187739) + v) p;
+        let earlier = Option.value (Hashtbl.find_opt buckets !h) ~default:[] in
+        List.iter
+          (fun i' ->
+            incr candidates;
+            if masked_equal parts.(i') p j && ad.witness arr.(i') arr.(i) j then begin
+              let e = (i' * m) + i in
+              if not (Hashtbl.mem emitted e) then begin
+                Hashtbl.add emitted e ();
+                edges := (i', i) :: !edges
+              end
+            end)
+          earlier;
+        Hashtbl.replace buckets !h (i :: earlier)
+      end
+    done
+  done;
+  Stats.add_simgraph_maskings (m * nmask);
+  Stats.add_simgraph_candidates !candidates;
+  (arr, Graph.of_edges ~size:m !edges)
+
+let build ?builder ~rel ad states =
+  match (match builder with Some b -> b | None -> default ()) with
+  | Pairwise -> pairwise ~rel states
+  | Bucketed -> bucketed ad states

@@ -1,0 +1,54 @@
+(** Similarity-graph construction over interned states.
+
+    The paper's similarity relation has the FLP "agree modulo one
+    process" shape: [x ~s y] iff for some process [j] the states agree
+    at every component other than [j] (and a model-specific witness
+    condition holds).  Building the graph by querying the relation on
+    all pairs costs O(m²·n) component compares for m states; this
+    module instead buckets the states n times by their {!Intern} part
+    signature with position [j] masked — only bucket-mates can be
+    related — which is O(m·n) hashing plus output-sensitive exact
+    verification.  The two builders produce identical graphs (asserted
+    by the [simgraph-eq] oracles and a QCheck property). *)
+
+type builder =
+  | Pairwise  (** reference: query [rel] on every unordered pair *)
+  | Bucketed  (** signature bucketing over interned part ids *)
+
+val builder_name : builder -> string
+
+(** Process-wide default builder used when [build] is called without an
+    explicit [?builder] — the CLI's [--simgraph] ablation flag.
+    Initially [Bucketed]. *)
+val set_default : builder -> unit
+
+val default : unit -> builder
+
+(** How a model exposes its states to the bucketed builder. *)
+type 'a adapter = {
+  parts : 'a -> int array;
+      (** the state's {!Intern.meta} part ids: header at index 0,
+          process [i]'s component at index [i] *)
+  witness : 'a -> 'a -> int -> bool;
+      (** [witness x y j]: the model's extra similarity condition once
+          [x] and [y] agree modulo [j] (e.g. "some other process is
+          non-failed in both"); [fun _ _ _ -> true] when the agreement
+          alone suffices *)
+}
+
+(** [masked_equal p q j] — parts arrays equal at every index except
+    [j] (lengths must match).  Exposed so engines can define
+    [agree_modulo] from their part signatures. *)
+val masked_equal : int array -> int array -> int -> bool
+
+(** The reference all-pairs construction ([Graph.of_pred] over [rel]).
+    Returns the states as an array (graph nodes are its indices). *)
+val pairwise : rel:('a -> 'a -> bool) -> 'a list -> 'a array * Graph.t
+
+(** The bucketed construction; requires [rel x y] ⟺ ∃j maskable,
+    [masked_equal (parts x) (parts y) j && witness x y j]. *)
+val bucketed : 'a adapter -> 'a list -> 'a array * Graph.t
+
+(** Dispatch on [builder], defaulting to {!default}. *)
+val build :
+  ?builder:builder -> rel:('a -> 'a -> bool) -> 'a adapter -> 'a list -> 'a array * Graph.t

@@ -20,16 +20,39 @@ type 'a spec = {
 
 type outcome = { vals : Vset.t; complete : bool }
 
+(* Entries are (depth explored, outcome at that depth).  A [complete]
+   outcome is valid for every depth >= the cached one; an incomplete
+   outcome is only reused for exactly the cached depth.  The cache is
+   keyed by the canonical key string, or — when the engine supplies an
+   intern identity — by the dense intern id, skipping key (re)builds on
+   every probe. *)
+type 'a cache =
+  | By_key of (string, int * outcome) Hashtbl.t
+  | By_ident of ('a -> int) * (int, int * outcome) Hashtbl.t
+
 type 'a t = {
   spec : 'a spec;
   budget : Layered_runtime.Budget.t option;
-  cache : (string, int * outcome) Hashtbl.t;
-      (* key -> (depth explored, outcome at that depth).  A [complete]
-         outcome is valid for every depth >= the cached one; an incomplete
-         outcome is only reused for exactly the cached depth. *)
+  cache : 'a cache;
 }
 
-let create ?budget spec = { spec; budget; cache = Hashtbl.create 4096 }
+let create ?budget ?ident spec =
+  let cache =
+    match ident with
+    | None -> By_key (Hashtbl.create 4096)
+    | Some ident -> By_ident (ident, Hashtbl.create 4096)
+  in
+  { spec; budget; cache }
+
+let cache_find t x =
+  match t.cache with
+  | By_key h -> Hashtbl.find_opt h (t.spec.key x)
+  | By_ident (ident, h) -> Hashtbl.find_opt h (ident x)
+
+let cache_store t x entry =
+  match t.cache with
+  | By_key h -> Hashtbl.replace h (t.spec.key x) entry
+  | By_ident (ident, h) -> Hashtbl.replace h (ident x) entry
 
 let rec compute t ~depth x =
   let spec = t.spec in
@@ -42,8 +65,7 @@ let rec compute t ~depth x =
        the budget's fault, not the depth's. *)
     { vals = spec.decided x; complete = false }
   else begin
-    let k = spec.key x in
-    match Hashtbl.find_opt t.cache k with
+    match cache_find t x with
     | Some (d, res) when (res.complete && d <= depth) || d = depth ->
         Layered_runtime.Stats.record_valence_lookup ~hit:true;
         res
@@ -60,7 +82,7 @@ let rec compute t ~depth x =
             children
         in
         let res = if children = [] then { res with complete = spec.terminal x } else res in
-        Hashtbl.replace t.cache k (depth, res);
+        cache_store t x (depth, res);
         res
   end
 
@@ -97,4 +119,6 @@ let is_bivalent t ~depth x =
   | Univalent _ | Unknown -> false
 
 let vals t ~depth x = (outcome t ~depth x).vals
-let cache_entries t = Hashtbl.length t.cache
+
+let cache_entries t =
+  match t.cache with By_key h -> Hashtbl.length h | By_ident (_, h) -> Hashtbl.length h

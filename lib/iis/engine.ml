@@ -42,7 +42,7 @@ let fubini n =
   memo.(n)
 
 module Make (P : Protocol.S) = struct
-  type state = { round : int; locals : P.local array }
+  type state = { round : int; locals : P.local array; interned : Intern.slot }
 
   let n_of x = Array.length x.locals
 
@@ -51,6 +51,7 @@ module Make (P : Protocol.S) = struct
     {
       round = 0;
       locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
+      interned = Intern.fresh_slot ();
     }
 
   let initial_states ~n ~values =
@@ -88,9 +89,9 @@ module Make (P : Protocol.S) = struct
           run_blocks seen rest
     in
     run_blocks [] blocks;
-    { round; locals }
+    { round; locals; interned = Intern.fresh_slot () }
 
-  let key x =
+  let raw_key x =
     let buf = Buffer.create 64 in
     Buffer.add_string buf (string_of_int x.round);
     Array.iter
@@ -100,7 +101,19 @@ module Make (P : Protocol.S) = struct
       x.locals;
     Buffer.contents buf
 
-  let equal x y = String.equal (key x) (key y)
+  (* Interning signature: header = round, part i = process i's local key —
+     the environment carries nothing across rounds in this model, so that
+     is exactly the data [agree_modulo] compares outside the mask. *)
+  let raw_parts x =
+    let n = n_of x in
+    Array.init (n + 1) (fun i ->
+        if i = 0 then string_of_int x.round else P.key x.locals.(i - 1))
+
+  let intern_table = Intern.create ~key:raw_key ~parts:raw_parts ()
+  let meta x = Intern.memo intern_table x.interned x
+  let key x = (meta x).Intern.key
+  let ident x = (meta x).Intern.id
+  let equal x y = ident x = ident y
 
   let layer =
     let table = Hashtbl.create 4 in
@@ -118,7 +131,7 @@ module Make (P : Protocol.S) = struct
       List.filter_map
         (fun p ->
           let y = apply x p in
-          let k = key y in
+          let k = ident y in
           if Hashtbl.mem seen k then None
           else begin
             Hashtbl.add seen k ();
@@ -135,16 +148,21 @@ module Make (P : Protocol.S) = struct
 
   let terminal x = Array.for_all (fun l -> P.decision l <> None) x.locals
 
+  (* Masked part-id equality: rounds (header part) and locals of every
+     [i <> j], as before, but O(n) int compares on interned ids. *)
   let agree_modulo x y j =
-    let n = n_of x in
-    x.round = y.round
-    && n = n_of y
-    && List.for_all
-         (fun i ->
-           i = j || String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1)))
-         (Pid.all n)
+    Simgraph.masked_equal (meta x).Intern.parts (meta y).Intern.parts j
 
   let similar x y = List.exists (agree_modulo x y) (Pid.all (n_of x))
+
+  (* Definition 3.1's witness condition is vacuous here: no process ever
+     fails in the IIS model. *)
+  let sim_adapter =
+    { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness = (fun _ _ _ -> true) }
+
+  let similarity_graph ?builder states =
+    Simgraph.build ?builder ~rel:similar sim_adapter states
+
   let explore_spec = { Explore.succ = layer; key }
   let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }
 

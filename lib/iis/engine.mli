@@ -32,7 +32,11 @@ val partitions : n:int -> partition list
 val fubini : int -> int
 
 module Make (P : Protocol.S) : sig
-  type state = private { round : int; locals : P.local array }
+  type state = private {
+    round : int;
+    locals : P.local array;
+    interned : Intern.slot;  (** memo cell for the state's {!Intern.meta} *)
+  }
 
   val n_of : state -> int
   val initial : inputs:Value.t array -> state
@@ -47,6 +51,10 @@ module Make (P : Protocol.S) : sig
   val layer : state -> state list
 
   val key : state -> string
+
+  (** Dense intern id of the canonical encoding (O(1) equality). *)
+  val ident : state -> int
+
   val equal : state -> state -> bool
   val decisions : state -> Value.t option array
   val decided_vset : state -> Vset.t
@@ -57,6 +65,11 @@ module Make (P : Protocol.S) : sig
   val agree_modulo : state -> state -> Pid.t -> bool
 
   val similar : state -> state -> bool
+
+  (** Similarity graph over [states]; see {!Simgraph.build}. *)
+  val similarity_graph :
+    ?builder:Simgraph.builder -> state list -> state array * Graph.t
+
   val explore_spec : state Explore.spec
   val valence_spec : succ:(state -> state list) -> state Valence.spec
   val pp : Format.formatter -> state -> unit

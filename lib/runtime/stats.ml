@@ -6,6 +6,10 @@ type snapshot = {
   tasks_executed : int;
   domains_utilised : int;
   workers_respawned : int;
+  interned_states : int;
+  intern_hits : int;
+  simgraph_maskings : int;
+  simgraph_candidates : int;
 }
 
 let states_expanded = Atomic.make 0
@@ -14,6 +18,10 @@ let valence_cache_hits = Atomic.make 0
 let valence_cache_misses = Atomic.make 0
 let tasks_executed = Atomic.make 0
 let workers_respawned = Atomic.make 0
+let interned_states = Atomic.make 0
+let intern_hits = Atomic.make 0
+let simgraph_maskings = Atomic.make 0
+let simgraph_candidates = Atomic.make 0
 
 (* One bit per pool slot; popcount = "domains utilised". *)
 let domain_mask = Atomic.make 0
@@ -24,6 +32,10 @@ let add_dedup_hits n = add dedup_hits n
 
 let record_valence_lookup ~hit =
   add (if hit then valence_cache_hits else valence_cache_misses) 1
+
+let record_intern ~fresh = add (if fresh then interned_states else intern_hits) 1
+let add_simgraph_maskings n = add simgraph_maskings n
+let add_simgraph_candidates n = add simgraph_candidates n
 
 let rec set_bit bit =
   let cur = Atomic.get domain_mask in
@@ -49,6 +61,10 @@ let snapshot () =
     tasks_executed = Atomic.get tasks_executed;
     domains_utilised = popcount (Atomic.get domain_mask);
     workers_respawned = Atomic.get workers_respawned;
+    interned_states = Atomic.get interned_states;
+    intern_hits = Atomic.get intern_hits;
+    simgraph_maskings = Atomic.get simgraph_maskings;
+    simgraph_candidates = Atomic.get simgraph_candidates;
   }
 
 let reset () =
@@ -58,6 +74,10 @@ let reset () =
   Atomic.set valence_cache_misses 0;
   Atomic.set tasks_executed 0;
   Atomic.set workers_respawned 0;
+  Atomic.set interned_states 0;
+  Atomic.set intern_hits 0;
+  Atomic.set simgraph_maskings 0;
+  Atomic.set simgraph_candidates 0;
   Atomic.set domain_mask 0
 
 (* [domains_utilised] is a popcount, so restoring it can only mark "that
@@ -71,6 +91,10 @@ let restore s =
   Atomic.set valence_cache_misses s.valence_cache_misses;
   Atomic.set tasks_executed s.tasks_executed;
   Atomic.set workers_respawned s.workers_respawned;
+  Atomic.set interned_states s.interned_states;
+  Atomic.set intern_hits s.intern_hits;
+  Atomic.set simgraph_maskings s.simgraph_maskings;
+  Atomic.set simgraph_candidates s.simgraph_candidates;
   Atomic.set domain_mask (mask_of_count s.domains_utilised)
 
 let merge s =
@@ -80,6 +104,10 @@ let merge s =
   add valence_cache_misses s.valence_cache_misses;
   add tasks_executed s.tasks_executed;
   add workers_respawned s.workers_respawned;
+  add interned_states s.interned_states;
+  add intern_hits s.intern_hits;
+  add simgraph_maskings s.simgraph_maskings;
+  add simgraph_candidates s.simgraph_candidates;
   let rec or_mask m =
     let cur = Atomic.get domain_mask in
     let next = cur lor m in
@@ -99,6 +127,10 @@ let diff a b =
     (* utilisation is a set, not a count: a "delta" keeps [a]'s view *)
     domains_utilised = a.domains_utilised;
     workers_respawned = d a.workers_respawned b.workers_respawned;
+    interned_states = d a.interned_states b.interned_states;
+    intern_hits = d a.intern_hits b.intern_hits;
+    simgraph_maskings = d a.simgraph_maskings b.simgraph_maskings;
+    simgraph_candidates = d a.simgraph_candidates b.simgraph_candidates;
   }
 
 let pp ppf s =
@@ -110,6 +142,11 @@ let pp ppf s =
     \  valence cache misses  %d@,\
     \  tasks executed        %d@,\
     \  domains utilised      %d@,\
-    \  workers respawned     %d@]@."
+    \  workers respawned     %d@,\
+    \  interned states       %d@,\
+    \  intern hits           %d@,\
+    \  simgraph maskings     %d@,\
+    \  simgraph candidates   %d@]@."
     s.states_expanded s.dedup_hits s.valence_cache_hits s.valence_cache_misses
-    s.tasks_executed s.domains_utilised s.workers_respawned
+    s.tasks_executed s.domains_utilised s.workers_respawned s.interned_states
+    s.intern_hits s.simgraph_maskings s.simgraph_candidates

@@ -19,6 +19,18 @@ type snapshot = {
           executed at least one chunk since the last [reset] *)
   workers_respawned : int;
       (** dead worker domains replaced by {!Pool} crash containment *)
+  interned_states : int;
+      (** distinct states hash-consed into {!Layered_core.Intern} tables
+          (the total intern-table population across all engines) *)
+  intern_hits : int;
+      (** intern calls answered by an existing table entry (per-state
+          memo-slot hits are not counted — they never reach the table) *)
+  simgraph_maskings : int;
+      (** state × masked-position bucket insertions performed by the
+          bucketed similarity-graph builder (its O(m·n) term) *)
+  simgraph_candidates : int;
+      (** bucket-mate pairs verified exactly by the bucketed builder
+          (the output-sensitive term; compare against m²/2 probes) *)
 }
 
 val reset : unit -> unit
@@ -51,6 +63,13 @@ val diff : snapshot -> snapshot -> snapshot
 val add_states_expanded : int -> unit
 val add_dedup_hits : int -> unit
 val record_valence_lookup : hit:bool -> unit
+
+(** [record_intern ~fresh] counts one intern-table probe: a fresh
+    insert when [fresh], a hit on an existing entry otherwise. *)
+val record_intern : fresh:bool -> unit
+
+val add_simgraph_maskings : int -> unit
+val add_simgraph_candidates : int -> unit
 
 (** [record_task ~slot] counts one executed chunk and marks pool slot
     [slot] as utilised (slots >= 62 share the last bit). *)

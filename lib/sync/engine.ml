@@ -4,7 +4,14 @@ module type S = Engine_intf.S
 
 module Make (P : Protocol.S) = struct
   type local = P.local
-  type state = { round : int; locals : local array; failed : bool array }
+
+  type state = {
+    round : int;
+    locals : local array;
+    failed : bool array;
+    interned : Intern.slot;
+  }
+
   type omission = { sender : Pid.t; blocked : Pid.t list }
   type action = omission list
 
@@ -16,6 +23,7 @@ module Make (P : Protocol.S) = struct
       round = 0;
       locals = Array.init n (fun i -> P.init ~n ~pid:(i + 1) ~input:inputs.(i));
       failed = Array.make n false;
+      interned = Intern.fresh_slot ();
     }
 
   let initial_states ~n ~values =
@@ -32,11 +40,20 @@ module Make (P : Protocol.S) = struct
     if List.length (List.sort_uniq compare senders) <> List.length senders then
       invalid_arg "Engine.apply: duplicate omitters";
     let round = x.round + 1 in
-    let blocked_of i =
-      match List.find_opt (fun o -> o.sender = i) action with
-      | Some o -> o.blocked
-      | None -> []
-    in
+    (* blocked.(i - 1).(j - 1): is i -> j dropped this round?  Built once
+       per action (non-omitting senders share one all-false row), so the
+       per-(i, j) receive test below is an array probe instead of a
+       List.mem over the omission's destination list. *)
+    let no_block = Array.make n false in
+    let blocked = Array.make n no_block in
+    let omits = Array.make n false in
+    List.iter
+      (fun o ->
+        let row = Array.make n false in
+        List.iter (fun d -> row.(d - 1) <- true) o.blocked;
+        blocked.(o.sender - 1) <- row;
+        omits.(o.sender - 1) <- true)
+      action;
     (* outbox.(i - 1): messages process i sends this round, or None if
        silenced. *)
     let outbox =
@@ -52,7 +69,7 @@ module Make (P : Protocol.S) = struct
           else
             match outbox.(idx) with
             | None -> None
-            | Some send -> if List.mem j (blocked_of i) then None else send j)
+            | Some send -> if blocked.(idx).(j - 1) then None else send j)
     in
     let locals =
       Array.init n (fun idx ->
@@ -60,17 +77,16 @@ module Make (P : Protocol.S) = struct
           P.step ~n ~round ~pid:j x.locals.(idx) ~received:(received_by j))
     in
     let failed =
-      if record_failures then
-        Array.init n (fun idx -> x.failed.(idx) || List.mem (idx + 1) senders)
+      if record_failures then Array.init n (fun idx -> x.failed.(idx) || omits.(idx))
       else Array.copy x.failed
     in
-    { round; locals; failed }
+    { round; locals; failed; interned = Intern.fresh_slot () }
 
   let apply_jk ~record_failures x j k =
     let blocked = List.filter (fun d -> d <= k) (Pid.all (n_of x)) in
     apply ~record_failures x [ { sender = j; blocked } ]
 
-  let key x =
+  let raw_key x =
     let buf = Buffer.create 64 in
     Buffer.add_string buf (string_of_int x.round);
     Buffer.add_char buf '|';
@@ -82,7 +98,21 @@ module Make (P : Protocol.S) = struct
       x.locals;
     Buffer.contents buf
 
-  let equal x y = String.equal (key x) (key y)
+  (* Component signature for interning: header = round, part i = process
+     i's failure bit + local key — exactly the data [agree_modulo]
+     compares outside the masked position (the bit prefix has fixed
+     width, so the encoding stays injective). *)
+  let raw_parts x =
+    let n = n_of x in
+    Array.init (n + 1) (fun i ->
+        if i = 0 then string_of_int x.round
+        else (if x.failed.(i - 1) then "1" else "0") ^ P.key x.locals.(i - 1))
+
+  let intern_table = Intern.create ~key:raw_key ~parts:raw_parts ()
+  let meta x = Intern.memo intern_table x.interned x
+  let key x = (meta x).Intern.key
+  let ident x = (meta x).Intern.id
+  let equal x y = ident x = ident y
   let decisions x = Array.map P.decision x.locals
 
   let decided_vset x =
@@ -106,33 +136,28 @@ module Make (P : Protocol.S) = struct
   let nonfailed x =
     List.filter (fun i -> not (x.failed.(i - 1))) (Pid.all (n_of x))
 
-  let agree_modulo x y j =
-    let n = n_of x in
-    x.round = y.round
-    && n = n_of y
-    && List.for_all
-         (fun i ->
-           i = j
-           || (String.equal (P.key x.locals.(i - 1)) (P.key y.locals.(i - 1))
-              && Bool.equal x.failed.(i - 1) y.failed.(i - 1)))
-         (Pid.all n)
+  (* Masked part-id equality covers rounds (header part), local keys and
+     failure bits of every i <> j — byte-for-byte the old per-local
+     string comparison, now O(n) int compares on interned ids. *)
+  let agree_modulo x y j = Simgraph.masked_equal (meta x).Intern.parts (meta y).Intern.parts j
+
+  (* Definition 3.1's side condition: some process other than the masked
+     one is non-failed in both states. *)
+  let witness x y j =
+    List.exists (fun i -> (not x.failed.(i - 1)) && not y.failed.(i - 1)) (Pid.others (n_of x) j)
 
   let similar x y =
     let n = n_of x in
-    n = n_of y
-    && List.exists
-         (fun j ->
-           agree_modulo x y j
-           && List.exists
-                (fun i -> (not x.failed.(i - 1)) && not y.failed.(i - 1))
-                (Pid.others n j))
-         (Pid.all n)
+    n = n_of y && List.exists (fun j -> agree_modulo x y j && witness x y j) (Pid.all n)
+
+  let sim_adapter = { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness }
+  let similarity_graph ?builder states = Simgraph.build ?builder ~rel:similar sim_adapter states
 
   let dedup states =
     let seen = Hashtbl.create 64 in
     List.filter
       (fun x ->
-        let k = key x in
+        let k = ident x in
         if Hashtbl.mem seen k then false
         else begin
           Hashtbl.add seen k ();

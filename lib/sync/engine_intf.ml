@@ -12,6 +12,7 @@ module type S = sig
     round : int;  (** number of completed rounds *)
     locals : local array;  (** index [i - 1] holds process [i]'s state *)
     failed : bool array;  (** environment failure record *)
+    interned : Intern.slot;  (** memo cell for the state's {!Intern.meta} *)
   }
 
   (** Messages from [sender] to every destination in [blocked] are dropped
@@ -37,6 +38,11 @@ module type S = sig
   val apply_jk : record_failures:bool -> state -> Pid.t -> int -> state
 
   val key : state -> string
+
+  (** Dense intern id of the state's canonical encoding: equal keys have
+      equal ids, so [equal] and memo-table probes are O(1). *)
+  val ident : state -> int
+
   val equal : state -> state -> bool
   val decisions : state -> Value.t option array
 
@@ -57,6 +63,14 @@ module type S = sig
   (** Similarity [x ~s y] (Definition 3.1): [agree_modulo] for some [j]
       with some other process non-failed in both states. *)
   val similar : state -> state -> bool
+
+  (** The similarity graph over [states]: node array (input order) plus
+      adjacency under {!similar}.  Dispatches on [builder] (default: the
+      process-wide {!Simgraph.default}) between the all-pairs reference
+      and the signature-bucketed O(m·n) construction; both return the
+      same canonical graph. *)
+  val similarity_graph :
+    ?builder:Simgraph.builder -> state list -> state array * Graph.t
 
   (** {1 Layerings} *)
 

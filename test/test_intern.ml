@@ -1,0 +1,239 @@
+(* Tests for hash-consing (Intern) and the bucketed similarity-graph
+   construction (Simgraph): id determinism and density, rehash, marshal-safe
+   memo slots, domain-safety, and pairwise/bucketed builder equivalence over
+   randomized omission schedules on the model engines. *)
+
+open Layered_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Intern *)
+
+let string_table ?size () =
+  Intern.create ?size ~key:(fun s -> s) ~parts:(fun s -> [| ""; s |]) ()
+
+let test_intern_dense_ids () =
+  let t = string_table () in
+  let ids = List.map (fun w -> (Intern.intern t w).Intern.id)
+      [ "alpha"; "beta"; "gamma"; "beta"; "alpha"; "delta" ]
+  in
+  (match ids with
+  | [ a; b; c; b'; a'; d ] ->
+      check_int "repeat alpha" a a';
+      check_int "repeat beta" b b';
+      Alcotest.(check (list int)) "dense, first-seen order" [ 0; 1; 2; 3 ] [ a; b; c; d ]
+  | _ -> Alcotest.fail "expected six metas");
+  check_int "size counts distinct keys" 4 (Intern.size t)
+
+let test_intern_rehash () =
+  let t = string_table ~size:2 () in
+  let metas = List.init 200 (fun i -> Intern.intern t (string_of_int i)) in
+  check_int "all distinct survive rehash" 200 (Intern.size t);
+  List.iteri
+    (fun i m ->
+      check_int "id stable across rehash" m.Intern.id
+        (Intern.intern t (string_of_int i)).Intern.id)
+    metas
+
+let test_intern_meta_fields () =
+  let t =
+    Intern.create
+      ~key:(fun (a, b) -> a ^ "|" ^ b)
+      ~parts:(fun (a, b) -> [| ""; a; b |])
+      ()
+  in
+  let m1 = Intern.intern t ("x", "y") in
+  let m2 = Intern.intern t ("x", "z") in
+  let m3 = Intern.intern t ("w", "y") in
+  check "key preserved verbatim" true (String.equal m1.Intern.key "x|y");
+  check_int "equal components share a part id" m1.Intern.parts.(1) m2.Intern.parts.(1);
+  check_int "part ids are positional, not global" m1.Intern.parts.(2) m3.Intern.parts.(2);
+  check "distinct components get distinct part ids" true
+    (m1.Intern.parts.(2) <> m2.Intern.parts.(2))
+
+(* Memo slots survive [Marshal]: the revived slot is foreign to the table,
+   so the value transparently re-interns — to the same id, with no
+   duplicate table entry (the checkpoint/resume path relies on this). *)
+type boxed = { label : string; slot : Intern.slot }
+
+let test_intern_memo_marshal () =
+  let t =
+    Intern.create ~key:(fun b -> b.label) ~parts:(fun b -> [| ""; b.label |]) ()
+  in
+  let x = { label = "persist-me"; slot = Intern.fresh_slot () } in
+  let m = Intern.memo t x.slot x in
+  let y : boxed = Marshal.from_string (Marshal.to_string x []) 0 in
+  let m' = Intern.memo t y.slot y in
+  check_int "same id after marshal round-trip" m.Intern.id m'.Intern.id;
+  check_int "no duplicate entry" 1 (Intern.size t)
+
+let test_intern_domains () =
+  let t = string_table () in
+  let words = List.init 64 (fun i -> "w" ^ string_of_int (i mod 16)) in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.map (fun w -> (Intern.intern t w).Intern.id) words))
+  in
+  let results = List.map Domain.join doms in
+  check_int "distinct keys across domains" 16 (Intern.size t);
+  match results with
+  | r0 :: rest ->
+      List.iter (fun r -> check "domains agree on every id" true (r = r0)) rest
+  | [] -> Alcotest.fail "no domains"
+
+(* ------------------------------------------------------------------ *)
+(* Simgraph *)
+
+let test_masked_equal () =
+  check "equal except j" true (Simgraph.masked_equal [| 0; 1; 2 |] [| 0; 9; 2 |] 1);
+  check "differs elsewhere too" false
+    (Simgraph.masked_equal [| 0; 1; 2 |] [| 5; 9; 2 |] 1);
+  check "identical arrays" true (Simgraph.masked_equal [| 0; 1; 2 |] [| 0; 1; 2 |] 2)
+
+let edges_of g =
+  List.concat_map
+    (fun u ->
+      List.filter_map (fun v -> if u < v then Some (u, v) else None) (Graph.neighbours g u))
+    (List.init (Graph.size g) Fun.id)
+  |> List.sort compare
+
+let graphs_equal g h = Graph.size g = Graph.size h && edges_of g = edges_of h
+
+module P = (val Layered_protocols.Sync_floodset.make ~t:1)
+module E = Layered_sync.Engine.Make (P)
+module SMP = Layered_async_mp.Synchronic.Make (P)
+
+let dedup_by ident states =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun x ->
+      let k = ident x in
+      if Hashtbl.mem seen k then false else (Hashtbl.add seen k (); true))
+    states
+
+(* A pseudo-random walk: at each round pick one action out of the enabled
+   set, steered by the QCheck-generated [picks] — a randomized omission
+   (resp. slow-process) schedule per initial state. *)
+let walk ~rounds ~picks ~actions ~apply x0 =
+  let np = Array.length picks in
+  let rec go x r salt acc =
+    if r >= rounds then x :: acc
+    else
+      let acts = actions x in
+      let a = List.nth acts (picks.((salt + r) mod np) mod List.length acts) in
+      go (apply x a) (r + 1) (salt + 13) (x :: acc)
+  in
+  go x0 0 (Hashtbl.hash (picks, rounds)) []
+
+let schedule_arb =
+  QCheck.(
+    triple (int_range 3 4) (int_range 0 2)
+      (list_of_size (Gen.int_range 1 8) (int_bound 1000)))
+
+let prop_sync_builders_agree =
+  QCheck.Test.make ~name:"simgraph: bucketed = pairwise (sync omission schedules)"
+    ~count:40 schedule_arb (fun (n, rounds, picks) ->
+      let picks = Array.of_list (if picks = [] then [ 0 ] else picks) in
+      let states =
+        List.concat_map
+          (walk ~rounds ~picks ~actions:(E.st_actions ~t:1)
+             ~apply:(E.apply ~record_failures:true))
+          (E.initial_states ~n ~values:[ Value.zero; Value.one ])
+        |> dedup_by E.ident
+      in
+      let _, gp = E.similarity_graph ~builder:Simgraph.Pairwise states in
+      let _, gb = E.similarity_graph ~builder:Simgraph.Bucketed states in
+      graphs_equal gp gb)
+
+let prop_smp_builders_agree =
+  QCheck.Test.make
+    ~name:"simgraph: bucketed = pairwise (synchronic-mp slow-process schedules)"
+    ~count:20 schedule_arb (fun (n, rounds, picks) ->
+      let n = min n 3 in
+      let picks = Array.of_list (if picks = [] then [ 0 ] else picks) in
+      let states =
+        List.concat_map
+          (walk ~rounds ~picks
+             ~actions:(fun _ -> SMP.actions ~n)
+             ~apply:SMP.apply)
+          (SMP.initial_states ~n ~values:[ Value.zero; Value.one ])
+        |> dedup_by SMP.ident
+      in
+      let _, gp = SMP.similarity_graph ~builder:Simgraph.Pairwise states in
+      let _, gb = SMP.similarity_graph ~builder:Simgraph.Bucketed states in
+      graphs_equal gp gb)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level interning invariants *)
+
+let layer1 ~n =
+  let initials = E.initial_states ~n ~values:[ Value.zero; Value.one ] in
+  initials @ List.concat_map (E.st ~t:1) initials
+
+let test_ident_iff_key () =
+  let states = Array.of_list (layer1 ~n:3) in
+  let m = Array.length states in
+  for i = 0 to m - 1 do
+    for j = i to m - 1 do
+      let x = states.(i) and y = states.(j) in
+      let by_key = String.equal (E.key x) (E.key y) in
+      check "ident = key equality" true (E.ident x = E.ident y = by_key);
+      check "equal = key equality" true (E.equal x y = by_key)
+    done
+  done
+
+let test_agree_modulo_matches_similar () =
+  let states = layer1 ~n:3 |> dedup_by E.ident in
+  let _, g = E.similarity_graph states in
+  let arr = Array.of_list states in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y ->
+          if i < j then
+            check "graph edge iff similar" true
+              (List.mem j (Graph.neighbours g i) = E.similar x y))
+        arr)
+    arr
+
+(* The valence cache must answer identically whether keyed by rebuilt
+   canonical strings or by dense intern ids. *)
+let test_valence_ident_agrees () =
+  let spec = E.valence_spec ~succ:(E.st ~t:1) in
+  let v_str = Valence.create spec in
+  let v_int = Valence.create ~ident:E.ident spec in
+  List.iter
+    (fun x ->
+      check "string-keyed and interned verdicts agree" true
+        (Vset.equal (Valence.vals v_str ~depth:3 x) (Valence.vals v_int ~depth:3 x)))
+    (E.initial_states ~n:3 ~values:[ Value.zero; Value.one ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "intern"
+    [
+      ( "intern",
+        [
+          Alcotest.test_case "dense ids" `Quick test_intern_dense_ids;
+          Alcotest.test_case "rehash" `Quick test_intern_rehash;
+          Alcotest.test_case "meta fields" `Quick test_intern_meta_fields;
+          Alcotest.test_case "memo survives marshal" `Quick test_intern_memo_marshal;
+          Alcotest.test_case "domain-safe" `Quick test_intern_domains;
+        ] );
+      ( "simgraph",
+        [
+          Alcotest.test_case "masked_equal" `Quick test_masked_equal;
+          qt prop_sync_builders_agree;
+          qt prop_smp_builders_agree;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ident iff key" `Quick test_ident_iff_key;
+          Alcotest.test_case "agree_modulo matches similar" `Quick
+            test_agree_modulo_matches_similar;
+          Alcotest.test_case "valence keying agrees" `Quick test_valence_ident_agrees;
+        ] );
+    ]
