@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke fmt
+.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke serve-smoke fmt
 
 build:
 	dune build
@@ -26,13 +26,19 @@ bench-baseline:
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.
 chaos-smoke:
-	dune exec bin/main.exe -- chaos --seed 42 --trials 27
+	dune exec bin/main.exe -- chaos --seed 42 --trials 33
 
 # SIGKILL an `all --checkpoint-dir` run mid-flight, resume it, and
 # require the resumed report to be byte-identical to an uninterrupted
 # one at --jobs 1 and --jobs 4.
 resume-smoke:
 	bash scripts/resume_smoke.sh
+
+# Start the verification daemon, replay mixed queries from concurrent
+# clients at --jobs 1 and 4, diff everything against the one-shot CLI,
+# and require clean exits via both the shutdown op and SIGTERM.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 fmt:
 	@dune fmt || echo "fmt skipped (ocamlformat not available)"

@@ -519,6 +519,24 @@ let valence_interned () =
 let force_fixtures () = ignore (Lazy.force simgraph_states)
 
 (* ------------------------------------------------------------------ *)
+(* Serve-daemon cache ablation: the same classification query the
+   daemon answers, once rebuilding the valence engines from scratch per
+   request (what a one-shot CLI run pays) and once against the shared
+   per-model classifier cache the daemon keeps across requests.  The
+   warm kernel must beat the cold one — the gap is the entire point of
+   running a persistent server. *)
+
+module Valence_query = Layered_analysis.Valence_query
+
+let serve_valence_cold () =
+  ignore (Valence_query.run ~model:"sync" ~n:3 ~t:1 ~depth:3 ())
+
+let serve_valence_warm =
+  let cache = Valence_query.create_cache () in
+  ignore (Valence_query.run ~cache ~model:"sync" ~n:3 ~t:1 ~depth:3 ());
+  fun () -> ignore (Valence_query.run ~cache ~model:"sync" ~n:3 ~t:1 ~depth:3 ())
+
+(* ------------------------------------------------------------------ *)
 (* Chaos-layer overhead: the fault sites threaded through the hot paths
    must be free when injection is disarmed (the production state, and
    always the state here).  One million probes of the disabled fast
@@ -589,6 +607,8 @@ let kernels =
     { name = "valence/interned"; n = 3; t = 1; depth = 3; fn = valence_interned };
     { name = "checkpoint/write"; n = 4; t = 1; depth = 2; fn = checkpoint_write };
     { name = "checkpoint/restore"; n = 4; t = 1; depth = 2; fn = checkpoint_restore };
+    { name = "serve/cold-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_cold };
+    { name = "serve/warm-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_warm };
     { name = "chaos/point-disabled"; n = 0; t = 0; depth = 0; fn = chaos_point_disabled };
     { name = "chaos/mangle-disabled"; n = 0; t = 0; depth = 0; fn = chaos_mangle_disabled };
   ]

@@ -464,7 +464,7 @@ let chaos_cmd =
   let trials =
     Arg.(
       value
-      & opt (bounded_int ~min:1 ~what:"trials") 27
+      & opt (bounded_int ~min:1 ~what:"trials") 33
       & info [ "trials" ] ~docv:"N"
           ~doc:
             "Number of trials, assigned round-robin over the (site, oracle) pairing \
@@ -503,7 +503,159 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const f $ seed $ trials $ faults $ jobs_arg $ json)
 
+let classify_cmd =
+  let doc =
+    "Classify the valence of every binary initial state of a substrate (the \
+     one-shot twin of the daemon's classify-valence query)."
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum (List.map (fun m -> (m, m)) Sweep.models)) "sync"
+      & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"mobile | sync | sm | mp | smp | iis")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"depth") 3
+      & info [ "d"; "depth" ] ~docv:"D" ~doc:"Exploration depth (at least 0).")
+  in
+  let f model n t depth stats =
+    Stats.reset ();
+    Format.printf "%a" Valence_query.pp (Valence_query.run ~model ~n ~t ~depth ());
+    print_stats stats;
+    0
+  in
+  Cmd.v (Cmd.info "classify" ~doc)
+    Term.(const f $ model $ n_arg $ t_arg $ depth $ stats_arg)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let doc =
+    "Run the persistent verification daemon: line-delimited JSON queries over a \
+     Unix-domain socket, shared valence and result caches, admission control."
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"queue-cap") 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Shed compute requests queued more than N deep (overloaded response).")
+  in
+  let max_heap =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"max-heap") 1024
+      & info [ "max-heap" ] ~docv:"MB"
+          ~doc:
+            "Shed new compute requests while the OCaml heap exceeds MB megabytes; \
+             admitted requests truncate at the same watermark.")
+  in
+  let request_timeout =
+    Arg.(
+      value
+      & opt float 10.
+      & info [ "request-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-request deadline for sweep and run-experiment queries (exit 3 in \
+             the response when it trips); 0 disables it.")
+  in
+  let f socket jobs stats queue_cap max_heap request_timeout =
+    Layered_serve.Server.run
+      {
+        Layered_serve.Server.socket_path = socket;
+        jobs;
+        queue_cap;
+        max_heap_mb = max_heap;
+        request_timeout_s = request_timeout;
+        stats;
+        install_signals = true;
+      }
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const f $ socket_arg $ jobs_arg $ stats_arg $ queue_cap $ max_heap
+      $ request_timeout)
+
+let serve_client_cmd =
+  let doc =
+    "Send request lines from stdin to a running daemon and print each response \
+     line to stdout (a minimal client for scripts and smoke tests)."
+  in
+  let output_only =
+    Arg.(
+      value & flag
+      & info [ "output-only" ]
+          ~doc:
+            "Print the decoded $(b,output) field of ok responses instead of raw \
+             response lines (diffs directly against the one-shot CLI); any error \
+             or overloaded response fails the client.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (positive_float ~what:"timeout") 30.
+      & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-response read deadline.")
+  in
+  let f socket output_only timeout_s =
+    match Layered_serve.Client.connect socket with
+    | Error e ->
+        Format.eprintf "layered serve-client: %s@." e;
+        1
+    | Ok c ->
+        let module Client = Layered_serve.Client in
+        let module Protocol = Layered_serve.Protocol in
+        let bail msg =
+          Format.eprintf "layered serve-client: %s@." msg;
+          1
+        in
+        let rec loop () =
+          match input_line stdin with
+          | exception End_of_file -> 0
+          | line -> (
+              match Client.send c line with
+              | Error e -> bail e
+              | Ok () -> (
+                  match Client.read_lines c ~n:1 ~timeout_s with
+                  | Error e -> bail e
+                  | Ok lines -> (
+                      let resp = List.hd lines in
+                      if not output_only then begin
+                        print_endline resp;
+                        loop ()
+                      end
+                      else
+                        match Protocol.decode_response resp with
+                        | Ok (Protocol.Resp_ok { output; _ }) ->
+                            print_string output;
+                            loop ()
+                        | Ok (Protocol.Resp_error { code; message; _ }) ->
+                            bail
+                              (Printf.sprintf "error response [%s]: %s"
+                                 (Protocol.error_code_name code) message)
+                        | Ok (Protocol.Resp_overloaded { reason; _ }) ->
+                            bail
+                              (Printf.sprintf "overloaded (%s)"
+                                 (match reason with
+                                 | `Queue -> "queue-depth"
+                                 | `Memory -> "memory"))
+                        | Error e -> bail ("bad response line: " ^ e))))
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) loop
+  in
+  Cmd.v (Cmd.info "serve-client" ~doc)
+    Term.(const f $ socket_arg $ output_only $ timeout)
+
 let () =
+  (* The serve oracles live in layered_serve (which depends on the
+     analysis library, not vice versa); registration here makes them
+     visible to `layered oracles` and `layered chaos`. *)
+  Layered_serve.Serve_oracles.register ();
   let doc = "layered-analysis reproduction of Moses & Rajsbaum (PODC 1998)" in
   let info = Cmd.info "layered" ~doc in
   exit
@@ -517,6 +669,9 @@ let () =
             layers_cmd;
             chain_cmd;
             graph_cmd;
+            classify_cmd;
             oracles_cmd;
             chaos_cmd;
+            serve_cmd;
+            serve_client_cmd;
           ]))

@@ -34,6 +34,10 @@ let pairings =
       [ "recovery/rollback"; "resume-eq/frontier"; "resume-eq/registry" ] );
     ( Fault.Corrupt_checkpoint_crc,
       [ "recovery/rollback"; "resume-eq/frontier"; "resume-eq/registry" ] );
+    ( Fault.Serve_handler_raise,
+      [ "serve/oneshot-eq"; "serve/interleave-eq"; "serve/jobs-eq" ] );
+    ( Fault.Serve_corrupt_response,
+      [ "serve/oneshot-eq"; "serve/interleave-eq"; "serve/jobs-eq" ] );
   ]
 
 (* Any exception out of an oracle counts as the oracle failing — under

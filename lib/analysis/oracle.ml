@@ -614,7 +614,7 @@ let sg_smp ~jobs:_ =
   simgraph_eq ~similarity_graph:(fun ~builder states -> E.similarity_graph ~builder states)
     (initials @ dedup_by E.ident (List.concat_map E.smp initials))
 
-let all =
+let builtin =
   [
     {
       name = "serial-parallel/sync";
@@ -751,13 +751,26 @@ let all =
     };
   ]
 
-let find name = List.find_opt (fun o -> o.name = name) all
+(* Registered extensions live after the builtins so report ordering is
+   stable: builtins first, then registration order.  The analysis layer
+   cannot depend on the serve library, so serve's oracles arrive here at
+   program start via [register]. *)
+let extra : t list ref = ref []
+
+let register o =
+  if
+    (not (List.exists (fun b -> b.name = o.name) builtin))
+    && not (List.exists (fun e -> e.name = o.name) !extra)
+  then extra := !extra @ [ o ]
+
+let all () = builtin @ !extra
+let find name = List.find_opt (fun o -> o.name = name) (all ())
 
 let rows ?(jobs = 2) ?names () =
   let selected =
     match names with
-    | None -> all
-    | Some ns -> List.filter (fun o -> List.mem o.name ns) all
+    | None -> all ()
+    | Some ns -> List.filter (fun o -> List.mem o.name ns) (all ())
   in
   List.map
     (fun o ->

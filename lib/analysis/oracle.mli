@@ -30,7 +30,16 @@ type t = {
           and is caught by the caller. *)
 }
 
-val all : t list
+(** The built-in oracles plus everything {!register}ed so far, builtins
+    first, then registration order. *)
+val all : unit -> t list
+
+(** [register o] appends an oracle defined outside this library (the
+    serve daemon's differential oracles live in [layered_serve], which
+    depends on this library and not vice versa).  Idempotent: a name
+    already present — builtin or registered — is ignored. *)
+val register : t -> unit
+
 val find : string -> t option
 
 (** Run every oracle (or those in [names]) and render the verdicts as

@@ -1,0 +1,106 @@
+open Layered_core
+
+type t = {
+  model : string;
+  n : int;
+  t : int;
+  depth : int;
+  verdicts : (string * Valence.verdict) list;
+}
+
+let models = Sweep.models
+
+(* A classifier owns one engine instantiation: its valence memo is the
+   warm state worth keeping between calls.  Complete memo entries are
+   depth-monotone (see Valence), so one classifier serves every depth. *)
+type classifier = { classify : depth:int -> (string * Valence.verdict) list }
+
+let classifier (type a) (valence : a Valence.t) ~(key : a -> string)
+    (initials : a list) =
+  {
+    classify =
+      (fun ~depth ->
+        List.map (fun x -> (key x, Valence.classify valence ~depth x)) initials);
+  }
+
+let make_classifier ~model ~n ~t =
+  let values = [ Value.zero; Value.one ] in
+  match model with
+  | "mobile" ->
+      let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+      let module E = Layered_sync.Engine.Make (P) in
+      let valence =
+        Valence.create ~ident:E.ident
+          (E.valence_spec ~succ:(E.s1 ~record_failures:false))
+      in
+      classifier valence ~key:E.key (E.initial_states ~n ~values)
+  | "sync" ->
+      let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+      let module E = Layered_sync.Engine.Make (P) in
+      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:(E.st ~t)) in
+      classifier valence ~key:E.key (E.initial_states ~n ~values)
+  | "sm" ->
+      let module P = (val Layered_protocols.Sm_voting.make ~horizon:(t + 1)) in
+      let module E = Layered_async_sm.Engine.Make (P) in
+      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.srw) in
+      classifier valence ~key:E.key (E.initial_states ~n ~values)
+  | "mp" ->
+      let module P = (val Layered_protocols.Mp_floodset.make ~horizon:(t + 1)) in
+      let module E = Layered_async_mp.Engine.Make (P) in
+      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.sper) in
+      classifier valence ~key:E.key (E.initial_states ~n ~values)
+  | "smp" ->
+      let module P = (val Layered_protocols.Sync_floodset.make ~t) in
+      let module E = Layered_async_mp.Synchronic.Make (P) in
+      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.smp) in
+      classifier valence ~key:E.key (E.initial_states ~n ~values)
+  | "iis" ->
+      let module P = (val Layered_protocols.Iis_voting.make ~horizon:(t + 1)) in
+      let module E = Layered_iis.Engine.Make (P) in
+      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.layer) in
+      classifier valence ~key:E.key (E.initial_states ~n ~values)
+  | other -> invalid_arg (Printf.sprintf "Valence_query: unknown model %S" other)
+
+type cache = (string * int * int, classifier) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 16
+let cache_entries (c : cache) = Hashtbl.length c
+
+let run ?cache ~model ~n ~t ~depth () =
+  if depth < 0 then
+    invalid_arg (Printf.sprintf "Valence_query: negative depth %d" depth);
+  let cl =
+    match cache with
+    | None -> make_classifier ~model ~n ~t
+    | Some tbl -> (
+        let k = (model, n, t) in
+        match Hashtbl.find_opt tbl k with
+        | Some cl -> cl
+        | None ->
+            let cl = make_classifier ~model ~n ~t in
+            Hashtbl.add tbl k cl;
+            cl)
+  in
+  { model; n; t; depth; verdicts = cl.classify ~depth }
+
+let tally t =
+  List.fold_left
+    (fun (b, u, k) (_, v) ->
+      match v with
+      | Valence.Bivalent -> (b + 1, u, k)
+      | Valence.Univalent _ -> (b, u + 1, k)
+      | Valence.Unknown -> (b, u, k + 1))
+    (0, 0, 0) t.verdicts
+
+let pp ppf t =
+  Format.fprintf ppf "model=%s n=%d t=%d depth=%d@." t.model t.n t.t t.depth;
+  let width =
+    List.fold_left (fun w (k, _) -> max w (String.length k)) 5 t.verdicts
+  in
+  List.iter
+    (fun (k, v) ->
+      Format.fprintf ppf "%-*s  %a@." width k Valence.pp_verdict v)
+    t.verdicts;
+  let b, u, k = tally t in
+  Format.fprintf ppf "%d states: %d bivalent, %d univalent, %d unknown@."
+    (List.length t.verdicts) b u k

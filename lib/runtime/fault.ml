@@ -8,6 +8,8 @@ type site =
   | Flip_valence_bit
   | Torn_checkpoint_write
   | Corrupt_checkpoint_crc
+  | Serve_handler_raise
+  | Serve_corrupt_response
 
 exception Injected of site
 
@@ -15,7 +17,7 @@ let all =
   [
     Drop_successor; Duplicate_state; Corrupt_dedup_shard; Worker_raise;
     Worker_stall; Spurious_cancel; Flip_valence_bit; Torn_checkpoint_write;
-    Corrupt_checkpoint_crc;
+    Corrupt_checkpoint_crc; Serve_handler_raise; Serve_corrupt_response;
   ]
 
 let site_name = function
@@ -28,6 +30,8 @@ let site_name = function
   | Flip_valence_bit -> "flip_valence_bit"
   | Torn_checkpoint_write -> "torn_checkpoint_write"
   | Corrupt_checkpoint_crc -> "corrupt_checkpoint_crc"
+  | Serve_handler_raise -> "serve_handler_raise"
+  | Serve_corrupt_response -> "serve_corrupt_response"
 
 let site_of_name s = List.find_opt (fun site -> site_name site = s) all
 let pp_site ppf s = Format.pp_print_string ppf (site_name s)

@@ -44,6 +44,13 @@ type site =
   | Corrupt_checkpoint_crc
       (** a checkpoint payload byte is flipped {e after} the CRC was
           computed, so the stored checksum no longer matches the body *)
+  | Serve_handler_raise
+      (** the serve daemon's request handler raises mid-dispatch; the
+          per-request containment layer must turn this into an error
+          response and keep the daemon serving *)
+  | Serve_corrupt_response
+      (** one serve response line has a byte flipped just before the
+          socket write, as by a transport-layer corruption *)
 
 (** Raised into the runtime by the [Worker_raise] site. *)
 exception Injected of site

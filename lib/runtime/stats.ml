@@ -10,6 +10,8 @@ type snapshot = {
   intern_hits : int;
   simgraph_maskings : int;
   simgraph_candidates : int;
+  result_cache_hits : int;
+  result_cache_misses : int;
 }
 
 let states_expanded = Atomic.make 0
@@ -22,6 +24,8 @@ let interned_states = Atomic.make 0
 let intern_hits = Atomic.make 0
 let simgraph_maskings = Atomic.make 0
 let simgraph_candidates = Atomic.make 0
+let result_cache_hits = Atomic.make 0
+let result_cache_misses = Atomic.make 0
 
 (* One bit per pool slot; popcount = "domains utilised". *)
 let domain_mask = Atomic.make 0
@@ -34,6 +38,9 @@ let record_valence_lookup ~hit =
   add (if hit then valence_cache_hits else valence_cache_misses) 1
 
 let record_intern ~fresh = add (if fresh then interned_states else intern_hits) 1
+
+let record_result_cache ~hit =
+  add (if hit then result_cache_hits else result_cache_misses) 1
 let add_simgraph_maskings n = add simgraph_maskings n
 let add_simgraph_candidates n = add simgraph_candidates n
 
@@ -65,6 +72,8 @@ let snapshot () =
     intern_hits = Atomic.get intern_hits;
     simgraph_maskings = Atomic.get simgraph_maskings;
     simgraph_candidates = Atomic.get simgraph_candidates;
+    result_cache_hits = Atomic.get result_cache_hits;
+    result_cache_misses = Atomic.get result_cache_misses;
   }
 
 let reset () =
@@ -78,6 +87,8 @@ let reset () =
   Atomic.set intern_hits 0;
   Atomic.set simgraph_maskings 0;
   Atomic.set simgraph_candidates 0;
+  Atomic.set result_cache_hits 0;
+  Atomic.set result_cache_misses 0;
   Atomic.set domain_mask 0
 
 (* [domains_utilised] is a popcount, so restoring it can only mark "that
@@ -95,6 +106,8 @@ let restore s =
   Atomic.set intern_hits s.intern_hits;
   Atomic.set simgraph_maskings s.simgraph_maskings;
   Atomic.set simgraph_candidates s.simgraph_candidates;
+  Atomic.set result_cache_hits s.result_cache_hits;
+  Atomic.set result_cache_misses s.result_cache_misses;
   Atomic.set domain_mask (mask_of_count s.domains_utilised)
 
 let merge s =
@@ -108,6 +121,8 @@ let merge s =
   add intern_hits s.intern_hits;
   add simgraph_maskings s.simgraph_maskings;
   add simgraph_candidates s.simgraph_candidates;
+  add result_cache_hits s.result_cache_hits;
+  add result_cache_misses s.result_cache_misses;
   let rec or_mask m =
     let cur = Atomic.get domain_mask in
     let next = cur lor m in
@@ -131,6 +146,8 @@ let diff a b =
     intern_hits = d a.intern_hits b.intern_hits;
     simgraph_maskings = d a.simgraph_maskings b.simgraph_maskings;
     simgraph_candidates = d a.simgraph_candidates b.simgraph_candidates;
+    result_cache_hits = d a.result_cache_hits b.result_cache_hits;
+    result_cache_misses = d a.result_cache_misses b.result_cache_misses;
   }
 
 let pp ppf s =
@@ -146,7 +163,10 @@ let pp ppf s =
     \  interned states       %d@,\
     \  intern hits           %d@,\
     \  simgraph maskings     %d@,\
-    \  simgraph candidates   %d@]@."
+    \  simgraph candidates   %d@,\
+    \  result cache hits     %d@,\
+    \  result cache misses   %d@]@."
     s.states_expanded s.dedup_hits s.valence_cache_hits s.valence_cache_misses
     s.tasks_executed s.domains_utilised s.workers_respawned s.interned_states
-    s.intern_hits s.simgraph_maskings s.simgraph_candidates
+    s.intern_hits s.simgraph_maskings s.simgraph_candidates s.result_cache_hits
+    s.result_cache_misses

@@ -31,6 +31,11 @@ type snapshot = {
   simgraph_candidates : int;
       (** bucket-mate pairs verified exactly by the bucketed builder
           (the output-sensitive term; compare against m²/2 probes) *)
+  result_cache_hits : int;
+      (** serve-mode keyed result-cache probes answered from the cache
+          (the response bytes were replayed, not recomputed) *)
+  result_cache_misses : int;
+      (** result-cache probes that fell through to a fresh computation *)
 }
 
 val reset : unit -> unit
@@ -70,6 +75,11 @@ val record_intern : fresh:bool -> unit
 
 val add_simgraph_maskings : int -> unit
 val add_simgraph_candidates : int -> unit
+
+(** [record_result_cache ~hit] counts one keyed result-cache probe in
+    the serve daemon: a replayed response when [hit], a fresh
+    computation otherwise. *)
+val record_result_cache : hit:bool -> unit
 
 (** [record_task ~slot] counts one executed chunk and marks pool slot
     [slot] as utilised (slots >= 62 share the last bit). *)

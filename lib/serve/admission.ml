@@ -1,0 +1,26 @@
+module Budget = Layered_runtime.Budget
+
+type config = {
+  queue_cap : int;
+  max_heap_mb : int;
+  request_timeout_s : float;
+}
+
+let default = { queue_cap = 64; max_heap_mb = 1024; request_timeout_s = 10. }
+
+type decision =
+  | Admit of Budget.t
+  | Shed of [ `Queue | `Memory ]
+
+let heap_mb () =
+  let words = (Gc.quick_stat ()).Gc.heap_words in
+  words * (Sys.word_size / 8) / (1024 * 1024)
+
+let decide cfg ~pending =
+  if pending > cfg.queue_cap then Shed `Queue
+  else if heap_mb () > cfg.max_heap_mb then Shed `Memory
+  else
+    let timeout_s =
+      if cfg.request_timeout_s > 0. then Some cfg.request_timeout_s else None
+    in
+    Admit (Budget.create ?timeout_s ~max_memory_mb:cfg.max_heap_mb ())

@@ -1,0 +1,36 @@
+(** Admission control: decide, before any work happens, whether a
+    compute request runs — and under what budget — or is shed.
+
+    Two shedding triggers, both answered with a distinguished
+    [overloaded] response rather than an error (the client did nothing
+    wrong; it should back off and retry):
+
+    - {b queue depth}: more than [queue_cap] requests already waiting
+      in the batch being drained;
+    - {b memory watermark}: the OCaml heap is over [max_heap_mb] at
+      admission time — new work would push a loaded daemon toward the
+      OOM killer.
+
+    Admitted compute requests get a fresh {!Layered_runtime.Budget}
+    carrying the per-request deadline (and the memory cap, so a single
+    admitted query that blows past the watermark mid-flight truncates
+    instead of taking the daemon down). *)
+
+type config = {
+  queue_cap : int;  (** shed when more than this many requests wait *)
+  max_heap_mb : int;  (** shed new work when the heap exceeds this *)
+  request_timeout_s : float;  (** per-request deadline; 0 = none *)
+}
+
+val default : config
+
+type decision =
+  | Admit of Layered_runtime.Budget.t
+  | Shed of [ `Queue | `Memory ]
+
+(** [decide cfg ~pending] — [pending] is how many requests are queued
+    behind this one in the current drain. *)
+val decide : config -> pending:int -> decision
+
+(** Current major-heap size in MiB, as admission sees it. *)
+val heap_mb : unit -> int

@@ -1,0 +1,19 @@
+module Stats = Layered_runtime.Stats
+
+type entry = { exit_code : int; output : string }
+type t = { tbl : (string, entry) Hashtbl.t; max_entries : int }
+
+let create ?(max_entries = 256) () = { tbl = Hashtbl.create 64; max_entries }
+
+let find t key =
+  let r = Hashtbl.find_opt t.tbl key in
+  Stats.record_result_cache ~hit:(r <> None);
+  r
+
+let add t key entry =
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.max_entries then Hashtbl.reset t.tbl;
+    Hashtbl.add t.tbl key entry
+  end
+
+let entries t = Hashtbl.length t.tbl

@@ -1,0 +1,28 @@
+(** The keyed result cache: identical compute requests are answered by
+    replaying the recorded response bytes instead of recomputing.
+
+    Keys come from {!Protocol.cache_key}; entries hold the rendered
+    output and its exit code, so a hit reproduces the earlier response
+    byte-for-byte.  Truncated results (exit code 3) must not be cached
+    — a deadline trip depends on wall-clock luck, and replaying it
+    would make responses depend on which request arrived first.  The
+    dispatcher enforces that; the cache itself is policy-free.
+
+    Every probe is counted in {!Layered_runtime.Stats}
+    ([result_cache_hits] / [result_cache_misses]).  Not thread-safe:
+    the serve dispatcher is single-threaded (parallelism lives inside
+    queries, in the {!Layered_runtime.Pool}). *)
+
+type entry = { exit_code : int; output : string }
+type t
+
+(** [create ?max_entries ()] — at [max_entries] (default 256) the next
+    {!add} empties the cache first: crude, but bounded and free of
+    eviction-order state that could differ between runs. *)
+val create : ?max_entries:int -> unit -> t
+
+(** [find t key] probes the cache, recording a hit or miss in stats. *)
+val find : t -> string -> entry option
+
+val add : t -> string -> entry -> unit
+val entries : t -> int

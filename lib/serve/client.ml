@@ -1,0 +1,76 @@
+type t = { fd : Unix.file_descr; session : Session.t; mutable queued : string list }
+
+let connect ?(retries = 50) ?(retry_delay_s = 0.1) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; session = Session.create (); queued = [] }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if attempt + 1 < retries then begin
+          Unix.sleepf retry_delay_s;
+          go (attempt + 1)
+        end
+        else
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  go 0
+
+let send t line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring t.fd data off (len - off))
+  in
+  match go 0 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+
+let read_lines t ~n ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let buf = Bytes.create 4096 in
+  let rec go acc need =
+    if need = 0 then Ok (List.rev acc)
+    else
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then
+        Error (Printf.sprintf "timed out waiting for %d more line(s)" need)
+      else
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> Error (Printf.sprintf "timed out waiting for %d more line(s)" need)
+        | _ -> (
+            match Unix.read t.fd buf 0 (Bytes.length buf) with
+            | 0 -> Error "connection closed by server"
+            | got ->
+                let lines, overflow =
+                  Session.feed t.session (Bytes.sub_string buf 0 got)
+                in
+                if overflow then Error "oversized response line"
+                else begin
+                  t.queued <- t.queued @ lines;
+                  drain acc need
+                end
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go acc need
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+  and drain acc need =
+    match t.queued with
+    | line :: rest when need > 0 ->
+        t.queued <- rest;
+        drain (line :: acc) (need - 1)
+    | _ -> go acc need
+  in
+  drain [] n
+
+let request t ?id req ~timeout_s =
+  match send t (Protocol.encode_request ?id req) with
+  | Error _ as e -> e
+  | Ok () -> (
+      match read_lines t ~n:1 ~timeout_s with
+      | Ok [ line ] -> Ok line
+      | Ok _ -> Error "protocol error: wrong line count"
+      | Error _ as e -> e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,29 @@
+(** A small blocking client for the serve protocol — the other half of
+    the wire used by [layered serve-client], the serve oracles and the
+    smoke tests.
+
+    Reads are select-guarded with a deadline so a dead or wedged daemon
+    turns into an explicit error instead of a hang. *)
+
+type t
+
+(** [connect ?retries ?retry_delay_s path] — retries cover the startup
+    race against a daemon still binding its socket (default 50 tries,
+    0.1 s apart). *)
+val connect :
+  ?retries:int -> ?retry_delay_s:float -> string -> (t, string) result
+
+(** [send t line] writes one request line ([line] must not contain a
+    newline; the terminator is appended). *)
+val send : t -> string -> (unit, string) result
+
+(** [read_lines t ~n ~timeout_s] collects the next [n] response lines,
+    or errors out when the deadline passes first. *)
+val read_lines : t -> n:int -> timeout_s:float -> (string list, string) result
+
+(** [request t ?id req ~timeout_s] sends one encoded request and reads
+    one raw response line. *)
+val request :
+  t -> ?id:int -> Protocol.request -> timeout_s:float -> (string, string) result
+
+val close : t -> unit

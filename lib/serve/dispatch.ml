@@ -1,0 +1,149 @@
+open Layered_analysis
+module Budget = Layered_runtime.Budget
+module Pool = Layered_runtime.Pool
+module Stats = Layered_runtime.Stats
+module Fault = Layered_runtime.Fault
+module Report = Layered_core.Report
+
+type ctx = {
+  pool : Pool.t;
+  vcache : Valence_query.cache;
+  rcache : Cache.t;
+  admission : Admission.config;
+  stop : bool Atomic.t;
+}
+
+let create_ctx ~pool ~admission =
+  {
+    pool;
+    vcache = Valence_query.create_cache ();
+    rcache = Cache.create ();
+    admission;
+    stop = Atomic.make false;
+  }
+
+let exit_trunc = 3
+
+(* ------------------------------------------------------------------ *)
+(* Renderers: same pretty-printers, same layout, same trailing lines   *)
+(* as the one-shot CLI, captured into a string.                        *)
+
+let with_buffer f =
+  let b = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer b in
+  let code = f ppf in
+  Format.pp_print_flush ppf ();
+  (code, Buffer.contents b)
+
+(* Classification runs unbudgeted by design: a deadline mid-exploration
+   would make verdicts depend on cache warmth (a warm memo answers
+   before the deadline, a cold one trips it), breaking the guarantee
+   that responses are independent of request history.  The caps in
+   [Protocol] bound the work instead. *)
+let classify_output ?cache ~model ~n ~t ~depth () =
+  with_buffer (fun ppf ->
+      let q = Valence_query.run ?cache ~model ~n ~t ~depth () in
+      Format.fprintf ppf "%a" Valence_query.pp q;
+      0)
+
+let sweep_output ?pool ?budget ~model ~n ~t ~depth () =
+  with_buffer (fun ppf ->
+      let sweep = Sweep.run ?pool ?budget ~model ~n ~t ~depth () in
+      Format.fprintf ppf "%a" Sweep.pp sweep;
+      match sweep.Sweep.status with Budget.Complete -> 0 | _ -> exit_trunc)
+
+let run_experiment_output ?pool ?budget ~id () =
+  let e =
+    match Registry.find id with
+    | Some e -> e
+    | None -> invalid_arg ("Dispatch: unknown experiment " ^ id)
+  in
+  with_buffer (fun ppf ->
+      let results =
+        match pool with
+        | Some pool -> Registry.run_all ~pool ?budget [ e ]
+        | None -> Registry.run_all ?budget [ e ]
+      in
+      let rows =
+        List.concat_map
+          (fun ((e : Registry.experiment), rows) ->
+            Format.fprintf ppf "== %s: %s@." e.id e.title;
+            Format.fprintf ppf "%a" Report.pp_table rows;
+            Format.fprintf ppf "@.";
+            rows)
+          results
+      in
+      let tripped = Option.bind budget Budget.tripped in
+      (match tripped with
+      | Some reason ->
+          Format.fprintf ppf
+            "TRUNCATED: budget exhausted (%a); the report above is partial.@."
+            Budget.pp_reason reason
+      | None -> ());
+      if not (Report.all_pass rows) then begin
+        Format.fprintf ppf "FAILURES among %d checks.@." (List.length rows);
+        1
+      end
+      else
+        match tripped with
+        | Some _ -> exit_trunc
+        | None ->
+            Format.fprintf ppf "All %d checks passed.@." (List.length rows);
+            0)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+
+let execute ctx ~budget req =
+  (* The chaos harness arms this site to prove per-request containment:
+     the raise must surface as an [internal] error response — and as a
+     failing serve oracle — never as a dead daemon. *)
+  if Fault.point Fault.Serve_handler_raise then
+    raise (Fault.Injected Fault.Serve_handler_raise);
+  match req with
+  | Protocol.Classify_valence { model; n; t; depth } ->
+      classify_output ~cache:ctx.vcache ~model ~n ~t ~depth ()
+  | Protocol.Sweep { model; n; t; depth } ->
+      sweep_output ~pool:ctx.pool ~budget ~model ~n ~t ~depth ()
+  | Protocol.Run_experiment { id } ->
+      run_experiment_output ~pool:ctx.pool ~budget ~id ()
+  | Protocol.Stats_query | Protocol.Shutdown -> assert false
+
+let handle ctx ~pending line =
+  match Protocol.decode_request line with
+  | Error (id, code, message) -> Protocol.Resp_error { id; code; message }
+  | Ok (id, Protocol.Stats_query) ->
+      (* Control requests bypass admission, the result cache, and the
+         fault site: stats must answer even when compute is shedding. *)
+      let output = Format.asprintf "%a" Stats.pp (Stats.snapshot ()) in
+      Protocol.Resp_ok { id; exit_code = 0; output }
+  | Ok (id, Protocol.Shutdown) ->
+      Atomic.set ctx.stop true;
+      Protocol.Resp_ok { id; exit_code = 0; output = "shutting down\n" }
+  | Ok (id, req) -> (
+      match Admission.decide ctx.admission ~pending with
+      | Admission.Shed reason -> Protocol.Resp_overloaded { id; reason }
+      | Admission.Admit budget -> (
+          let key = Protocol.cache_key req in
+          let cached = Option.map (Cache.find ctx.rcache) key in
+          match cached with
+          | Some (Some { Cache.exit_code; output }) ->
+              Protocol.Resp_ok { id; exit_code; output }
+          | _ -> (
+              match execute ctx ~budget req with
+              | exit_code, output ->
+                  (* A truncated (exit 3) result reflects this request's
+                     deadline luck; replaying it would make later answers
+                     depend on arrival order, so it is never cached. *)
+                  if exit_code <> exit_trunc then
+                    Option.iter
+                      (fun k -> Cache.add ctx.rcache k { Cache.exit_code; output })
+                      key;
+                  Protocol.Resp_ok { id; exit_code; output }
+              | exception e ->
+                  Protocol.Resp_error
+                    {
+                      id;
+                      code = Protocol.Internal;
+                      message = Printexc.to_string e;
+                    })))

@@ -1,0 +1,51 @@
+(** Request execution: one decoded request in, one response out.
+
+    The dispatcher is single-threaded — parallelism lives {e inside}
+    queries, in the shared {!Layered_runtime.Pool} — so the shared
+    caches need no locks.  Per-request containment: any exception out
+    of a handler (including an injected {!Layered_runtime.Fault} one)
+    becomes an [internal] error response for that request only; the
+    daemon keeps serving.
+
+    {b Byte-identity.}  The [output] field of an [ok] response is
+    rendered by the same pretty-printers the one-shot CLI drives
+    ({!Layered_analysis.Valence_query.pp}, {!Layered_analysis.Sweep.pp},
+    the registry report layout), so a daemon answer diffs cleanly
+    against [layered classify] / [layered layers] / [layered run].  The
+    pure renderers are exposed so oracles can build reference outputs
+    without going anywhere near the serve fault sites. *)
+
+type ctx = {
+  pool : Layered_runtime.Pool.t;
+  vcache : Layered_analysis.Valence_query.cache;
+      (** cross-request valence classifiers (the warm memo) *)
+  rcache : Cache.t;  (** keyed result cache *)
+  admission : Admission.config;
+  stop : bool Atomic.t;  (** set by a [shutdown] request or a signal *)
+}
+
+val create_ctx :
+  pool:Layered_runtime.Pool.t -> admission:Admission.config -> ctx
+
+(** [handle ctx ~pending line] decodes, validates, admits and executes
+    one request line.  [pending] is the number of requests queued behind
+    this one (admission's queue-depth signal).  Never raises. *)
+val handle : ctx -> pending:int -> string -> Protocol.response
+
+(** {1 Pure renderers}
+
+    Exactly the bytes the CLI prints on stdout for the same query,
+    paired with the CLI exit code (0 pass, 1 failures, 3 truncated). *)
+
+val classify_output :
+  ?cache:Layered_analysis.Valence_query.cache ->
+  model:string -> n:int -> t:int -> depth:int -> unit -> int * string
+
+val sweep_output :
+  ?pool:Layered_runtime.Pool.t ->
+  ?budget:Layered_runtime.Budget.t ->
+  model:string -> n:int -> t:int -> depth:int -> unit -> int * string
+
+val run_experiment_output :
+  ?pool:Layered_runtime.Pool.t ->
+  ?budget:Layered_runtime.Budget.t -> id:string -> unit -> int * string

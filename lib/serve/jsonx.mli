@@ -1,0 +1,41 @@
+(** A minimal JSON codec for the serve wire protocol.
+
+    The sealed toolchain ships no JSON library, and the protocol needs
+    only a conservative subset: finite numbers, strings, booleans,
+    null, arrays and objects.  The printer emits compact single-line
+    JSON (no raw newlines can appear inside a value — strings escape
+    them), which is exactly what a line-delimited protocol needs.  The
+    parser is a recursive-descent reader with a nesting-depth cap, and
+    rejects trailing garbage, so a hostile client cannot blow the stack
+    or smuggle a second document onto the same line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact, single-line rendering.  Strings are escaped per RFC 8259
+    (control characters as [\uXXXX]); non-finite floats render as
+    [null]. *)
+val to_string : t -> string
+
+(** [of_string s] parses exactly one JSON document spanning all of [s]
+    (surrounding whitespace allowed).  Errors are one-line descriptions
+    with a byte offset.  Nesting deeper than {!max_depth} is rejected. *)
+val of_string : string -> (t, string) result
+
+val max_depth : int
+
+(** {1 Accessors}
+
+    Total lookups used by the protocol decoder; [None] on a missing
+    member or a shape mismatch.  [member] is [None] on non-objects. *)
+
+val member : string -> t -> t option
+
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,184 @@
+module Oracle = Layered_analysis.Oracle
+
+let pass_ = { Oracle.ok = true; detail = "ok" }
+let fail detail = { Oracle.ok = false; detail }
+let clamp jobs = max 2 jobs
+let timeout_s = 10.
+
+let counter = Atomic.make 0
+
+(* Short names: ADDR_UNIX paths are capped near 104 bytes. *)
+let fresh_socket_path () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lsrv-%d-%d.sock" (Unix.getpid ())
+       (Atomic.fetch_and_add counter 1))
+
+(* An in-process daemon on its own domain.  [request_timeout_s = 0.]:
+   oracle verdicts must not depend on deadline luck.  Shutdown goes over
+   the wire in [finally], so the daemon dies even when [f] bails early;
+   the client-side read deadline keeps a dead daemon from hanging us. *)
+let with_server ~jobs f =
+  let path = fresh_socket_path () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:path) with
+      jobs;
+      request_timeout_s = 0.;
+      install_signals = false;
+    }
+  in
+  let dom = Domain.spawn (fun () -> Server.run cfg) in
+  let rec wait n =
+    if Sys.file_exists path then true
+    else if n = 0 then false
+    else begin
+      Unix.sleepf 0.05;
+      wait (n - 1)
+    end
+  in
+  let ready = wait 100 in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.connect ~retries:3 path with
+      | Ok c ->
+          ignore (Client.request c Protocol.Shutdown ~timeout_s:5.);
+          Client.close c
+      | Error _ -> ());
+      ignore (Domain.join dom : int);
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> if ready then f path else fail "server socket never appeared")
+
+let with_client path f =
+  match Client.connect path with
+  | Error e -> fail e
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* Four queries, three distinct: q4 repeats q1 so the keyed result
+   cache answers it — cache transparency is part of what the oracles
+   assert. *)
+let q1 = Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 3 }
+let q2 = Protocol.Classify_valence { model = "mobile"; n = 3; t = 1; depth = 2 }
+let q3 = Protocol.Sweep { model = "iis"; n = 3; t = 1; depth = 2 }
+let queries = [ (1, q1); (2, q2); (3, q3); (4, q1) ]
+
+(* One-shot references never touch dispatch or the server: an armed
+   serve fault cannot contaminate the expectation being compared to. *)
+let reference = function
+  | Protocol.Classify_valence { model; n; t; depth } ->
+      Dispatch.classify_output ~model ~n ~t ~depth ()
+  | Protocol.Sweep { model; n; t; depth } ->
+      Dispatch.sweep_output ~model ~n ~t ~depth ()
+  | Protocol.Run_experiment { id } -> Dispatch.run_experiment_output ~id ()
+  | Protocol.Stats_query | Protocol.Shutdown -> assert false
+
+let expected_line ~id req =
+  let exit_code, output = reference req in
+  Protocol.encode_response
+    (Protocol.Resp_ok { id = Some id; exit_code; output })
+
+(* Sequential request/response over one connection; raw lines out. *)
+let roundtrip c qs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (id, req) :: rest -> (
+        match Client.request c ~id req ~timeout_s with
+        | Ok line -> go (line :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] qs
+
+let oneshot_eq ~jobs =
+  with_server ~jobs:(clamp jobs) (fun path ->
+      with_client path (fun c ->
+          let rec go = function
+            | [] -> pass_
+            | (id, req) :: rest ->
+                (match Client.request c ~id req ~timeout_s with
+                | Error e -> fail e
+                | Ok line ->
+                    if line = expected_line ~id req then go rest
+                    else
+                      fail
+                        (Printf.sprintf
+                           "response %d differs from the one-shot CLI rendering" id))
+          in
+          go queries))
+
+let interleave_eq ~jobs =
+  with_server ~jobs:(clamp jobs) (fun path ->
+      with_client path (fun a ->
+          with_client path (fun b ->
+              (* A: one request line per write, lock-step *)
+              match roundtrip a queries with
+              | Error e -> fail ("client A: " ^ e)
+              | Ok a_lines -> (
+                  (* B: the same queries, reversed, in a single write *)
+                  let b_queries = List.rev queries in
+                  let payload =
+                    String.concat "\n"
+                      (List.map
+                         (fun (id, req) -> Protocol.encode_request ~id req)
+                         b_queries)
+                  in
+                  match Client.send b payload with
+                  | Error e -> fail ("client B: " ^ e)
+                  | Ok () -> (
+                      match
+                        Client.read_lines b ~n:(List.length b_queries) ~timeout_s
+                      with
+                      | Error e -> fail ("client B: " ^ e)
+                      | Ok b_lines ->
+                          if List.rev b_lines <> a_lines then
+                            fail "responses depend on interleaving or grouping"
+                          else
+                            (* warm (cached) q4 vs cold q1: same bytes *)
+                            let out i =
+                              match Protocol.decode_response (List.nth a_lines i) with
+                              | Ok (Protocol.Resp_ok { output; exit_code; _ }) ->
+                                  Some (exit_code, output)
+                              | _ -> None
+                            in
+                            if out 0 <> out 3 || out 0 = None then
+                              fail "cached replay differs from the cold answer"
+                            else pass_)))))
+
+let jobs_eq ~jobs =
+  let run_one ~jobs =
+    with_server ~jobs (fun path ->
+        with_client path (fun c ->
+            match roundtrip c queries with
+            | Ok lines -> { Oracle.ok = true; detail = String.concat "\x00" lines }
+            | Error e -> fail e))
+  in
+  let serial = run_one ~jobs:1 in
+  if not serial.Oracle.ok then fail ("jobs=1 daemon: " ^ serial.Oracle.detail)
+  else
+    let parallel = run_one ~jobs:(clamp jobs) in
+    if not parallel.Oracle.ok then
+      fail (Printf.sprintf "jobs=%d daemon: %s" (clamp jobs) parallel.Oracle.detail)
+    else if serial.Oracle.detail <> parallel.Oracle.detail then
+      fail "daemon responses differ between jobs=1 and a multi-worker pool"
+    else pass_
+
+let oracles =
+  [
+    {
+      Oracle.name = "serve/oneshot-eq";
+      what = "daemon responses equal the one-shot CLI rendering, byte for byte";
+      check = oneshot_eq;
+    };
+    {
+      Oracle.name = "serve/interleave-eq";
+      what =
+        "responses are independent of client interleaving/grouping; cached \
+         replays equal cold answers";
+      check = interleave_eq;
+    };
+    {
+      Oracle.name = "serve/jobs-eq";
+      what = "a jobs=1 daemon and a multi-worker daemon answer identically";
+      check = jobs_eq;
+    };
+  ]
+
+let register () = List.iter Oracle.register oracles

@@ -1,0 +1,23 @@
+(** Differential oracles for the serve daemon, registered into
+    {!Layered_analysis.Oracle} (the analysis library cannot depend on
+    this one, so serve's detectors arrive via its extension point).
+
+    Each oracle spawns a real in-process daemon — own domain, own Unix
+    socket, signals not installed — talks to it over the wire, and
+    compares raw response lines:
+
+    - [serve/oneshot-eq]: every daemon answer equals the one-shot CLI
+      rendering of the same query, byte for byte;
+    - [serve/interleave-eq]: two clients issuing the same queries in
+      different orders and groupings (one per-line, one batched) get
+      identical response bytes, and a repeated query is answered
+      identically warm (cached) and cold;
+    - [serve/jobs-eq]: a jobs=1 daemon and a multi-worker daemon answer
+      the same query set identically.
+
+    Each oracle issues at least three uncached compute requests, so an
+    armed serve fault site (firing index < 3) is guaranteed to fire
+    during a chaos trial. *)
+
+(** Register the three oracles.  Idempotent. *)
+val register : unit -> unit

@@ -1,0 +1,197 @@
+module Pool = Layered_runtime.Pool
+module Stats = Layered_runtime.Stats
+module Fault = Layered_runtime.Fault
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_cap : int;
+  max_heap_mb : int;
+  request_timeout_s : float;
+  stats : bool;
+  install_signals : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 1;
+    queue_cap = Admission.default.Admission.queue_cap;
+    max_heap_mb = Admission.default.Admission.max_heap_mb;
+    request_timeout_s = Admission.default.Admission.request_timeout_s;
+    stats = false;
+    install_signals = true;
+  }
+
+type client = { fd : Unix.file_descr; session : Session.t }
+
+(* One response line.  The corrupt-response fault site lives here, on
+   the byte boundary between dispatcher and socket: when armed, one
+   response has its first byte flipped just before the write — the
+   transport-level corruption the serve oracles must catch. *)
+let write_response fd response =
+  let line = Protocol.encode_response response ^ "\n" in
+  let line =
+    if Fault.point Fault.Serve_corrupt_response && String.length line > 0 then begin
+      let b = Bytes.of_string line in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+      Bytes.to_string b
+    end
+    else line
+  in
+  let len = String.length line in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd line off (len - off) in
+      go (off + n)
+  in
+  try
+    go 0;
+    true
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+type disposition = { signal : int; previous : Sys.signal_behavior }
+
+let install_stop_handlers ~install_signals stop =
+  let set signal behavior =
+    match Sys.signal signal behavior with
+    | previous -> Some { signal; previous }
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let stop_handler =
+    Sys.Signal_handle (fun _ -> Atomic.set stop true)
+  in
+  List.filter_map Fun.id
+    ((* writes to a client that vanished must surface as EPIPE, not kill
+        the process *)
+     set Sys.sigpipe Sys.Signal_ignore
+    ::
+    (if install_signals then
+       [ set Sys.sigint stop_handler; set Sys.sigterm stop_handler ]
+     else []))
+
+let restore_handlers saved =
+  List.iter
+    (fun { signal; previous } ->
+      try Sys.set_signal signal previous
+      with Invalid_argument _ | Sys_error _ -> ())
+    saved
+
+let run cfg =
+  let listener =
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (* a stale socket file from a crashed daemon would make bind fail *)
+      unlink_quiet cfg.socket_path;
+      Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen fd 64;
+      Some fd
+    with Unix.Unix_error (e, _, _) ->
+      Format.eprintf "layered serve: cannot listen on %s: %s@." cfg.socket_path
+        (Unix.error_message e);
+      None
+  in
+  match listener with
+  | None -> 2
+  | Some listener ->
+      Stats.reset ();
+      Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+          let admission =
+            {
+              Admission.queue_cap = cfg.queue_cap;
+              max_heap_mb = cfg.max_heap_mb;
+              request_timeout_s = cfg.request_timeout_s;
+            }
+          in
+          let ctx = Dispatch.create_ctx ~pool ~admission in
+          let saved =
+            install_stop_handlers ~install_signals:cfg.install_signals ctx.Dispatch.stop
+          in
+          let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+          let drop_client c =
+            Hashtbl.remove clients c.fd;
+            close_quiet c.fd
+          in
+          let stopped_by_request = ref false in
+          let stopping () = Atomic.get ctx.Dispatch.stop in
+          (* Answer every line already read from [c], oldest first.  The
+             batch keeps draining after a shutdown request or signal:
+             in-flight requests always get their response. *)
+          let serve_lines c lines =
+            let total = List.length lines in
+            List.iteri
+              (fun i line ->
+                let before = stopping () in
+                let response =
+                  Dispatch.handle ctx ~pending:(total - 1 - i) line
+                in
+                if stopping () && not before then stopped_by_request := true;
+                if not (write_response c.fd response) then drop_client c)
+              lines
+          in
+          let handle_readable c =
+            let buf = Bytes.create 4096 in
+            match Unix.read c.fd buf 0 (Bytes.length buf) with
+            | 0 -> drop_client c
+            | n ->
+                let lines, overflow =
+                  Session.feed c.session (Bytes.sub_string buf 0 n)
+                in
+                serve_lines c lines;
+                if overflow then begin
+                  (* line sync is lost; answer once, then hang up *)
+                  ignore
+                    (write_response c.fd
+                       (Protocol.Resp_error
+                          {
+                            id = None;
+                            code = Protocol.Parse;
+                            message =
+                              Printf.sprintf "request line exceeds %d bytes"
+                                Protocol.max_line_bytes;
+                          }));
+                  drop_client c
+                end
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error (_, _, _) -> drop_client c
+          in
+          while not (stopping ()) do
+            let fds =
+              listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+            in
+            match Unix.select fds [] [] 0.2 with
+            | readable, _, _ ->
+                List.iter
+                  (fun fd ->
+                    if fd = listener then begin
+                      match Unix.accept listener with
+                      | client_fd, _ ->
+                          Hashtbl.replace clients client_fd
+                            { fd = client_fd; session = Session.create () }
+                      | exception Unix.Unix_error (_, _, _) -> ()
+                    end
+                    else
+                      match Hashtbl.find_opt clients fd with
+                      | Some c -> handle_readable c
+                      | None -> ())
+                  readable
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                (* a signal landed; the loop condition notices the flag *)
+                ()
+          done;
+          let stopped_by_signal = stopping () && not !stopped_by_request in
+          (* One more pass: anything the signal interrupted mid-read has
+             already been answered (dispatch is synchronous), so shutdown
+             is closing fds and reporting. *)
+          Hashtbl.iter (fun _ c -> close_quiet c.fd) clients;
+          Hashtbl.reset clients;
+          close_quiet listener;
+          unlink_quiet cfg.socket_path;
+          restore_handlers saved;
+          if cfg.stats || stopped_by_signal then
+            Format.eprintf "%a" Stats.pp (Stats.snapshot ());
+          0)

@@ -1,0 +1,40 @@
+(** The serve daemon: a Unix-domain-socket server for the layered
+    verification queries.
+
+    Single accept/dispatch loop on [Unix.select]; requests are executed
+    sequentially, in arrival order, with parallelism inside each query
+    via one shared worker {!Layered_runtime.Pool}.  Shared across
+    requests: the valence classifier cache (warm memo), the keyed
+    result cache, and the process-wide {!Layered_runtime.Stats}.
+
+    {b Shutdown.}  SIGINT, SIGTERM (when [install_signals]) and the
+    [shutdown] request all set one stop flag.  The loop then finishes
+    the batch it is draining — every request already read gets its
+    response — closes client connections and the listening socket,
+    unlinks the socket path, flushes a final stats snapshot to stderr
+    (when [stats] or stopped by a signal) and returns 0.  Never a stack
+    trace.
+
+    {b Containment.}  A request that raises — including a fault-
+    injection raise — poisons only its own response ([internal] error);
+    a crashed pool worker is respawned by the pool itself.  A client
+    that overflows {!Protocol.max_line_bytes} gets a [parse] error and
+    its connection closed; other clients are untouched. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains for the shared pool *)
+  queue_cap : int;
+  max_heap_mb : int;
+  request_timeout_s : float;  (** per-request deadline; 0 = none *)
+  stats : bool;  (** flush a stats snapshot to stderr on exit *)
+  install_signals : bool;
+      (** install SIGINT/SIGTERM handlers (off for in-process servers
+          spawned by tests and oracles) *)
+}
+
+val default_config : socket_path:string -> config
+
+(** [run config] serves until stopped; returns the process exit code
+    (0 on a clean shutdown, 2 when the socket cannot be bound). *)
+val run : config -> int

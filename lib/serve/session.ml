@@ -1,0 +1,39 @@
+type t = { buf : Buffer.t; mutable overflowed : bool }
+
+let create () = { buf = Buffer.create 256; overflowed = false }
+let pending_bytes t = Buffer.length t.buf
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let feed t chunk =
+  if t.overflowed then ([], true)
+  else begin
+    Buffer.add_string t.buf chunk;
+    let data = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    let lines = ref [] in
+    let start = ref 0 in
+    let overflow = ref false in
+    (try
+       for i = 0 to String.length data - 1 do
+         if data.[i] = '\n' then begin
+           let line = String.sub data !start (i - !start) in
+           if String.length line > Protocol.max_line_bytes then raise Exit;
+           lines := strip_cr line :: !lines;
+           start := i + 1
+         end
+       done
+     with Exit -> overflow := true);
+    let residue = String.length data - !start in
+    if (not !overflow) && residue > Protocol.max_line_bytes then overflow := true;
+    if !overflow then begin
+      t.overflowed <- true;
+      (List.rev !lines, true)
+    end
+    else begin
+      Buffer.add_substring t.buf data !start residue;
+      (List.rev !lines, false)
+    end
+  end

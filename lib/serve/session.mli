@@ -1,0 +1,23 @@
+(** Per-connection line framing.
+
+    A TCP-style byte stream hands the server arbitrary chunks: half a
+    line, three lines and a half, a line split across ten reads.  A
+    session buffers the residue between reads and yields complete lines
+    (['\n']-terminated, terminator stripped, one trailing ['\r'] also
+    stripped for telnet-style clients).
+
+    A line longer than {!Protocol.max_line_bytes} — terminated or not —
+    marks the session {e overflowed}: the server answers with a [Parse]
+    error and closes the connection, since line sync is lost. *)
+
+type t
+
+val create : unit -> t
+
+(** [feed t chunk] appends [chunk] and returns the complete lines it
+    finished, oldest first, plus [true] if the session just overflowed.
+    After an overflow, [feed] returns no further lines. *)
+val feed : t -> string -> string list * bool
+
+(** Bytes buffered beyond the last complete line. *)
+val pending_bytes : t -> int

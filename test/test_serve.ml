@@ -1,0 +1,468 @@
+(* Tests for the serve subsystem: the JSON codec, the wire protocol
+   (every variant round-trips; every rejection path answers with the
+   right structured error), line framing, the result cache and its
+   stats counters, admission control, dispatcher containment, and an
+   end-to-end in-process daemon over a real Unix socket. *)
+
+open Layered_serve
+module Stats = Layered_runtime.Stats
+module Fault = Layered_runtime.Fault
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx *)
+
+let roundtrip j = Jsonx.of_string (Jsonx.to_string j)
+
+let test_jsonx_roundtrip () =
+  let samples =
+    [
+      Jsonx.Null;
+      Jsonx.Bool true;
+      Jsonx.Bool false;
+      Jsonx.Int 0;
+      Jsonx.Int (-42);
+      Jsonx.Int max_int;
+      Jsonx.String "";
+      Jsonx.String "plain";
+      Jsonx.String "quotes \" backslash \\ newline \n tab \t ctrl \001";
+      Jsonx.List [];
+      Jsonx.List [ Jsonx.Int 1; Jsonx.String "two"; Jsonx.Null ];
+      Jsonx.Obj [];
+      Jsonx.Obj
+        [
+          ("a", Jsonx.Int 1);
+          ("nested", Jsonx.Obj [ ("l", Jsonx.List [ Jsonx.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match roundtrip j with
+      | Ok j' -> check (Jsonx.to_string j ^ " roundtrips") true (j = j')
+      | Error e -> Alcotest.fail (Jsonx.to_string j ^ ": " ^ e))
+    samples
+
+let test_jsonx_rejects () =
+  let bad =
+    [
+      "";
+      "{";
+      "}";
+      "{\"a\":}";
+      "[1,]";
+      "nul";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "01a";
+      "{\"a\":1} trailing";
+      "{\"a\" 1}";
+      "\"raw \n newline\"";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s))
+    bad
+
+let test_jsonx_depth_cap () =
+  let deep n = String.concat "" (List.init n (fun _ -> "[")) in
+  let ok_depth = String.concat "" (List.init 10 (fun _ -> "[")) ^ "1"
+                 ^ String.concat "" (List.init 10 (fun _ -> "]")) in
+  check "moderate nesting accepted" true (Result.is_ok (Jsonx.of_string ok_depth));
+  check "hostile nesting rejected" true
+    (Result.is_error (Jsonx.of_string (deep 1000)))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: request round-trips *)
+
+let all_requests =
+  [
+    Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 3 };
+    Protocol.Sweep { model = "iis"; n = 3; t = 1; depth = 2 };
+    Protocol.Run_experiment { id = "E1" };
+    Protocol.Stats_query;
+    Protocol.Shutdown;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      (* with an id *)
+      (match Protocol.decode_request (Protocol.encode_request ~id:7 req) with
+      | Ok (Some 7, req') -> check "request roundtrips" true (req = req')
+      | Ok _ -> Alcotest.fail "id lost in roundtrip"
+      | Error (_, _, m) -> Alcotest.fail m);
+      (* and without *)
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok (None, req') -> check "id-less request roundtrips" true (req = req')
+      | Ok _ -> Alcotest.fail "phantom id appeared"
+      | Error (_, _, m) -> Alcotest.fail m)
+    all_requests
+
+let all_responses =
+  [
+    Protocol.Resp_ok { id = Some 1; exit_code = 0; output = "line one\nline two\n" };
+    Protocol.Resp_ok { id = None; exit_code = 3; output = "" };
+    Protocol.Resp_error
+      { id = Some 2; code = Protocol.Parse; message = "malformed JSON: oops" };
+    Protocol.Resp_error
+      { id = None; code = Protocol.Unknown_experiment; message = "no E99" };
+    Protocol.Resp_error { id = Some 3; code = Protocol.Internal; message = "boom" };
+    Protocol.Resp_overloaded { id = Some 4; reason = `Queue };
+    Protocol.Resp_overloaded { id = None; reason = `Memory };
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let line = Protocol.encode_response resp in
+      check "single line" false (String.contains line '\n');
+      match Protocol.decode_response line with
+      | Ok resp' -> check (line ^ " roundtrips") true (resp = resp')
+      | Error e -> Alcotest.fail (line ^ ": " ^ e))
+    all_responses
+
+(* Every rejection path answers with the documented error code, and
+   carries the request id whenever the line parsed far enough to have
+   one. *)
+let expect_error ?id code line =
+  match Protocol.decode_request line with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" line)
+  | Error (got_id, got_code, _) ->
+      check_str
+        (Printf.sprintf "%S -> %s" line (Protocol.error_code_name code))
+        (Protocol.error_code_name code)
+        (Protocol.error_code_name got_code);
+      check "rejection echoes the id" true (got_id = id)
+
+let test_request_rejections () =
+  expect_error Protocol.Parse "not json at all";
+  expect_error Protocol.Parse "[1,2,3]";
+  expect_error Protocol.Parse "{\"op\":\"stats\"} {\"op\":\"stats\"}";
+  expect_error ~id:1 Protocol.Bad_request "{\"id\":1}";
+  expect_error ~id:1 Protocol.Bad_request "{\"id\":1,\"op\":\"frobnicate\"}";
+  expect_error Protocol.Bad_request "{\"op\":7}";
+  expect_error Protocol.Bad_request "{\"id\":\"one\",\"op\":\"stats\"}";
+  expect_error ~id:2 Protocol.Bad_request
+    "{\"id\":2,\"op\":\"classify-valence\",\"model\":\"sync\",\"n\":3,\"t\":1}";
+  expect_error ~id:2 Protocol.Bad_request
+    "{\"id\":2,\"op\":\"classify-valence\",\"model\":\"sync\",\"n\":\"three\",\"t\":1,\"depth\":3}";
+  expect_error ~id:3 Protocol.Unknown_model
+    "{\"id\":3,\"op\":\"sweep\",\"model\":\"quantum\",\"n\":3,\"t\":1,\"depth\":2}";
+  expect_error ~id:4 Protocol.Unknown_experiment
+    "{\"id\":4,\"op\":\"run-experiment\",\"experiment\":\"E99\"}";
+  (* the CLI's lower bounds *)
+  expect_error ~id:5 Protocol.Out_of_range
+    "{\"id\":5,\"op\":\"sweep\",\"model\":\"sync\",\"n\":0,\"t\":1,\"depth\":2}";
+  expect_error ~id:5 Protocol.Out_of_range
+    "{\"id\":5,\"op\":\"sweep\",\"model\":\"sync\",\"n\":3,\"t\":-1,\"depth\":2}";
+  expect_error ~id:5 Protocol.Out_of_range
+    "{\"id\":5,\"op\":\"sweep\",\"model\":\"sync\",\"n\":3,\"t\":1,\"depth\":-1}";
+  (* the serve-side upper caps *)
+  expect_error ~id:6 Protocol.Out_of_range
+    (Printf.sprintf
+       "{\"id\":6,\"op\":\"classify-valence\",\"model\":\"sync\",\"n\":%d,\"t\":1,\"depth\":2}"
+       (Protocol.max_n + 1));
+  expect_error ~id:6 Protocol.Out_of_range
+    (Printf.sprintf
+       "{\"id\":6,\"op\":\"classify-valence\",\"model\":\"sync\",\"n\":3,\"t\":%d,\"depth\":2}"
+       (Protocol.max_t + 1));
+  expect_error ~id:6 Protocol.Out_of_range
+    (Printf.sprintf
+       "{\"id\":6,\"op\":\"classify-valence\",\"model\":\"sync\",\"n\":3,\"t\":1,\"depth\":%d}"
+       (Protocol.max_depth + 1))
+
+(* Experiment lookup is case-insensitive in the registry; the decoded
+   request carries the canonical id. *)
+let test_request_canonical_experiment () =
+  match Protocol.decode_request "{\"op\":\"run-experiment\",\"experiment\":\"e1\"}" with
+  | Ok (None, Protocol.Run_experiment { id }) -> check_str "canonical id" "E1" id
+  | _ -> Alcotest.fail "lower-case experiment id rejected"
+
+let test_cache_key () =
+  check "stats never cached" true (Protocol.cache_key Protocol.Stats_query = None);
+  check "shutdown never cached" true (Protocol.cache_key Protocol.Shutdown = None);
+  let k1 =
+    Protocol.cache_key
+      (Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 3 })
+  in
+  let k2 =
+    Protocol.cache_key
+      (Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 4 })
+  in
+  check "compute requests are keyed" true (k1 <> None);
+  check "distinct params, distinct keys" true (k1 <> k2)
+
+(* ------------------------------------------------------------------ *)
+(* Session framing *)
+
+let test_framing_partial_lines () =
+  let s = Session.create () in
+  let lines, ov = Session.feed s "{\"op\":\"st" in
+  check "no line yet" true (lines = [] && not ov);
+  let lines, ov = Session.feed s "ats\"}\n{\"op\":" in
+  check "first line complete" true (lines = [ "{\"op\":\"stats\"}" ] && not ov);
+  let lines, ov = Session.feed s "\"shutdown\"}\n" in
+  check "second line complete" true (lines = [ "{\"op\":\"shutdown\"}" ] && not ov)
+
+let test_framing_multi_per_read () =
+  let s = Session.create () in
+  let lines, ov = Session.feed s "one\ntwo\r\nthree\nfour" in
+  check "three lines, CR stripped" true
+    (lines = [ "one"; "two"; "three" ] && not ov);
+  check_int "residue buffered" 4 (Session.pending_bytes s);
+  let lines, ov = Session.feed s "\n" in
+  check "residue completes" true (lines = [ "four" ] && not ov)
+
+let test_framing_oversized () =
+  let s = Session.create () in
+  let big = String.make (Protocol.max_line_bytes + 1) 'x' in
+  let lines, ov = Session.feed s ("ok\n" ^ big ^ "\n") in
+  check "lines before the overflow still delivered" true (lines = [ "ok" ]);
+  check "overflow flagged" true ov;
+  let lines, ov = Session.feed s "more\n" in
+  check "overflowed session yields nothing" true (lines = [] && ov);
+  (* an unterminated over-long residue also overflows *)
+  let s2 = Session.create () in
+  let _, ov = Session.feed s2 big in
+  check "unterminated oversized residue overflows" true ov
+
+(* ------------------------------------------------------------------ *)
+(* Result cache + stats counters *)
+
+let test_cache_counters () =
+  Stats.reset ();
+  let c = Cache.create ~max_entries:4 () in
+  check "miss on empty" true (Cache.find c "k" = None);
+  Cache.add c "k" { Cache.exit_code = 0; output = "payload" };
+  (match Cache.find c "k" with
+  | Some { Cache.exit_code = 0; output = "payload" } -> ()
+  | _ -> Alcotest.fail "hit did not replay the exact entry");
+  let s = Stats.snapshot () in
+  check_int "one hit counted" 1 s.Stats.result_cache_hits;
+  check_int "one miss counted" 1 s.Stats.result_cache_misses;
+  (* reset-on-full keeps the table bounded *)
+  List.iter
+    (fun i ->
+      Cache.add c (string_of_int i) { Cache.exit_code = 0; output = "" })
+    [ 1; 2; 3; 4; 5 ];
+  check "bounded" true (Cache.entries c <= 4)
+
+let test_stats_pp_mentions_result_cache () =
+  Stats.reset ();
+  Stats.record_result_cache ~hit:true;
+  Stats.record_result_cache ~hit:false;
+  let rendered = Format.asprintf "%a" Stats.pp (Stats.snapshot ()) in
+  check "pp prints result cache lines" true
+    (let has needle =
+       let nl = String.length needle and l = String.length rendered in
+       let rec go i = i + nl <= l && (String.sub rendered i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "result cache hits" && has "result cache misses")
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let test_admission () =
+  let cfg =
+    { Admission.queue_cap = 2; max_heap_mb = 1_000_000; request_timeout_s = 5. }
+  in
+  (match Admission.decide cfg ~pending:0 with
+  | Admission.Admit _ -> ()
+  | Admission.Shed _ -> Alcotest.fail "idle daemon shed a request");
+  (match Admission.decide cfg ~pending:3 with
+  | Admission.Shed `Queue -> ()
+  | _ -> Alcotest.fail "queue depth over cap not shed");
+  match
+    Admission.decide
+      { cfg with Admission.max_heap_mb = 0 (* watermark below any live heap *) }
+      ~pending:0
+  with
+  | Admission.Shed `Memory -> ()
+  | _ -> Alcotest.fail "heap over watermark not shed"
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher: byte-identity with the renderers, containment, caching *)
+
+let with_ctx f =
+  Layered_runtime.Pool.with_pool ~jobs:1 (fun pool ->
+      f
+        (Dispatch.create_ctx ~pool
+           ~admission:
+             {
+               Admission.queue_cap = 64;
+               max_heap_mb = 1_000_000;
+               request_timeout_s = 0.;
+             }))
+
+let classify_line ~id = Protocol.encode_request ~id
+    (Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 3 })
+
+let test_dispatch_matches_renderer () =
+  with_ctx (fun ctx ->
+      match Dispatch.handle ctx ~pending:0 (classify_line ~id:1) with
+      | Protocol.Resp_ok { id = Some 1; exit_code; output } ->
+          let ref_code, ref_out =
+            Dispatch.classify_output ~model:"sync" ~n:3 ~t:1 ~depth:3 ()
+          in
+          check_int "exit code" ref_code exit_code;
+          check_str "output bytes" ref_out output
+      | _ -> Alcotest.fail "classify did not answer ok")
+
+let test_dispatch_cache_replay () =
+  with_ctx (fun ctx ->
+      Stats.reset ();
+      let first = Dispatch.handle ctx ~pending:0 (classify_line ~id:1) in
+      let second = Dispatch.handle ctx ~pending:0 (classify_line ~id:1) in
+      check "replay is byte-identical" true (first = second);
+      let s = Stats.snapshot () in
+      check_int "second answer came from the cache" 1 s.Stats.result_cache_hits)
+
+let test_dispatch_containment () =
+  with_ctx (fun ctx ->
+      (* the armed handler fault fires within the first three computes;
+         the dispatcher must answer an internal error, then keep serving *)
+      Fault.arm ~seed:7 Fault.Serve_handler_raise;
+      let responses =
+        Fun.protect ~finally:Fault.disarm (fun () ->
+            List.map
+              (fun depth ->
+                Dispatch.handle ctx ~pending:0
+                  (Protocol.encode_request ~id:depth
+                     (Protocol.Classify_valence
+                        { model = "sync"; n = 3; t = 1; depth })))
+              [ 1; 2; 3 ])
+      in
+      check_int "the fault fired" 1 (Fault.fired ());
+      let internals =
+        List.length
+          (List.filter
+             (function
+               | Protocol.Resp_error { code = Protocol.Internal; _ } -> true
+               | _ -> false)
+             responses)
+      in
+      check_int "exactly one request poisoned" 1 internals;
+      match Dispatch.handle ctx ~pending:0 (classify_line ~id:9) with
+      | Protocol.Resp_ok _ -> ()
+      | _ -> Alcotest.fail "dispatcher dead after a contained raise")
+
+let test_dispatch_shed () =
+  with_ctx (fun ctx ->
+      (match Dispatch.handle ctx ~pending:1000 (classify_line ~id:1) with
+      | Protocol.Resp_overloaded { id = Some 1; reason = `Queue } -> ()
+      | _ -> Alcotest.fail "queue overload not shed");
+      match
+        Dispatch.handle ctx ~pending:1000
+          (Protocol.encode_request Protocol.Stats_query)
+      with
+      | Protocol.Resp_ok _ -> ()
+      | _ -> Alcotest.fail "stats must bypass admission")
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a real daemon on a real socket *)
+
+let test_end_to_end () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsrv-test-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:path) with
+      request_timeout_s = 0.;
+      install_signals = false;
+    }
+  in
+  let dom = Domain.spawn (fun () -> Server.run cfg) in
+  let rec wait n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "server socket never appeared"
+    else (Unix.sleepf 0.05; wait (n - 1))
+  in
+  wait 100;
+  (match Client.connect path with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          (* an ok answer matching the pure renderer *)
+          (match Client.request c ~id:1
+                   (Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 3 })
+                   ~timeout_s:30.
+           with
+          | Error e -> Alcotest.fail e
+          | Ok line ->
+              let code, output =
+                Dispatch.classify_output ~model:"sync" ~n:3 ~t:1 ~depth:3 ()
+              in
+              check_str "wire answer equals renderer"
+                (Protocol.encode_response
+                   (Protocol.Resp_ok { id = Some 1; exit_code = code; output }))
+                line);
+          (* a malformed line answers an error and the daemon survives *)
+          (match Client.send c "not json" with
+          | Error e -> Alcotest.fail e
+          | Ok () -> ());
+          (match Client.read_lines c ~n:1 ~timeout_s:10. with
+          | Ok [ line ] -> (
+              match Protocol.decode_response line with
+              | Ok (Protocol.Resp_error { code = Protocol.Parse; _ }) -> ()
+              | _ -> Alcotest.fail "malformed line not answered with parse error")
+          | Ok _ | Error _ -> Alcotest.fail "no answer to malformed line");
+          (* still serving; then shut down over the wire *)
+          (match Client.request c Protocol.Stats_query ~timeout_s:10. with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("stats after error: " ^ e));
+          match Client.request c Protocol.Shutdown ~timeout_s:10. with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("shutdown: " ^ e)));
+  check_int "clean exit code" 0 (Domain.join dom);
+  check "socket unlinked" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "layered_serve"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "values roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_jsonx_rejects;
+          Alcotest.test_case "nesting cap" `Quick test_jsonx_depth_cap;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "requests roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "responses roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "rejection paths" `Quick test_request_rejections;
+          Alcotest.test_case "experiment id canonicalised" `Quick
+            test_request_canonical_experiment;
+          Alcotest.test_case "cache keys" `Quick test_cache_key;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "partial lines" `Quick test_framing_partial_lines;
+          Alcotest.test_case "many per read" `Quick test_framing_multi_per_read;
+          Alcotest.test_case "oversized line" `Quick test_framing_oversized;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "counters and replay" `Quick test_cache_counters;
+          Alcotest.test_case "stats pp" `Quick test_stats_pp_mentions_result_cache;
+        ] );
+      ("admission", [ Alcotest.test_case "shed and admit" `Quick test_admission ]);
+      ( "dispatch",
+        [
+          Alcotest.test_case "matches the one-shot renderer" `Quick
+            test_dispatch_matches_renderer;
+          Alcotest.test_case "cache replay" `Quick test_dispatch_cache_replay;
+          Alcotest.test_case "containment" `Quick test_dispatch_containment;
+          Alcotest.test_case "load shed" `Quick test_dispatch_shed;
+        ] );
+      ("server", [ Alcotest.test_case "end to end" `Quick test_end_to_end ]);
+    ]
