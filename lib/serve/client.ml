@@ -4,7 +4,9 @@ let connect ?(retries = 50) ?(retry_delay_s = 0.1) path =
   let rec go attempt =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> Ok { fd; session = Session.create (); queued = [] }
+    (* responses come from our own trusted server and carry whole report
+       outputs, so they are not bound by the request-line cap *)
+    | () -> Ok { fd; session = Session.create ~max_line_bytes:max_int (); queued = [] }
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         if attempt + 1 < retries then begin

@@ -124,10 +124,20 @@ let parse_string c =
             | 'u' ->
                 if c.pos + 4 > String.length c.src then
                   error c "truncated \\u escape";
-                let hex = String.sub c.src c.pos 4 in
+                (* int_of_string would also accept OCaml literal syntax
+                   (underscores), so check each digit by hand *)
+                let hex_digit ch =
+                  match ch with
+                  | '0' .. '9' -> Char.code ch - Char.code '0'
+                  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+                  | _ -> error c "bad \\u escape"
+                in
                 let code =
-                  try int_of_string ("0x" ^ hex)
-                  with _ -> error c "bad \\u escape"
+                  (hex_digit c.src.[c.pos] lsl 12)
+                  lor (hex_digit c.src.[c.pos + 1] lsl 8)
+                  lor (hex_digit c.src.[c.pos + 2] lsl 4)
+                  lor (hex_digit c.src.[c.pos + 3])
                 in
                 c.pos <- c.pos + 4;
                 (* UTF-8 encode the BMP code point; surrogate pairs in

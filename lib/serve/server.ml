@@ -48,7 +48,8 @@ let write_response fd response =
   try
     go 0;
     true
-  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    false
 
 let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
@@ -120,18 +121,28 @@ let run cfg =
           let stopping () = Atomic.get ctx.Dispatch.stop in
           (* Answer every line already read from [c], oldest first.  The
              batch keeps draining after a shutdown request or signal:
-             in-flight requests always get their response. *)
+             in-flight requests always get their response.  A failed
+             write means the client is gone — drop it and abandon the
+             rest of the batch rather than writing to a closed fd.
+             Returns [false] when the client was dropped. *)
           let serve_lines c lines =
             let total = List.length lines in
+            let dropped = ref false in
             List.iteri
               (fun i line ->
-                let before = stopping () in
-                let response =
-                  Dispatch.handle ctx ~pending:(total - 1 - i) line
-                in
-                if stopping () && not before then stopped_by_request := true;
-                if not (write_response c.fd response) then drop_client c)
-              lines
+                if not !dropped then begin
+                  let before = stopping () in
+                  let response =
+                    Dispatch.handle ctx ~pending:(total - 1 - i) line
+                  in
+                  if stopping () && not before then stopped_by_request := true;
+                  if not (write_response c.fd response) then begin
+                    drop_client c;
+                    dropped := true
+                  end
+                end)
+              lines;
+            not !dropped
           in
           let handle_readable c =
             let buf = Bytes.create 4096 in
@@ -141,8 +152,8 @@ let run cfg =
                 let lines, overflow =
                   Session.feed c.session (Bytes.sub_string buf 0 n)
                 in
-                serve_lines c lines;
-                if overflow then begin
+                let alive = serve_lines c lines in
+                if overflow && alive then begin
                   (* line sync is lost; answer once, then hang up *)
                   ignore
                     (write_response c.fd

@@ -1,6 +1,7 @@
-type t = { buf : Buffer.t; mutable overflowed : bool }
+type t = { buf : Buffer.t; mutable overflowed : bool; max_line_bytes : int }
 
-let create () = { buf = Buffer.create 256; overflowed = false }
+let create ?(max_line_bytes = Protocol.max_line_bytes) () =
+  { buf = Buffer.create 256; overflowed = false; max_line_bytes }
 let pending_bytes t = Buffer.length t.buf
 
 let strip_cr line =
@@ -20,14 +21,14 @@ let feed t chunk =
        for i = 0 to String.length data - 1 do
          if data.[i] = '\n' then begin
            let line = String.sub data !start (i - !start) in
-           if String.length line > Protocol.max_line_bytes then raise Exit;
+           if String.length line > t.max_line_bytes then raise Exit;
            lines := strip_cr line :: !lines;
            start := i + 1
          end
        done
      with Exit -> overflow := true);
     let residue = String.length data - !start in
-    if (not !overflow) && residue > Protocol.max_line_bytes then overflow := true;
+    if (not !overflow) && residue > t.max_line_bytes then overflow := true;
     if !overflow then begin
       t.overflowed <- true;
       (List.rev !lines, true)

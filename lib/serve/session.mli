@@ -6,13 +6,17 @@
     (['\n']-terminated, terminator stripped, one trailing ['\r'] also
     stripped for telnet-style clients).
 
-    A line longer than {!Protocol.max_line_bytes} — terminated or not —
-    marks the session {e overflowed}: the server answers with a [Parse]
+    A line longer than the session's cap — terminated or not — marks
+    the session {e overflowed}: the server answers with a [Parse]
     error and closes the connection, since line sync is lost. *)
 
 type t
 
-val create : unit -> t
+(** [create ()] caps lines at {!Protocol.max_line_bytes}, the request
+    limit the server enforces.  The client half passes a larger
+    [max_line_bytes]: response lines carry whole report outputs, which
+    the request cap does not bound. *)
+val create : ?max_line_bytes:int -> unit -> t
 
 (** [feed t chunk] appends [chunk] and returns the complete lines it
     finished, oldest first, plus [true] if the session just overflowed.

@@ -70,6 +70,22 @@ let test_jsonx_rejects () =
       | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s))
     bad
 
+(* \u escapes must be exactly four hex digits; int_of_string-style
+   OCaml literal syntax (underscores, 0x prefixes) is not JSON *)
+let test_jsonx_unicode_escape () =
+  (match Jsonx.of_string "\"\\u012f\"" with
+  | Ok (Jsonx.String s) -> check_str "U+012F decodes to UTF-8" "\xc4\xaf" s
+  | _ -> Alcotest.fail "valid \\u escape rejected");
+  (match Jsonx.of_string "\"\\u001F\"" with
+  | Ok (Jsonx.String s) -> check_str "upper-case hex accepted" "\x1f" s
+  | _ -> Alcotest.fail "upper-case \\u escape rejected");
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s))
+    [ "\"\\u1_2f\""; "\"\\u12g4\""; "\"\\u 123\""; "\"\\u0x12\""; "\"\\u12\"" ]
+
 let test_jsonx_depth_cap () =
   let deep n = String.concat "" (List.init n (fun _ -> "[")) in
   let ok_depth = String.concat "" (List.init 10 (fun _ -> "[")) ^ "1"
@@ -233,6 +249,14 @@ let test_framing_oversized () =
   let _, ov = Session.feed s2 big in
   check "unterminated oversized residue overflows" true ov
 
+(* the client half frames responses with a larger cap: a response line
+   longer than the request limit must come through intact *)
+let test_framing_custom_cap () =
+  let s = Session.create ~max_line_bytes:max_int () in
+  let big = String.make (Protocol.max_line_bytes * 2) 'y' in
+  let lines, ov = Session.feed s (big ^ "\n") in
+  check "big response line delivered" true (lines = [ big ] && not ov)
+
 (* ------------------------------------------------------------------ *)
 (* Result cache + stats counters *)
 
@@ -369,10 +393,10 @@ let test_dispatch_shed () =
 (* ------------------------------------------------------------------ *)
 (* End to end: a real daemon on a real socket *)
 
-let test_end_to_end () =
+let with_daemon tag f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "lsrv-test-%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "lsrv-%s-%d.sock" tag (Unix.getpid ()))
   in
   let cfg =
     {
@@ -388,6 +412,12 @@ let test_end_to_end () =
     else (Unix.sleepf 0.05; wait (n - 1))
   in
   wait 100;
+  f path;
+  check_int "clean exit code" 0 (Domain.join dom);
+  check "socket unlinked" false (Sys.file_exists path)
+
+let test_end_to_end () =
+  with_daemon "e2e" (fun path ->
   (match Client.connect path with
   | Error e -> Alcotest.fail e
   | Ok c ->
@@ -422,9 +452,45 @@ let test_end_to_end () =
           | Error e -> Alcotest.fail ("stats after error: " ^ e));
           match Client.request c Protocol.Shutdown ~timeout_s:10. with
           | Ok _ -> ()
-          | Error e -> Alcotest.fail ("shutdown: " ^ e)));
-  check_int "clean exit code" 0 (Domain.join dom);
-  check "socket unlinked" false (Sys.file_exists path)
+          | Error e -> Alcotest.fail ("shutdown: " ^ e))))
+
+(* A client that pipelines several requests and hangs up mid-batch must
+   only lose its own responses: the first failed write drops the
+   client, the rest of its batch is abandoned (never written to the
+   closed fd), and the daemon keeps serving everyone else. *)
+let test_pipelined_disconnect () =
+  with_daemon "drop" (fun path ->
+      (match Client.connect path with
+      | Error e -> Alcotest.fail e
+      | Ok rude ->
+          List.iter
+            (fun id ->
+              match
+                Client.send rude
+                  (Protocol.encode_request ~id
+                     (Protocol.Classify_valence
+                        { model = "sync"; n = 3; t = 1; depth = id }))
+              with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail ("pipeline write: " ^ e))
+            [ 1; 2; 3; 4 ];
+          (* hang up without reading a single response *)
+          Client.close rude);
+      match Client.connect path with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+              (match Client.request c ~id:9
+                       (Protocol.Classify_valence
+                          { model = "sync"; n = 3; t = 1; depth = 3 })
+                       ~timeout_s:30.
+               with
+              | Ok _ -> ()
+              | Error e ->
+                  Alcotest.fail ("daemon dead after rude disconnect: " ^ e));
+              match Client.request c Protocol.Shutdown ~timeout_s:10. with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("shutdown: " ^ e)))
 
 let () =
   Alcotest.run "layered_serve"
@@ -433,6 +499,7 @@ let () =
         [
           Alcotest.test_case "values roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "malformed rejected" `Quick test_jsonx_rejects;
+          Alcotest.test_case "unicode escapes" `Quick test_jsonx_unicode_escape;
           Alcotest.test_case "nesting cap" `Quick test_jsonx_depth_cap;
         ] );
       ( "protocol",
@@ -449,6 +516,7 @@ let () =
           Alcotest.test_case "partial lines" `Quick test_framing_partial_lines;
           Alcotest.test_case "many per read" `Quick test_framing_multi_per_read;
           Alcotest.test_case "oversized line" `Quick test_framing_oversized;
+          Alcotest.test_case "custom response cap" `Quick test_framing_custom_cap;
         ] );
       ( "cache",
         [
@@ -464,5 +532,10 @@ let () =
           Alcotest.test_case "containment" `Quick test_dispatch_containment;
           Alcotest.test_case "load shed" `Quick test_dispatch_shed;
         ] );
-      ("server", [ Alcotest.test_case "end to end" `Quick test_end_to_end ]);
+      ( "server",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "pipelined disconnect" `Quick
+            test_pipelined_disconnect;
+        ] );
     ]
