@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke serve-smoke fmt
+.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke serve-smoke serve-crash-smoke fmt
 
 build:
 	dune build
@@ -26,7 +26,7 @@ bench-baseline:
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.
 chaos-smoke:
-	dune exec bin/main.exe -- chaos --seed 42 --trials 33
+	dune exec bin/main.exe -- chaos --seed 42 --trials 42
 
 # SIGKILL an `all --checkpoint-dir` run mid-flight, resume it, and
 # require the resumed report to be byte-identical to an uninterrupted
@@ -39,6 +39,12 @@ resume-smoke:
 # and require clean exits via both the shutdown op and SIGTERM.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# SIGKILL the supervised daemon mid-batch and require the respawned
+# incarnation + replaying client to reproduce the crash-free bytes at
+# --jobs 1 and 4.
+serve-crash-smoke:
+	bash scripts/serve_crash_smoke.sh
 
 fmt:
 	@dune fmt || echo "fmt skipped (ocamlformat not available)"

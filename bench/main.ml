@@ -516,7 +516,6 @@ let valence_interned () =
     (fun x -> ignore (Valence.classify v ~depth:3 x))
     (E.initial_states ~n:3 ~values)
 
-let force_fixtures () = ignore (Lazy.force simgraph_states)
 
 (* ------------------------------------------------------------------ *)
 (* Serve-daemon cache ablation: the same classification query the
@@ -535,6 +534,38 @@ let serve_valence_warm =
   let cache = Valence_query.create_cache () in
   ignore (Valence_query.run ~cache ~model:"sync" ~n:3 ~t:1 ~depth:3 ());
   fun () -> ignore (Valence_query.run ~cache ~model:"sync" ~n:3 ~t:1 ~depth:3 ())
+
+(* Warm-after-restart: the crash-recovery payoff.  Setup warms a
+   spillable cache pair and spills it to disk once; the kernel then
+   plays a freshly respawned daemon — empty caches, reload the spill,
+   answer the same query.  The reload (checkpoint read + lazy memo
+   promotion) must beat serve/cold-valence's recomputation, or warm
+   recovery would be pointless. *)
+let serve_spill_dir =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lsrv-bench-%d" (Unix.getpid ()))
+
+(* Forced by [force_fixtures], outside any timed window: the spill on
+   disk is the fixture, not part of the recovery being measured. *)
+let serve_spill_fixture =
+  lazy
+    (let rcache = Layered_serve.Cache.create () in
+     let vcache = Valence_query.create_cache ~spill:true () in
+     ignore (Valence_query.run ~cache:vcache ~model:"sync" ~n:3 ~t:1 ~depth:3 ());
+     match Layered_serve.Spill.save ~dir:serve_spill_dir ~rcache ~vcache with
+     | Ok _ -> ()
+     | Error e -> failwith ("bench spill: " ^ e))
+
+let serve_warm_after_restart () =
+  Lazy.force serve_spill_fixture;
+  let rcache = Layered_serve.Cache.create () in
+  let vcache = Valence_query.create_cache ~spill:true () in
+  ignore (Layered_serve.Spill.load ~dir:serve_spill_dir ~rcache ~vcache : int);
+  ignore (Valence_query.run ~cache:vcache ~model:"sync" ~n:3 ~t:1 ~depth:3 ())
+
+let force_fixtures () =
+  ignore (Lazy.force simgraph_states);
+  Lazy.force serve_spill_fixture
 
 (* ------------------------------------------------------------------ *)
 (* Chaos-layer overhead: the fault sites threaded through the hot paths
@@ -609,6 +640,7 @@ let kernels =
     { name = "checkpoint/restore"; n = 4; t = 1; depth = 2; fn = checkpoint_restore };
     { name = "serve/cold-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_cold };
     { name = "serve/warm-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_warm };
+    { name = "serve/warm-after-restart"; n = 3; t = 1; depth = 3; fn = serve_warm_after_restart };
     { name = "chaos/point-disabled"; n = 0; t = 0; depth = 0; fn = chaos_point_disabled };
     { name = "chaos/mangle-disabled"; n = 0; t = 0; depth = 0; fn = chaos_mangle_disabled };
   ]

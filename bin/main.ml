@@ -464,7 +464,7 @@ let chaos_cmd =
   let trials =
     Arg.(
       value
-      & opt (bounded_int ~min:1 ~what:"trials") 33
+      & opt (bounded_int ~min:1 ~what:"trials") 42
       & info [ "trials" ] ~docv:"N"
           ~doc:
             "Number of trials, assigned round-robin over the (site, oracle) pairing \
@@ -565,22 +565,98 @@ let serve_cmd =
             "Per-request deadline for sweep and run-experiment queries (exit 3 in \
              the response when it trips); 0 disables it.")
   in
-  let f socket jobs stats queue_cap max_heap request_timeout =
-    Layered_serve.Server.run
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Slow-loris deadline: drop a connection holding a partial request \
+             line longer than SECS (structured timeout error first); 0 disables \
+             it.")
+  in
+  let spill_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Warm-cache durability: reload the shared caches from DIR at \
+             startup and spill them back through the checkpoint format, \
+             periodically and on drain.")
+  in
+  let spill_every =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"spill-every") 32
+      & info [ "spill-every" ] ~docv:"N"
+          ~doc:
+            "With --spill-dir, spill the caches after every N responses \
+             (0 = on drain only).")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Fork the daemon under a supervisor: abnormal exits respawn it \
+             (same socket, warm caches via --spill-dir) after a jittered \
+             exponential backoff; a crash loop trips a circuit breaker. \
+             SIGTERM/SIGINT to the supervisor drain the daemon cleanly.")
+  in
+  let max_restarts =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"max-restarts") 5
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Circuit breaker for --supervise: give up after more than N \
+             crashes inside a 30 s sliding window.")
+  in
+  let pid_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pid-file" ] ~docv:"PATH"
+          ~doc:
+            "With --supervise, rewrite PATH with the daemon pid after every \
+             (re)spawn.")
+  in
+  let f socket jobs stats queue_cap max_heap request_timeout idle_timeout
+      spill_dir spill_every supervise max_restarts pid_file =
+    let cfg =
       {
         Layered_serve.Server.socket_path = socket;
         jobs;
         queue_cap;
         max_heap_mb = max_heap;
         request_timeout_s = request_timeout;
+        idle_timeout_s = idle_timeout;
+        spill_dir;
+        spill_every;
         stats;
         install_signals = true;
       }
+    in
+    if not supervise then Layered_serve.Server.run cfg
+    else
+      let outcome =
+        Layered_serve.Supervisor.run_forked
+          ~config:
+            {
+              Layered_serve.Supervisor.default with
+              max_restarts;
+              pid_file;
+            }
+          (fun () -> Layered_serve.Server.run cfg)
+      in
+      outcome.Layered_serve.Supervisor.exit_code
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const f $ socket_arg $ jobs_arg $ stats_arg $ queue_cap $ max_heap
-      $ request_timeout)
+      $ request_timeout $ idle_timeout $ spill_dir $ spill_every $ supervise
+      $ max_restarts $ pid_file)
 
 let serve_client_cmd =
   let doc =
@@ -600,15 +676,25 @@ let serve_client_cmd =
     Arg.(
       value
       & opt (positive_float ~what:"timeout") 30.
-      & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-response read deadline.")
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Per-request deadline, reconnects and replays included.")
   in
-  let f socket output_only timeout_s =
-    match Layered_serve.Client.connect socket with
+  let retry_overloaded =
+    Arg.(
+      value & flag
+      & info [ "retry-overloaded" ]
+          ~doc:
+            "When the daemon sheds a request, sleep its retry-after hint and \
+             re-send instead of failing.")
+  in
+  let f socket output_only timeout_s retry_overloaded =
+    let module Client = Layered_serve.Client in
+    let retry = { Client.default_retry with retry_overloaded } in
+    match Client.connect ~retry socket with
     | Error e ->
         Format.eprintf "layered serve-client: %s@." e;
         1
     | Ok c ->
-        let module Client = Layered_serve.Client in
         let module Protocol = Layered_serve.Protocol in
         let bail msg =
           Format.eprintf "layered serve-client: %s@." msg;
@@ -618,38 +704,36 @@ let serve_client_cmd =
           match input_line stdin with
           | exception End_of_file -> 0
           | line -> (
-              match Client.send c line with
-              | Error e -> bail e
-              | Ok () -> (
-                  match Client.read_lines c ~n:1 ~timeout_s with
-                  | Error e -> bail e
-                  | Ok lines -> (
-                      let resp = List.hd lines in
-                      if not output_only then begin
-                        print_endline resp;
+              (* resilient exchange: a daemon crash mid-response reconnects
+                 and replays this line under what is left of the deadline *)
+              match Client.request_raw c line ~timeout_s with
+              | Error e -> bail (Client.error_message e)
+              | Ok resp -> (
+                  if not output_only then begin
+                    print_endline resp;
+                    loop ()
+                  end
+                  else
+                    match Protocol.decode_response resp with
+                    | Ok (Protocol.Resp_ok { output; _ }) ->
+                        print_string output;
                         loop ()
-                      end
-                      else
-                        match Protocol.decode_response resp with
-                        | Ok (Protocol.Resp_ok { output; _ }) ->
-                            print_string output;
-                            loop ()
-                        | Ok (Protocol.Resp_error { code; message; _ }) ->
-                            bail
-                              (Printf.sprintf "error response [%s]: %s"
-                                 (Protocol.error_code_name code) message)
-                        | Ok (Protocol.Resp_overloaded { reason; _ }) ->
-                            bail
-                              (Printf.sprintf "overloaded (%s)"
-                                 (match reason with
-                                 | `Queue -> "queue-depth"
-                                 | `Memory -> "memory"))
-                        | Error e -> bail ("bad response line: " ^ e))))
+                    | Ok (Protocol.Resp_error { code; message; _ }) ->
+                        bail
+                          (Printf.sprintf "error response [%s]: %s"
+                             (Protocol.error_code_name code) message)
+                    | Ok (Protocol.Resp_overloaded { reason; _ }) ->
+                        bail
+                          (Printf.sprintf "overloaded (%s)"
+                             (match reason with
+                             | `Queue -> "queue-depth"
+                             | `Memory -> "memory"))
+                    | Error e -> bail ("bad response line: " ^ e)))
         in
         Fun.protect ~finally:(fun () -> Client.close c) loop
   in
   Cmd.v (Cmd.info "serve-client" ~doc)
-    Term.(const f $ socket_arg $ output_only $ timeout)
+    Term.(const f $ socket_arg $ output_only $ timeout $ retry_overloaded)
 
 let () =
   (* The serve oracles live in layered_serve (which depends on the

@@ -38,6 +38,12 @@ let pairings =
       [ "serve/oneshot-eq"; "serve/interleave-eq"; "serve/jobs-eq" ] );
     ( Fault.Serve_corrupt_response,
       [ "serve/oneshot-eq"; "serve/interleave-eq"; "serve/jobs-eq" ] );
+    ( Fault.Serve_torn_frame,
+      [ "serve/crash-recover-eq"; "serve/warm-restart"; "serve/replay-idempotent" ] );
+    ( Fault.Serve_stalled_client,
+      [ "serve/crash-recover-eq"; "serve/warm-restart"; "serve/replay-idempotent" ] );
+    ( Fault.Serve_crash_before_reply,
+      [ "serve/crash-recover-eq"; "serve/warm-restart"; "serve/replay-idempotent" ] );
   ]
 
 (* Any exception out of an oracle counts as the oracle failing — under

@@ -12,8 +12,15 @@ let models = Sweep.models
 
 (* A classifier owns one engine instantiation: its valence memo is the
    warm state worth keeping between calls.  Complete memo entries are
-   depth-monotone (see Valence), so one classifier serves every depth. *)
-type classifier = { classify : depth:int -> (string * Valence.verdict) list }
+   depth-monotone (see Valence), so one classifier serves every depth.
+   The export/import pair round-trips the engine's spillbook (empty
+   unless the classifier was built spillable) so a daemon restart can
+   rehydrate the memo from disk. *)
+type classifier = {
+  classify : depth:int -> (string * Valence.verdict) list;
+  export_memo : unit -> (string * (int * Valence.outcome)) list;
+  import_memo : (string * (int * Valence.outcome)) list -> unit;
+}
 
 let classifier (type a) (valence : a Valence.t) ~(key : a -> string)
     (initials : a list) =
@@ -21,67 +28,110 @@ let classifier (type a) (valence : a Valence.t) ~(key : a -> string)
     classify =
       (fun ~depth ->
         List.map (fun x -> (key x, Valence.classify valence ~depth x)) initials);
+    export_memo = (fun () -> Valence.export valence);
+    import_memo = (fun entries -> Valence.import valence entries);
   }
 
-let make_classifier ~model ~n ~t =
+let make_classifier ?(spill = false) ~model ~n ~t () =
   let values = [ Value.zero; Value.one ] in
   match model with
   | "mobile" ->
       let module P = (val Layered_protocols.Sync_floodset.make ~t) in
       let module E = Layered_sync.Engine.Make (P) in
       let valence =
-        Valence.create ~ident:E.ident
+        Valence.create ~ident:E.ident ~spill
           (E.valence_spec ~succ:(E.s1 ~record_failures:false))
       in
       classifier valence ~key:E.key (E.initial_states ~n ~values)
   | "sync" ->
       let module P = (val Layered_protocols.Sync_floodset.make ~t) in
       let module E = Layered_sync.Engine.Make (P) in
-      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:(E.st ~t)) in
+      let valence =
+        Valence.create ~ident:E.ident ~spill (E.valence_spec ~succ:(E.st ~t))
+      in
       classifier valence ~key:E.key (E.initial_states ~n ~values)
   | "sm" ->
       let module P = (val Layered_protocols.Sm_voting.make ~horizon:(t + 1)) in
       let module E = Layered_async_sm.Engine.Make (P) in
-      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.srw) in
+      let valence =
+        Valence.create ~ident:E.ident ~spill (E.valence_spec ~succ:E.srw)
+      in
       classifier valence ~key:E.key (E.initial_states ~n ~values)
   | "mp" ->
       let module P = (val Layered_protocols.Mp_floodset.make ~horizon:(t + 1)) in
       let module E = Layered_async_mp.Engine.Make (P) in
-      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.sper) in
+      let valence =
+        Valence.create ~ident:E.ident ~spill (E.valence_spec ~succ:E.sper)
+      in
       classifier valence ~key:E.key (E.initial_states ~n ~values)
   | "smp" ->
       let module P = (val Layered_protocols.Sync_floodset.make ~t) in
       let module E = Layered_async_mp.Synchronic.Make (P) in
-      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.smp) in
+      let valence =
+        Valence.create ~ident:E.ident ~spill (E.valence_spec ~succ:E.smp)
+      in
       classifier valence ~key:E.key (E.initial_states ~n ~values)
   | "iis" ->
       let module P = (val Layered_protocols.Iis_voting.make ~horizon:(t + 1)) in
       let module E = Layered_iis.Engine.Make (P) in
-      let valence = Valence.create ~ident:E.ident (E.valence_spec ~succ:E.layer) in
+      let valence =
+        Valence.create ~ident:E.ident ~spill (E.valence_spec ~succ:E.layer)
+      in
       classifier valence ~key:E.key (E.initial_states ~n ~values)
   | other -> invalid_arg (Printf.sprintf "Valence_query: unknown model %S" other)
 
-type cache = (string * int * int, classifier) Hashtbl.t
+type cache = {
+  tbl : (string * int * int, classifier) Hashtbl.t;
+  spill : bool;  (** build spillable classifiers, so the cache exports *)
+}
 
-let create_cache () : cache = Hashtbl.create 16
-let cache_entries (c : cache) = Hashtbl.length c
+let create_cache ?(spill = false) () : cache =
+  { tbl = Hashtbl.create 16; spill }
+
+let cache_entries (c : cache) = Hashtbl.length c.tbl
+
+let find_classifier cache ~model ~n ~t =
+  let k = (model, n, t) in
+  match Hashtbl.find_opt cache.tbl k with
+  | Some cl -> cl
+  | None ->
+      let cl = make_classifier ~spill:cache.spill ~model ~n ~t () in
+      Hashtbl.add cache.tbl k cl;
+      cl
 
 let run ?cache ~model ~n ~t ~depth () =
   if depth < 0 then
     invalid_arg (Printf.sprintf "Valence_query: negative depth %d" depth);
   let cl =
     match cache with
-    | None -> make_classifier ~model ~n ~t
-    | Some tbl -> (
-        let k = (model, n, t) in
-        match Hashtbl.find_opt tbl k with
-        | Some cl -> cl
-        | None ->
-            let cl = make_classifier ~model ~n ~t in
-            Hashtbl.add tbl k cl;
-            cl)
+    | None -> make_classifier ~model ~n ~t ()
+    | Some cache -> find_classifier cache ~model ~n ~t
   in
   { model; n; t; depth; verdicts = cl.classify ~depth }
+
+(* ------------------------------------------------------------------ *)
+(* Spill                                                              *)
+
+type spill = ((string * int * int) * (string * (int * Valence.outcome)) list) list
+
+let export_spill (c : cache) : spill =
+  Hashtbl.fold (fun k cl acc -> (k, cl.export_memo ()) :: acc) c.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.filter (fun (_, entries) -> entries <> [])
+
+let import_spill (c : cache) (s : spill) =
+  List.iter
+    (fun ((model, n, t), entries) ->
+      match find_classifier c ~model ~n ~t with
+      | cl -> cl.import_memo entries
+      | exception Invalid_argument _ ->
+          (* a spill written by a build that knew more models than this
+             one: skip the stranger, keep the rest *)
+          ())
+    s
+
+let spill_entries (s : spill) =
+  List.fold_left (fun acc (_, entries) -> acc + List.length entries) 0 s
 
 let tally t =
   List.fold_left

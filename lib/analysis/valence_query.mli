@@ -30,7 +30,12 @@ val models : string list
     sequential, so its shared cache needs no lock). *)
 type cache
 
-val create_cache : unit -> cache
+(** [create_cache ?spill ()] — with [spill], classifiers shadow their
+    valence memo under stable canonical keys so the whole cache can be
+    {!export_spill}ed across a process restart (the serve daemon's
+    warm-cache durability).  Costs one key render per computed state;
+    warm probes are unaffected. *)
+val create_cache : ?spill:bool -> unit -> cache
 
 (** Number of distinct (model, n, t) classifiers the cache holds. *)
 val cache_entries : cache -> int
@@ -40,6 +45,26 @@ val cache_entries : cache -> int
     the decision horizon elsewhere (as in {!Sweep.run}).  Raises
     [Invalid_argument] on an unknown model name or a negative depth. *)
 val run : ?cache:cache -> model:string -> n:int -> t:int -> depth:int -> unit -> t
+
+(** {1 Spill}
+
+    A [Marshal]-safe image of every classifier's valence memo, keyed by
+    (model, n, t) and sorted, so spilled bytes are identical across
+    jobs counts.  [export_spill] is empty for a cache created without
+    [~spill:true]; [import_spill] lazily rehydrates — entries are
+    promoted into the live memo on first probe, so importing is cheap
+    and verdicts stay identical to a cold computation. *)
+
+type spill =
+  ((string * int * int)
+  * (string * (int * Layered_core.Valence.outcome)) list)
+  list
+
+val export_spill : cache -> spill
+val import_spill : cache -> spill -> unit
+
+(** Total memo entries across the spill, for logs and counters. *)
+val spill_entries : spill -> int
 
 (** Counts of (bivalent, univalent, unknown) verdicts. *)
 val tally : t -> int * int * int

@@ -34,25 +34,67 @@ type 'a t = {
   spec : 'a spec;
   budget : Layered_runtime.Budget.t option;
   cache : 'a cache;
+  (* The spillbook: a canonical-key shadow of the memo, maintained only
+     when the engine was created with [~spill:true].  Intern ids are
+     process-local, so a [By_ident] memo cannot survive a restart; the
+     spillbook records every computed entry under the stable [spec.key]
+     encoding instead, making the memo exportable.  It is written on the
+     cold path only (one [spec.key] per computed state) and probed only
+     on a primary-cache miss, so the warm intern-id fast path is
+     untouched. *)
+  spillbook : (string, int * outcome) Hashtbl.t option;
 }
 
-let create ?budget ?ident spec =
+let create ?budget ?ident ?(spill = false) spec =
   let cache =
     match ident with
     | None -> By_key (Hashtbl.create 4096)
     | Some ident -> By_ident (ident, Hashtbl.create 4096)
   in
-  { spec; budget; cache }
+  let spillbook = if spill then Some (Hashtbl.create 4096) else None in
+  { spec; budget; cache; spillbook }
 
 let cache_find t x =
-  match t.cache with
-  | By_key h -> Hashtbl.find_opt h (t.spec.key x)
-  | By_ident (ident, h) -> Hashtbl.find_opt h (ident x)
+  let primary =
+    match t.cache with
+    | By_key h -> Hashtbl.find_opt h (t.spec.key x)
+    | By_ident (ident, h) -> Hashtbl.find_opt h (ident x)
+  in
+  match (primary, t.spillbook) with
+  | Some _, _ | None, None -> primary
+  | None, Some book -> (
+      (* imported-from-disk entries live only in the spillbook until
+         their first probe promotes them under the fresh intern id *)
+      match Hashtbl.find_opt book (t.spec.key x) with
+      | Some entry as found ->
+          (match t.cache with
+          | By_key h -> Hashtbl.replace h (t.spec.key x) entry
+          | By_ident (ident, h) -> Hashtbl.replace h (ident x) entry);
+          found
+      | None -> None)
 
 let cache_store t x entry =
-  match t.cache with
+  (match t.cache with
   | By_key h -> Hashtbl.replace h (t.spec.key x) entry
-  | By_ident (ident, h) -> Hashtbl.replace h (ident x) entry
+  | By_ident (ident, h) -> Hashtbl.replace h (ident x) entry);
+  match t.spillbook with
+  | Some book -> Hashtbl.replace book (t.spec.key x) entry
+  | None -> ()
+
+(* Sorted, so spilled bytes do not depend on hash-bucket order and a
+   spill written at --jobs 4 equals one written at --jobs 1. *)
+let export t =
+  match t.spillbook with
+  | None -> []
+  | Some book ->
+      Hashtbl.fold (fun k e acc -> (k, e) :: acc) book []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let import t entries =
+  match t.spillbook with
+  | None -> ()
+  | Some book ->
+      List.iter (fun (k, e) -> Hashtbl.replace book k e) entries
 
 let rec compute t ~depth x =
   let spec = t.spec in

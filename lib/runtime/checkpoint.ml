@@ -178,3 +178,14 @@ let load_latest ~dir ~name =
         | None -> newest_intact (rejected + 1) older)
   in
   newest_intact 0 (List.rev (generations ~dir ~name))
+
+let prune ~dir ~name ~keep =
+  let keep = max 1 keep in
+  let gens = List.rev (generations ~dir ~name) in
+  let stale = List.filteri (fun i _ -> i >= keep) gens in
+  List.fold_left
+    (fun deleted g ->
+      match Sys.remove (path ~dir ~name g) with
+      | () -> deleted + 1
+      | exception Sys_error _ -> deleted)
+    0 stale

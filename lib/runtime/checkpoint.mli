@@ -78,3 +78,11 @@ val generations : dir:string -> name:string -> int list
 (** Every generation on disk paired with whether it validates — the
     recovery oracles' view of the checkpoint directory. *)
 val scan : dir:string -> name:string -> (int * bool) list
+
+(** [prune ~dir ~name ~keep] deletes every generation of [name] except
+    the newest [keep] (clamped to at least 1, so rollback always has a
+    predecessor to land on).  Returns the number of files removed.  A
+    long-lived writer — the serve daemon spilling its caches every few
+    responses — calls this after each save to keep the directory
+    bounded. *)
+val prune : dir:string -> name:string -> keep:int -> int

@@ -10,6 +10,9 @@ type site =
   | Corrupt_checkpoint_crc
   | Serve_handler_raise
   | Serve_corrupt_response
+  | Serve_torn_frame
+  | Serve_stalled_client
+  | Serve_crash_before_reply
 
 exception Injected of site
 
@@ -18,6 +21,7 @@ let all =
     Drop_successor; Duplicate_state; Corrupt_dedup_shard; Worker_raise;
     Worker_stall; Spurious_cancel; Flip_valence_bit; Torn_checkpoint_write;
     Corrupt_checkpoint_crc; Serve_handler_raise; Serve_corrupt_response;
+    Serve_torn_frame; Serve_stalled_client; Serve_crash_before_reply;
   ]
 
 let site_name = function
@@ -32,6 +36,9 @@ let site_name = function
   | Corrupt_checkpoint_crc -> "corrupt_checkpoint_crc"
   | Serve_handler_raise -> "serve_handler_raise"
   | Serve_corrupt_response -> "serve_corrupt_response"
+  | Serve_torn_frame -> "serve_torn_frame"
+  | Serve_stalled_client -> "serve_stalled_client"
+  | Serve_crash_before_reply -> "serve_crash_before_reply"
 
 let site_of_name s = List.find_opt (fun site -> site_name site = s) all
 let pp_site ppf s = Format.pp_print_string ppf (site_name s)

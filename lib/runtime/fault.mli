@@ -51,6 +51,19 @@ type site =
   | Serve_corrupt_response
       (** one serve response line has a byte flipped just before the
           socket write, as by a transport-layer corruption *)
+  | Serve_torn_frame
+      (** a serve response line is torn mid-write: the daemon emits the
+          first half of the frame and drops the connection, as by a
+          crash between two [write(2)]s — the client sees a partial
+          line followed by EOF and must reconnect and replay *)
+  | Serve_stalled_client
+      (** the daemon's read path stalls {!stall_seconds} before
+          consuming a client's bytes, as by a scheduling hiccup or a
+          slow-loris peer wedging the accept loop *)
+  | Serve_crash_before_reply
+      (** the daemon dies after dispatching a request — caches filled,
+          spill written — but before the response write, the canonical
+          torn-window crash the supervisor and client replay must mask *)
 
 (** Raised into the runtime by the [Worker_raise] site. *)
 exception Injected of site

@@ -10,15 +10,30 @@ let default = { queue_cap = 64; max_heap_mb = 1024; request_timeout_s = 10. }
 
 type decision =
   | Admit of Budget.t
-  | Shed of [ `Queue | `Memory ]
+  | Shed of { reason : [ `Queue | `Memory ]; retry_after_s : float }
 
 let heap_mb () =
   let words = (Gc.quick_stat ()).Gc.heap_words in
   words * (Sys.word_size / 8) / (1024 * 1024)
 
+(* The backoff hint shipped with a shed: proportional to how far over
+   the queue cap the drain is (the deeper the backlog, the longer the
+   wait), a flat half-second for memory pressure — the heap only
+   relaxes on a major collection, not per-request. *)
+let queue_retry_after ~pending ~queue_cap =
+  Float.min 1.0 (0.05 +. (0.01 *. float_of_int (max 0 (pending - queue_cap))))
+
+let memory_retry_after = 0.5
+
 let decide cfg ~pending =
-  if pending > cfg.queue_cap then Shed `Queue
-  else if heap_mb () > cfg.max_heap_mb then Shed `Memory
+  if pending > cfg.queue_cap then
+    Shed
+      {
+        reason = `Queue;
+        retry_after_s = queue_retry_after ~pending ~queue_cap:cfg.queue_cap;
+      }
+  else if heap_mb () > cfg.max_heap_mb then
+    Shed { reason = `Memory; retry_after_s = memory_retry_after }
   else
     let timeout_s =
       if cfg.request_timeout_s > 0. then Some cfg.request_timeout_s else None

@@ -26,7 +26,11 @@ val default : config
 
 type decision =
   | Admit of Layered_runtime.Budget.t
-  | Shed of [ `Queue | `Memory ]
+  | Shed of { reason : [ `Queue | `Memory ]; retry_after_s : float }
+      (** [retry_after_s] is the backoff the overloaded response
+          suggests: queue sheds scale with backlog depth (50 ms plus
+          10 ms per excess request, capped at 1 s), memory sheds are a
+          flat 0.5 s *)
 
 (** [decide cfg ~pending] — [pending] is how many requests are queued
     behind this one in the current drain. *)

@@ -17,3 +17,12 @@ let add t key entry =
   end
 
 let entries t = Hashtbl.length t.tbl
+
+(* Sorted, so spilled bytes do not depend on hash-bucket order. *)
+let export t =
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* [add], not a raw [Hashtbl.add]: imports respect [max_entries] and
+   stay silent in the stats counters — a reload is not a probe. *)
+let import t entries = List.iter (fun (k, e) -> add t k e) entries

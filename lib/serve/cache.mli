@@ -26,3 +26,11 @@ val find : t -> string -> entry option
 
 val add : t -> string -> entry -> unit
 val entries : t -> int
+
+(** The cache contents sorted by key — [Marshal]-safe and byte-stable,
+    for the serve daemon's crash spill. *)
+val export : t -> (string * entry) list
+
+(** [import t entries] seeds the cache without touching the hit/miss
+    counters; [max_entries] still applies. *)
+val import : t -> (string * entry) list -> unit

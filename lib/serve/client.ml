@@ -1,78 +1,291 @@
-type t = { fd : Unix.file_descr; session : Session.t; mutable queued : string list }
+type retry = {
+  connect_deadline_s : float;
+  backoff_initial_s : float;
+  backoff_max_s : float;
+  jitter_seed : int;
+  max_replays : int;
+  retry_overloaded : bool;
+}
 
-let connect ?(retries = 50) ?(retry_delay_s = 0.1) path =
-  let rec go attempt =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    (* responses come from our own trusted server and carry whole report
-       outputs, so they are not bound by the request-line cap *)
-    | () -> Ok { fd; session = Session.create ~max_line_bytes:max_int (); queued = [] }
-    | exception Unix.Unix_error (e, _, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        if attempt + 1 < retries then begin
-          Unix.sleepf retry_delay_s;
-          go (attempt + 1)
-        end
-        else
-          Error
-            (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
-  in
-  go 0
+let default_retry =
+  {
+    connect_deadline_s = 5.;
+    backoff_initial_s = 0.02;
+    backoff_max_s = 0.5;
+    jitter_seed = 0;
+    max_replays = 4;
+    retry_overloaded = false;
+  }
 
-let send t line =
-  let data = line ^ "\n" in
-  let len = String.length data in
-  let rec go off =
-    if off < len then go (off + Unix.write_substring t.fd data off (len - off))
+type error =
+  | Connect_timeout of {
+      path : string;
+      attempts : int;
+      elapsed_s : float;
+      last : string;
+    }
+  | Io of string
+
+let error_message = function
+  | Connect_timeout { path; attempts; elapsed_s; last } ->
+      Printf.sprintf
+        "cannot connect to %s: %s (gave up after %d attempt(s) over %.1f s)"
+        path last attempts elapsed_s
+  | Io msg -> msg
+
+type t = {
+  path : string;
+  retry : retry;
+  mutable fd : Unix.file_descr option;
+  mutable session : Session.t;
+  mutable queued : string list;
+  mutable reconnects : int;
+  mutable replays : int;
+}
+
+let reconnects t = t.reconnects
+let replays t = t.replays
+
+(* Same shape as the supervisor's jitter: deterministic, cheap, spread
+   enough to desynchronise a herd of retrying clients. *)
+let jitter ~seed ~attempt =
+  let z = (seed * 0x9e3779b9) + attempt + 1 in
+  let z = z lxor (z lsr 13) in
+  let z = (z * 0x2545f491) land 0x3fffffff in
+  float_of_int (z land 0xff) /. 255.
+
+let backoff_s retry ~attempt =
+  let nominal =
+    Float.min retry.backoff_max_s
+      (retry.backoff_initial_s *. (2. ** float_of_int attempt))
   in
-  match go 0 with
-  | () -> Ok ()
-  | exception Unix.Unix_error (e, _, _) ->
-      Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+  nominal *. (0.5 +. (0.5 *. jitter ~seed:retry.jitter_seed ~attempt))
+
+(* One socket+connect attempt loop under a total deadline.  Retries
+   cover both the startup race against a daemon still binding its
+   socket and the respawn window of a supervised daemon mid-restart
+   (ENOENT while the new incarnation has not re-bound yet). *)
+let connect_fd ~retry ~deadline_s path =
+  let t0 = Unix.gettimeofday () in
+  let rec go attempt last =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if attempt > 0 && elapsed >= deadline_s then
+      Error (Connect_timeout { path; attempts = attempt; elapsed_s = elapsed; last })
+    else
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          let remaining = deadline_s -. (Unix.gettimeofday () -. t0) in
+          if remaining <= 0. then
+            Error
+              (Connect_timeout
+                 {
+                   path;
+                   attempts = attempt + 1;
+                   elapsed_s = Unix.gettimeofday () -. t0;
+                   last = Unix.error_message e;
+                 })
+          else begin
+            Unix.sleepf (Float.min remaining (backoff_s retry ~attempt));
+            go (attempt + 1) (Unix.error_message e)
+          end
+  in
+  go 0 "never tried"
+
+let connect_err ?(retry = default_retry) path =
+  match connect_fd ~retry ~deadline_s:retry.connect_deadline_s path with
+  | Ok fd ->
+      Ok
+        {
+          path;
+          retry;
+          fd = Some fd;
+          (* responses come from our own trusted server and carry whole
+             report outputs, so they are not bound by the request-line
+             cap *)
+          session = Session.create ~max_line_bytes:max_int ();
+          queued = [];
+          reconnects = 0;
+          replays = 0;
+        }
+  | Error e -> Error e
+
+let connect ?retry path =
+  Result.map_error error_message (connect_err ?retry path)
+
+let close t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None
+
+(* Dropping the connection also drops the parse state: a torn frame's
+   residue must not prefix the replayed response. *)
+let disconnect t =
+  close t;
+  t.session <- Session.create ~max_line_bytes:max_int ();
+  t.queued <- []
+
+let reconnect t ~deadline_s =
+  disconnect t;
+  match connect_fd ~retry:t.retry ~deadline_s t.path with
+  | Ok fd ->
+      t.fd <- Some fd;
+      t.reconnects <- t.reconnects + 1;
+      Ok ()
+  | Error e -> Error e
+
+let live_fd t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> Error (Io "connection closed (call reconnect or request)")
+
+(* Connection-level failures are retryable (the daemon died or the
+   frame tore; a replay may succeed against its successor); everything
+   else is final for the request. *)
+type io_failure = Retryable of string | Fatal of string
+
+let send_raw t line =
+  match live_fd t with
+  | Error e -> Error (Fatal (error_message e))
+  | Ok fd -> (
+      let data = line ^ "\n" in
+      let len = String.length data in
+      let rec go off =
+        if off < len then
+          match Unix.write_substring fd data off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ignore (Unix.select [] [ fd ] [] 1.0);
+              go off
+      in
+      match go 0 with
+      | () -> Ok ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET) as e, _, _) ->
+          Error (Retryable ("write failed: " ^ Unix.error_message e))
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Fatal ("write failed: " ^ Unix.error_message e)))
+
+let send t line = Result.map_error (function Retryable m | Fatal m -> m) (send_raw t line)
+
+let read_one t ~deadline =
+  match live_fd t with
+  | Error e -> Error (Fatal (error_message e))
+  | Ok fd -> (
+      let buf = Bytes.create 4096 in
+      let rec go () =
+        match t.queued with
+        | line :: rest ->
+            t.queued <- rest;
+            Ok line
+        | [] -> (
+            let remaining = deadline -. Unix.gettimeofday () in
+            if remaining <= 0. then
+              Error (Fatal "timed out waiting for a response line")
+            else
+              match Unix.select [ fd ] [] [] remaining with
+              | [], _, _ -> Error (Fatal "timed out waiting for a response line")
+              | _ -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 ->
+                      (* mid-read EOF: the daemon died with our response
+                         in flight (possibly half-written) *)
+                      Error (Retryable "connection closed by server")
+                  | got ->
+                      let lines, overflow =
+                        Session.feed t.session (Bytes.sub_string buf 0 got)
+                      in
+                      if overflow then Error (Fatal "oversized response line")
+                      else begin
+                        t.queued <- t.queued @ lines;
+                        go ()
+                      end
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+                  | exception
+                      Unix.Unix_error
+                        ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _) ->
+                      Error (Retryable ("read failed: " ^ Unix.error_message e))
+                  | exception Unix.Unix_error (e, _, _) ->
+                      Error (Fatal ("read failed: " ^ Unix.error_message e))))
+      in
+      go ())
 
 let read_lines t ~n ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
-  let buf = Bytes.create 4096 in
   let rec go acc need =
     if need = 0 then Ok (List.rev acc)
     else
-      let remaining = deadline -. Unix.gettimeofday () in
-      if remaining <= 0. then
-        Error (Printf.sprintf "timed out waiting for %d more line(s)" need)
-      else
-        match Unix.select [ t.fd ] [] [] remaining with
-        | [], _, _ -> Error (Printf.sprintf "timed out waiting for %d more line(s)" need)
-        | _ -> (
-            match Unix.read t.fd buf 0 (Bytes.length buf) with
-            | 0 -> Error "connection closed by server"
-            | got ->
-                let lines, overflow =
-                  Session.feed t.session (Bytes.sub_string buf 0 got)
-                in
-                if overflow then Error "oversized response line"
-                else begin
-                  t.queued <- t.queued @ lines;
-                  drain acc need
-                end
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go acc need
-            | exception Unix.Unix_error (e, _, _) ->
-                Error (Printf.sprintf "read failed: %s" (Unix.error_message e)))
-  and drain acc need =
-    match t.queued with
-    | line :: rest when need > 0 ->
-        t.queued <- rest;
-        drain (line :: acc) (need - 1)
-    | _ -> go acc need
+      match read_one t ~deadline with
+      | Ok line -> go (line :: acc) (need - 1)
+      | Error (Retryable m | Fatal m) -> Error m
   in
-  drain [] n
+  go [] n
+
+(* One request line, one response line, resiliently: a retryable
+   failure anywhere in the exchange reconnects (jittered backoff under
+   what is left of the deadline) and replays the {e same} encoded line.
+   Replays are idempotent by construction — the request id rides along
+   unchanged, and deterministic dispatch plus the result cache answer a
+   replay with the same bytes the lost response carried. *)
+let request_raw t line ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let give_up msg = Error (Io msg) in
+  let rec attempt ~replays_left =
+    let exchange () =
+      match send_raw t line with
+      | Error f -> Error f
+      | Ok () -> read_one t ~deadline
+    in
+    let retry msg =
+      if replays_left = 0 then
+        give_up (Printf.sprintf "%s (replay budget exhausted)" msg)
+      else begin
+        t.replays <- t.replays + 1;
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then
+          give_up (Printf.sprintf "%s (deadline passed before replay)" msg)
+        else
+          match reconnect t ~deadline_s:remaining with
+          | Ok () -> attempt ~replays_left:(replays_left - 1)
+          | Error e -> Error e
+      end
+    in
+    match exchange () with
+    | Ok response -> (
+        match
+          (t.retry.retry_overloaded, Protocol.decode_response response)
+        with
+        | true, Ok (Protocol.Resp_overloaded { retry_after_s; _ }) ->
+            let remaining = deadline -. Unix.gettimeofday () in
+            let wait = Option.value retry_after_s ~default:0.1 in
+            if wait >= remaining then Ok response
+            else begin
+              (* shed, not failed: honour the server's backoff hint and
+                 re-send on the same connection (not a replay) *)
+              Unix.sleepf wait;
+              attempt ~replays_left
+            end
+        | _ -> Ok response)
+    | Error (Retryable msg) -> retry msg
+    | Error (Fatal msg) -> give_up msg
+  in
+  (match t.fd with
+  | Some _ -> attempt ~replays_left:t.retry.max_replays
+  | None -> (
+      (* a previous exchange tore the connection down; come back up first *)
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then give_up "deadline passed"
+      else
+        match reconnect t ~deadline_s:remaining with
+        | Ok () -> attempt ~replays_left:t.retry.max_replays
+        | Error e -> Error e))
+
+let request_err t ?id req ~timeout_s =
+  request_raw t (Protocol.encode_request ?id req) ~timeout_s
 
 let request t ?id req ~timeout_s =
-  match send t (Protocol.encode_request ?id req) with
-  | Error _ as e -> e
-  | Ok () -> (
-      match read_lines t ~n:1 ~timeout_s with
-      | Ok [ line ] -> Ok line
-      | Ok _ -> Error "protocol error: wrong line count"
-      | Error _ as e -> e)
-
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+  Result.map_error error_message (request_err t ?id req ~timeout_s)

@@ -1,29 +1,93 @@
-(** A small blocking client for the serve protocol — the other half of
-    the wire used by [layered serve-client], the serve oracles and the
-    smoke tests.
+(** A resilient blocking client for the serve protocol — the other half
+    of the wire used by [layered serve-client], the serve oracles and
+    the smoke tests.
 
     Reads are select-guarded with a deadline so a dead or wedged daemon
-    turns into an explicit error instead of a hang. *)
+    turns into an explicit error instead of a hang.  On top of that,
+    {!request} survives a daemon crash mid-exchange: a connection-level
+    failure ([ECONNRESET], [EPIPE], mid-read EOF — a torn response
+    frame included) tears the connection down, reconnects under a
+    jittered exponential backoff bounded by what is left of the request
+    deadline, and {e replays the same encoded line}, request id
+    unchanged.  Replays are idempotent by construction: dispatch is
+    deterministic and the daemon's result cache answers a replayed id
+    with the same bytes the lost response carried, so a client cannot
+    tell a crashed-and-recovered daemon from one that never crashed. *)
+
+(** Retry policy, shared by connection establishment and replay. *)
+type retry = {
+  connect_deadline_s : float;
+      (** total budget for the initial {!connect}; reconnects inside
+          {!request} use the request's remaining deadline instead *)
+  backoff_initial_s : float;  (** first retry delay; doubles per attempt *)
+  backoff_max_s : float;  (** delay cap *)
+  jitter_seed : int;
+      (** deterministic jitter seed; each delay is scaled into
+          [50%, 100%] of nominal *)
+  max_replays : int;  (** replays per {!request} before giving up *)
+  retry_overloaded : bool;
+      (** when the daemon sheds with an [overloaded] response, sleep
+          its [retry-after] hint and re-send instead of returning the
+          shed to the caller (off by default: one-shot tools want to
+          see the shed) *)
+}
+
+val default_retry : retry
+
+type error =
+  | Connect_timeout of {
+      path : string;
+      attempts : int;
+      elapsed_s : float;
+      last : string;  (** the last [Unix_error]'s rendering *)
+    }  (** the connect deadline passed; every attempt failed *)
+  | Io of string  (** anything fatal after a connection existed *)
+
+val error_message : error -> string
 
 type t
 
-(** [connect ?retries ?retry_delay_s path] — retries cover the startup
-    race against a daemon still binding its socket (default 50 tries,
-    0.1 s apart). *)
-val connect :
-  ?retries:int -> ?retry_delay_s:float -> string -> (t, string) result
+(** [connect ?retry path] — jittered exponential backoff (covering the
+    startup race against a daemon still binding, and a supervised
+    daemon mid-respawn) under [retry.connect_deadline_s] total. *)
+val connect : ?retry:retry -> string -> (t, string) result
+
+(** [connect_err] is {!connect} with the typed error. *)
+val connect_err : ?retry:retry -> string -> (t, error) result
+
+(** Counters: how many times this client rebuilt its connection, and
+    how many request lines it replayed after a connection-level
+    failure.  The recovery oracles read these to prove a fault was
+    absorbed rather than absent. *)
+val reconnects : t -> int
+
+val replays : t -> int
 
 (** [send t line] writes one request line ([line] must not contain a
-    newline; the terminator is appended). *)
+    newline; the terminator is appended).  No replay: callers driving
+    [send] directly own their own recovery. *)
 val send : t -> string -> (unit, string) result
 
 (** [read_lines t ~n ~timeout_s] collects the next [n] response lines,
-    or errors out when the deadline passes first. *)
+    or errors out when the deadline passes first.  No replay. *)
 val read_lines : t -> n:int -> timeout_s:float -> (string list, string) result
 
 (** [request t ?id req ~timeout_s] sends one encoded request and reads
-    one raw response line. *)
+    one raw response line, transparently reconnecting and replaying on
+    connection-level failure.  [timeout_s] bounds the whole exchange,
+    replays included. *)
 val request :
   t -> ?id:int -> Protocol.request -> timeout_s:float -> (string, string) result
 
+(** [request_err] is {!request} with the typed error. *)
+val request_err :
+  t -> ?id:int -> Protocol.request -> timeout_s:float -> (string, error) result
+
+(** [request_raw t line ~timeout_s] is {!request} for an already-encoded
+    request line — what [layered serve-client] feeds through. *)
+val request_raw : t -> string -> timeout_s:float -> (string, error) result
+
 val close : t -> unit
+
+(** The deterministic backoff schedule, exposed for tests. *)
+val backoff_s : retry -> attempt:int -> float

@@ -13,10 +13,10 @@ type ctx = {
   stop : bool Atomic.t;
 }
 
-let create_ctx ~pool ~admission =
+let create_ctx ?(spill = false) ~pool ~admission () =
   {
     pool;
-    vcache = Valence_query.create_cache ();
+    vcache = Valence_query.create_cache ~spill ();
     rcache = Cache.create ();
     admission;
     stop = Atomic.make false;
@@ -122,7 +122,8 @@ let handle ctx ~pending line =
       Protocol.Resp_ok { id; exit_code = 0; output = "shutting down\n" }
   | Ok (id, req) -> (
       match Admission.decide ctx.admission ~pending with
-      | Admission.Shed reason -> Protocol.Resp_overloaded { id; reason }
+      | Admission.Shed { reason; retry_after_s } ->
+          Protocol.Resp_overloaded { id; reason; retry_after_s = Some retry_after_s }
       | Admission.Admit budget -> (
           let key = Protocol.cache_key req in
           let cached = Option.map (Cache.find ctx.rcache) key in

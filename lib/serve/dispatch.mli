@@ -24,8 +24,12 @@ type ctx = {
   stop : bool Atomic.t;  (** set by a [shutdown] request or a signal *)
 }
 
+(** [create_ctx ?spill ~pool ~admission ()] — with [spill], the valence
+    cache is built exportable (see {!Layered_analysis.Valence_query})
+    so {!Spill} can persist it across daemon restarts. *)
 val create_ctx :
-  pool:Layered_runtime.Pool.t -> admission:Admission.config -> ctx
+  ?spill:bool ->
+  pool:Layered_runtime.Pool.t -> admission:Admission.config -> unit -> ctx
 
 (** [handle ctx ~pending line] decodes, validates, admits and executes
     one request line.  [pending] is the number of requests queued behind

@@ -15,6 +15,7 @@ type error_code =
   | Unknown_experiment
   | Unknown_model
   | Internal
+  | Timeout
 
 let error_code_name = function
   | Parse -> "parse"
@@ -23,6 +24,7 @@ let error_code_name = function
   | Unknown_experiment -> "unknown-experiment"
   | Unknown_model -> "unknown-model"
   | Internal -> "internal"
+  | Timeout -> "timeout"
 
 let error_code_of_name = function
   | "parse" -> Some Parse
@@ -31,12 +33,17 @@ let error_code_of_name = function
   | "unknown-experiment" -> Some Unknown_experiment
   | "unknown-model" -> Some Unknown_model
   | "internal" -> Some Internal
+  | "timeout" -> Some Timeout
   | _ -> None
 
 type response =
   | Resp_ok of { id : int option; exit_code : int; output : string }
   | Resp_error of { id : int option; code : error_code; message : string }
-  | Resp_overloaded of { id : int option; reason : [ `Queue | `Memory ] }
+  | Resp_overloaded of {
+      id : int option;
+      reason : [ `Queue | `Memory ];
+      retry_after_s : float option;
+    }
 
 (* The CLI's parse-time lower bounds, plus upper caps: a daemon must not
    let one request size an exponential state space to fill the heap.
@@ -200,14 +207,18 @@ let encode_response = function
              ("code", Jsonx.String (error_code_name code));
              ("message", Jsonx.String message);
            ])
-  | Resp_overloaded { id; reason } ->
+  | Resp_overloaded { id; reason; retry_after_s } ->
       Jsonx.to_string
         (Jsonx.Obj
-           [
-             id_member id;
-             ("status", Jsonx.String "overloaded");
-             ("reason", Jsonx.String (reason_name reason));
-           ])
+           ([
+              id_member id;
+              ("status", Jsonx.String "overloaded");
+              ("reason", Jsonx.String (reason_name reason));
+            ]
+           @
+           match retry_after_s with
+           | Some s -> [ ("retry-after", Jsonx.Float s) ]
+           | None -> []))
 
 let decode_response line =
   match Jsonx.of_string line with
@@ -241,7 +252,14 @@ let decode_response line =
           match Option.bind (Jsonx.member "reason" obj) Jsonx.to_str with
           | Some r -> (
               match reason_of_name r with
-              | Some reason -> Ok (Resp_overloaded { id; reason })
+              | Some reason ->
+                  let retry_after_s =
+                    match Jsonx.member "retry-after" obj with
+                    | Some (Jsonx.Float s) when s >= 0. -> Some s
+                    | Some (Jsonx.Int s) when s >= 0 -> Some (float_of_int s)
+                    | _ -> None
+                  in
+                  Ok (Resp_overloaded { id; reason; retry_after_s })
               | None -> Error (Printf.sprintf "unknown overload reason %S" r))
           | None -> Error "overloaded response lacks \"reason\"")
       | Some other -> Error (Printf.sprintf "unknown status %S" other))

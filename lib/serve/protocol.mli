@@ -47,13 +47,24 @@ type error_code =
   | Unknown_experiment
   | Unknown_model
   | Internal  (** the handler failed; the daemon itself keeps serving *)
+  | Timeout
+      (** the server gave up waiting — a stalled connection holding half
+          a request line past the idle deadline, never a compute result
+          (deadline-tripped compute is a truncated [ok], exit 3) *)
 
 val error_code_name : error_code -> string
 
 type response =
   | Resp_ok of { id : int option; exit_code : int; output : string }
   | Resp_error of { id : int option; code : error_code; message : string }
-  | Resp_overloaded of { id : int option; reason : [ `Queue | `Memory ] }
+  | Resp_overloaded of {
+      id : int option;
+      reason : [ `Queue | `Memory ];
+      retry_after_s : float option;
+          (** the server's backoff suggestion ([retry-after] on the
+              wire); a resilient client sleeps this long and replays
+              instead of treating shedding as failure *)
+    }
 
 (** Serve-side parameter caps (inclusive). *)
 

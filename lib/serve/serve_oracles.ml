@@ -1,9 +1,20 @@
 module Oracle = Layered_analysis.Oracle
+module Fault = Layered_runtime.Fault
 
 let pass_ = { Oracle.ok = true; detail = "ok" }
 let fail detail = { Oracle.ok = false; detail }
 let clamp jobs = max 2 jobs
 let timeout_s = 10.
+
+(* Fast backoffs for in-process trials: a crash-recovery cycle must not
+   dominate a chaos trial's wall clock. *)
+let oracle_retry =
+  {
+    Client.default_retry with
+    backoff_initial_s = 0.01;
+    backoff_max_s = 0.05;
+    max_replays = 8;
+  }
 
 let counter = Atomic.make 0
 
@@ -39,7 +50,11 @@ let with_server ~jobs f =
   let ready = wait 100 in
   Fun.protect
     ~finally:(fun () ->
-      (match Client.connect ~retries:3 path with
+      (match
+         Client.connect
+           ~retry:{ oracle_retry with connect_deadline_s = 0.5 }
+           path
+       with
       | Ok c ->
           ignore (Client.request c Protocol.Shutdown ~timeout_s:5.);
           Client.close c
@@ -160,6 +175,275 @@ let jobs_eq ~jobs =
       fail "daemon responses differ between jobs=1 and a multi-worker pool"
     else pass_
 
+(* ------------------------------------------------------------------ *)
+(* Recovery oracles: crash-proof serving                               *)
+(*                                                                     *)
+(* The contract (after Gafni–Losa's crash/omission equivalence lens):  *)
+(* a client must not be able to distinguish, byte for byte, a run      *)
+(* against a supervised daemon that crashed and recovered from one     *)
+(* that never crashed.  So these oracles do the opposite of ignoring   *)
+(* recovery: they run the full supervised stack — spill dir, respawn   *)
+(* loop, resilient client — and then treat any recovery event          *)
+(* (a restart, a replay, a latency-guard trip) as a DETECTED fault     *)
+(* even though the bytes came back right.  Control runs have no        *)
+(* recovery events and pass clean.                                     *)
+
+let sup_config =
+  {
+    Supervisor.default with
+    max_restarts = 8;
+    window_s = 60.;
+    backoff_initial_s = 0.01;
+    backoff_max_s = 0.05;
+    verbose = false;
+  }
+
+let spill_counter = Atomic.make 0
+
+let with_spill_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsrv-spill-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add spill_counter 1))
+  in
+  let rec rm path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter (fun x -> rm (Filename.concat path x)) (Sys.readdir path);
+        Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then try rm dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* One supervised in-process daemon session: spill dir armed, spill on
+   every response, no deadlines (verdicts must not depend on timing
+   luck).  Returns [f]'s verdict plus the recovery evidence: supervised
+   restarts, client replays, and the wall clock of the whole request
+   phase (client connect through shutdown response, so an injected read
+   stall always lands inside the measured window). *)
+let with_supervised_server ~jobs ~dir f =
+  let path = fresh_socket_path () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:path) with
+      jobs;
+      request_timeout_s = 0.;
+      idle_timeout_s = 0.;
+      spill_dir = Some dir;
+      spill_every = 1;
+      install_signals = false;
+    }
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        Supervisor.run_inprocess ~config:sup_config (fun () -> Server.run cfg))
+  in
+  let rec wait n =
+    if Sys.file_exists path then true
+    else if n = 0 then false
+    else begin
+      Unix.sleepf 0.05;
+      wait (n - 1)
+    end
+  in
+  let ready = wait 100 in
+  let t0 = Unix.gettimeofday () in
+  let finish verdict ~replays =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let outcome = Domain.join dom in
+    ignore (try Unix.unlink path with Unix.Unix_error _ -> ());
+    (verdict, outcome.Supervisor.restarts, replays, elapsed)
+  in
+  (* last-ditch shutdown so [Domain.join] cannot hang behind a live
+     respawned daemon when the main client's shutdown went missing *)
+  let ensure_down () =
+    match
+      Client.connect_err ~retry:{ oracle_retry with connect_deadline_s = 1. } path
+    with
+    | Ok c ->
+        ignore (Client.request c Protocol.Shutdown ~timeout_s:2.);
+        Client.close c
+    | Error _ -> ()
+  in
+  if not ready then finish (fail "server socket never appeared") ~replays:0
+  else
+    match Client.connect_err ~retry:oracle_retry path with
+    | Error e ->
+        ensure_down ();
+        finish (fail ("connect: " ^ Client.error_message e)) ~replays:0
+    | Ok c ->
+        let verdict = try f c with e -> fail ("raised " ^ Printexc.to_string e) in
+        let verdict =
+          match Client.request c Protocol.Shutdown ~timeout_s:2. with
+          | Ok _ -> verdict
+          | Error e ->
+              ensure_down ();
+              if verdict.Oracle.ok then fail ("shutdown: " ^ e) else verdict
+        in
+        let replays = Client.replays c in
+        Client.close c;
+        finish verdict ~replays
+
+(* The read-stall site adds a flat {!Fault.stall_seconds} (0.25 s) to
+   some request read; the guard only applies when that site is the one
+   armed, so a slow CI box can never flake a control run. *)
+let stall_guard_s = 0.2
+
+let stall_armed () =
+  match Fault.armed () with
+  | Some Fault.Serve_stalled_client -> true
+  | _ -> false
+
+(* Byte-correct responses with recovery events are detections, not
+   passes (see the header above).  Details carry deterministic counts
+   only — the chaos report must stay byte-identical across --jobs. *)
+let absorbed ~restarts ~replays ~elapsed verdict =
+  if not verdict.Oracle.ok then verdict
+  else if restarts > 0 then
+    fail
+      (Printf.sprintf
+         "detected %d supervised restart(s); recovery still reproduced the \
+          crash-free bytes"
+         restarts)
+  else if replays > 0 then
+    fail
+      (Printf.sprintf
+         "detected %d replayed request(s); recovery still reproduced the \
+          crash-free bytes"
+         replays)
+  else if stall_armed () && elapsed > stall_guard_s then
+    fail
+      "detected an injected read stall (latency guard exceeded); responses \
+       were still byte-correct"
+  else verdict
+
+let crash_recover_eq ~jobs =
+  with_spill_dir (fun dir ->
+      let verdict, restarts, replays, elapsed =
+        with_supervised_server ~jobs:(clamp jobs) ~dir (fun c ->
+            let rec go = function
+              | [] -> pass_
+              | (id, req) :: rest -> (
+                  match Client.request c ~id req ~timeout_s with
+                  | Error e -> fail e
+                  | Ok line ->
+                      if line = expected_line ~id req then go rest
+                      else
+                        fail
+                          (Printf.sprintf
+                             "recovered response %d differs from the \
+                              crash-free rendering"
+                             id))
+            in
+            go queries)
+      in
+      absorbed ~restarts ~replays ~elapsed verdict)
+
+(* "result cache hits     3" out of the stats pretty-printer. *)
+let stats_field output name =
+  String.split_on_char '\n' output
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.starts_with ~prefix:name line then
+           int_of_string_opt
+             (String.trim
+                (String.sub line (String.length name)
+                   (String.length line - String.length name)))
+         else None)
+
+let query_stats c =
+  match Client.request c Protocol.Stats_query ~timeout_s with
+  | Error e -> Error ("stats: " ^ e)
+  | Ok line -> (
+      match Protocol.decode_response line with
+      | Ok (Protocol.Resp_ok { output; _ }) -> Ok output
+      | Ok _ -> Error "stats request answered with a non-ok response"
+      | Error e -> Error ("stats response did not decode: " ^ e))
+
+let warm_restart ~jobs =
+  with_spill_dir (fun dir ->
+      let phase f = with_supervised_server ~jobs:(clamp jobs) ~dir f in
+      (* Phase 1: compute cold, spill (every response spills, and the
+         drain spills again), stop cleanly. *)
+      let v1, r1, p1, e1 =
+        phase (fun c ->
+            match Client.request c ~id:1 q1 ~timeout_s with
+            | Error e -> fail e
+            | Ok line ->
+                if line = expected_line ~id:1 q1 then pass_
+                else fail "cold response differs from the one-shot rendering")
+      in
+      if not v1.Oracle.ok then
+        absorbed ~restarts:r1 ~replays:p1 ~elapsed:e1 v1
+      else
+        (* Phase 2: a fresh daemon on the same spill dir must answer the
+           same bytes from the reloaded cache — the hit counter is the
+           proof it reloaded rather than recomputed. *)
+        let v2, r2, p2, e2 =
+          phase (fun c ->
+              match Client.request c ~id:1 q1 ~timeout_s with
+              | Error e -> fail e
+              | Ok line ->
+                  if line <> expected_line ~id:1 q1 then
+                    fail
+                      "restarted daemon's answer differs from the crash-free \
+                       bytes"
+                  else (
+                    match query_stats c with
+                    | Error e -> fail e
+                    | Ok output -> (
+                        match stats_field output "result cache hits" with
+                        | Some hits when hits >= 1 -> pass_
+                        | Some _ ->
+                            fail
+                              "restarted daemon answered cold: no result-cache \
+                               hit after spill reload"
+                        | None -> fail "stats output lacks a result-cache line")))
+        in
+        absorbed ~restarts:(r1 + r2) ~replays:(p1 + p2) ~elapsed:(e1 +. e2) v2)
+
+let replay_idempotent ~jobs =
+  with_spill_dir (fun dir ->
+      let verdict, restarts, replays, elapsed =
+        with_supervised_server ~jobs:(clamp jobs) ~dir (fun c ->
+            match Client.request c ~id:7 q1 ~timeout_s with
+            | Error e -> fail e
+            | Ok first ->
+                if first <> expected_line ~id:7 q1 then
+                  fail "first response differs from the one-shot rendering"
+                else (
+                  (* the same id again, deliberately: an explicit replay *)
+                  match Client.request c ~id:7 q1 ~timeout_s with
+                  | Error e -> fail ("duplicate send: " ^ e)
+                  | Ok second ->
+                      if second <> first then
+                        fail "a replayed request id produced different bytes"
+                      else (
+                        match query_stats c with
+                        | Error e -> fail e
+                        | Ok output -> (
+                            match
+                              ( stats_field output "result cache hits",
+                                stats_field output "result cache misses" )
+                            with
+                            | Some hits, _ when hits < 1 ->
+                                fail
+                                  "replayed request id was recomputed (no \
+                                   result-cache hit)"
+                            | _, Some misses when misses > 1 ->
+                                fail
+                                  (Printf.sprintf
+                                     "replayed request id went cold %d times"
+                                     misses)
+                            | Some _, Some _ -> pass_
+                            | _ -> fail "stats output lacks result-cache lines"))))
+      in
+      absorbed ~restarts ~replays ~elapsed verdict)
+
 let oracles =
   [
     {
@@ -178,6 +462,27 @@ let oracles =
       Oracle.name = "serve/jobs-eq";
       what = "a jobs=1 daemon and a multi-worker daemon answer identically";
       check = jobs_eq;
+    };
+    {
+      Oracle.name = "serve/crash-recover-eq";
+      what =
+        "a supervised daemon that crashes mid-batch still yields the \
+         crash-free bytes; restarts and replays count as detections";
+      check = crash_recover_eq;
+    };
+    {
+      Oracle.name = "serve/warm-restart";
+      what =
+        "a restarted daemon answers from the reloaded spill (result-cache \
+         hit), byte-identical to the cold run";
+      check = warm_restart;
+    };
+    {
+      Oracle.name = "serve/replay-idempotent";
+      what =
+        "resending a request id returns the first response's bytes from the \
+         cache, never a recomputation";
+      check = replay_idempotent;
     };
   ]
 

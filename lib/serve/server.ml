@@ -8,6 +8,9 @@ type config = {
   queue_cap : int;
   max_heap_mb : int;
   request_timeout_s : float;
+  idle_timeout_s : float;
+  spill_dir : string option;
+  spill_every : int;
   stats : bool;
   install_signals : bool;
 }
@@ -19,16 +22,38 @@ let default_config ~socket_path =
     queue_cap = Admission.default.Admission.queue_cap;
     max_heap_mb = Admission.default.Admission.max_heap_mb;
     request_timeout_s = Admission.default.Admission.request_timeout_s;
+    idle_timeout_s = 30.;
+    spill_dir = None;
+    spill_every = 32;
     stats = false;
     install_signals = true;
   }
 
-type client = { fd : Unix.file_descr; session : Session.t }
+(* Distinguished from every CLI exit code (0 ok, 1 failures, 2 usage,
+   3 truncated): what an injected daemon crash "exits" with, so the
+   in-process supervisor can tell a simulated death from a clean stop. *)
+let exit_crashed = 70
 
-(* One response line.  The corrupt-response fault site lives here, on
-   the byte boundary between dispatcher and socket: when armed, one
-   response has its first byte flipped just before the write — the
-   transport-level corruption the serve oracles must catch. *)
+(* Raised by the crash-before-reply fault site: the in-process stand-in
+   for the whole daemon dying between cache fill and response write. *)
+exception Crashed
+
+type client = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  mutable last_data_s : float;
+      (* when this connection last produced bytes; with a partial line
+         pending, the slow-loris deadline counts from here *)
+}
+
+(* One response line.  Two fault sites live here, on the byte boundary
+   between dispatcher and socket: [Serve_corrupt_response] flips the
+   first byte just before the write; [Serve_torn_frame] emits only the
+   first half of the frame and reports the client dead — the torn
+   window a crash between two write(2)s leaves, which the client-side
+   replay must absorb.  Partial writes loop, and EAGAIN (a nonblocking
+   socket with a full buffer) waits for writability instead of killing
+   the daemon, so large responses survive small socket buffers. *)
 let write_response fd response =
   let line = Protocol.encode_response response ^ "\n" in
   let line =
@@ -42,14 +67,24 @@ let write_response fd response =
   let len = String.length line in
   let rec go off =
     if off < len then
-      let n = Unix.write_substring fd line off (len - off) in
-      go (off + n)
+      match Unix.write_substring fd line off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ignore (Unix.select [] [ fd ] [] 1.0);
+          go off
   in
-  try
-    go 0;
-    true
-  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+  if Fault.point Fault.Serve_torn_frame then begin
+    (try ignore (Unix.write_substring fd line 0 (max 1 (len / 2)) : int)
+     with Unix.Unix_error _ -> ());
     false
+  end
+  else
+    try
+      go 0;
+      true
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      false
 
 let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
@@ -108,7 +143,36 @@ let run cfg =
               request_timeout_s = cfg.request_timeout_s;
             }
           in
-          let ctx = Dispatch.create_ctx ~pool ~admission in
+          let ctx =
+            Dispatch.create_ctx
+              ~spill:(cfg.spill_dir <> None)
+              ~pool ~admission ()
+          in
+          (* Warm-cache recovery: rehydrate both shared caches from the
+             newest intact spill before the first request arrives. *)
+          (match cfg.spill_dir with
+          | Some dir ->
+              let restored =
+                Spill.load ~dir ~rcache:ctx.Dispatch.rcache
+                  ~vcache:ctx.Dispatch.vcache
+              in
+              if restored > 0 then
+                Format.eprintf "layered serve: restored %d cache entries@."
+                  restored
+          | None -> ());
+          let served = ref 0 in
+          let do_spill () =
+            match cfg.spill_dir with
+            | None -> ()
+            | Some dir -> (
+                match
+                  Spill.save ~dir ~rcache:ctx.Dispatch.rcache
+                    ~vcache:ctx.Dispatch.vcache
+                with
+                | Ok _ -> ()
+                | Error e ->
+                    Format.eprintf "layered serve: cache spill failed: %s@." e)
+          in
           let saved =
             install_stop_handlers ~install_signals:cfg.install_signals ctx.Dispatch.stop
           in
@@ -136,6 +200,18 @@ let run cfg =
                     Dispatch.handle ctx ~pending:(total - 1 - i) line
                   in
                   if stopping () && not before then stopped_by_request := true;
+                  (* Spill BEFORE the crash site and the write: the
+                     crash window the recovery oracles probe is "caches
+                     filled and durable, reply lost" — the replayed
+                     request must be answered from the reloaded cache,
+                     never recomputed. *)
+                  incr served;
+                  if
+                    cfg.spill_every > 0
+                    && !served mod cfg.spill_every = 0
+                  then do_spill ();
+                  if Fault.point Fault.Serve_crash_before_reply then
+                    raise Crashed;
                   if not (write_response c.fd response) then begin
                     drop_client c;
                     dropped := true
@@ -145,10 +221,16 @@ let run cfg =
             not !dropped
           in
           let handle_readable c =
+            (* chaos site: the read path stalls before consuming bytes,
+               as by a scheduling hiccup — the latency guard in the
+               recovery oracles must notice *)
+            if Fault.point Fault.Serve_stalled_client then
+              Unix.sleepf Fault.stall_seconds;
             let buf = Bytes.create 4096 in
             match Unix.read c.fd buf 0 (Bytes.length buf) with
             | 0 -> drop_client c
             | n ->
+                c.last_data_s <- Unix.gettimeofday ();
                 let lines, overflow =
                   Session.feed c.session (Bytes.sub_string buf 0 n)
                 in
@@ -170,39 +252,96 @@ let run cfg =
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
             | exception Unix.Unix_error (_, _, _) -> drop_client c
           in
-          while not (stopping ()) do
-            let fds =
-              listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
-            in
-            match Unix.select fds [] [] 0.2 with
-            | readable, _, _ ->
-                List.iter
-                  (fun fd ->
-                    if fd = listener then begin
-                      match Unix.accept listener with
-                      | client_fd, _ ->
-                          Hashtbl.replace clients client_fd
-                            { fd = client_fd; session = Session.create () }
-                      | exception Unix.Unix_error (_, _, _) -> ()
-                    end
-                    else
-                      match Hashtbl.find_opt clients fd with
-                      | Some c -> handle_readable c
-                      | None -> ())
-                  readable
-            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                (* a signal landed; the loop condition notices the flag *)
-                ()
-          done;
-          let stopped_by_signal = stopping () && not !stopped_by_request in
-          (* One more pass: anything the signal interrupted mid-read has
-             already been answered (dispatch is synchronous), so shutdown
-             is closing fds and reporting. *)
-          Hashtbl.iter (fun _ c -> close_quiet c.fd) clients;
-          Hashtbl.reset clients;
-          close_quiet listener;
-          unlink_quiet cfg.socket_path;
-          restore_handlers saved;
-          if cfg.stats || stopped_by_signal then
-            Format.eprintf "%a" Stats.pp (Stats.snapshot ());
-          0)
+          (* Slow-loris guard: a connection holding half a request line
+             past the idle deadline gets a structured [timeout] error
+             and is dropped — one stalled client must not wedge the
+             select loop for the others.  Connections idle with an
+             {e empty} buffer are legitimate (a keep-alive client
+             between requests) and are left alone. *)
+          let reap_stalled () =
+            if cfg.idle_timeout_s > 0. then begin
+              let now = Unix.gettimeofday () in
+              let stalled =
+                Hashtbl.fold
+                  (fun _ c acc ->
+                    if
+                      Session.pending_bytes c.session > 0
+                      && now -. c.last_data_s > cfg.idle_timeout_s
+                    then c :: acc
+                    else acc)
+                  clients []
+              in
+              List.iter
+                (fun c ->
+                  ignore
+                    (write_response c.fd
+                       (Protocol.Resp_error
+                          {
+                            id = None;
+                            code = Protocol.Timeout;
+                            message =
+                              Printf.sprintf
+                                "no complete request line within %g s"
+                                cfg.idle_timeout_s;
+                          }));
+                  drop_client c)
+                stalled
+            end
+          in
+          let serve_loop () =
+            while not (stopping ()) do
+              let fds =
+                listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+              in
+              (match Unix.select fds [] [] 0.2 with
+              | readable, _, _ ->
+                  List.iter
+                    (fun fd ->
+                      if fd = listener then begin
+                        match Unix.accept listener with
+                        | client_fd, _ ->
+                            Hashtbl.replace clients client_fd
+                              {
+                                fd = client_fd;
+                                session = Session.create ();
+                                last_data_s = Unix.gettimeofday ();
+                              }
+                        | exception Unix.Unix_error (_, _, _) -> ()
+                      end
+                      else
+                        match Hashtbl.find_opt clients fd with
+                        | Some c -> handle_readable c
+                        | None -> ())
+                    readable
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                  (* a signal landed; the loop condition notices the flag *)
+                  ());
+              reap_stalled ()
+            done
+          in
+          match serve_loop () with
+          | () ->
+              let stopped_by_signal = stopping () && not !stopped_by_request in
+              (* One more pass: anything the signal interrupted mid-read
+                 has already been answered (dispatch is synchronous), so
+                 shutdown is spilling, closing fds and reporting. *)
+              do_spill ();
+              Hashtbl.iter (fun _ c -> close_quiet c.fd) clients;
+              Hashtbl.reset clients;
+              close_quiet listener;
+              unlink_quiet cfg.socket_path;
+              restore_handlers saved;
+              if cfg.stats || stopped_by_signal then
+                Format.eprintf "%a" Stats.pp (Stats.snapshot ());
+              0
+          | exception Crashed ->
+              (* Simulated whole-daemon death: do what the kernel would
+                 do for a real one — close fds — and nothing a dead
+                 process could not: no drain spill, no socket unlink, no
+                 stats.  The supervisor treats [exit_crashed] as
+                 abnormal and respawns. *)
+              Hashtbl.iter (fun _ c -> close_quiet c.fd) clients;
+              Hashtbl.reset clients;
+              close_quiet listener;
+              restore_handlers saved;
+              exit_crashed)

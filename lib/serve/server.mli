@@ -27,6 +27,19 @@ type config = {
   queue_cap : int;
   max_heap_mb : int;
   request_timeout_s : float;  (** per-request deadline; 0 = none *)
+  idle_timeout_s : float;
+      (** slow-loris deadline: a connection holding a {e partial}
+          request line longer than this gets a [timeout] error response
+          and is dropped; 0 = none.  Idle connections with an empty
+          buffer are never reaped.  Default 30 s. *)
+  spill_dir : string option;
+      (** warm-cache durability: reload both shared caches from this
+          directory at startup and spill them back through the
+          checkpoint format, periodically and on drain *)
+  spill_every : int;
+      (** spill after every this-many responses (before the response
+          write, so a crash in the reply window never loses the entry
+          it just cached); 0 = on drain only.  Default 32. *)
   stats : bool;  (** flush a stats snapshot to stderr on exit *)
   install_signals : bool;
       (** install SIGINT/SIGTERM handlers (off for in-process servers
@@ -35,6 +48,14 @@ type config = {
 
 val default_config : socket_path:string -> config
 
+(** The exit code of a simulated daemon crash (the
+    [Serve_crash_before_reply] fault site): caches spilled, reply
+    unsent, socket file left behind — everything a SIGKILL would leave.
+    {!Supervisor} treats it, like any nonzero code other than 2, as
+    abnormal and respawns. *)
+val exit_crashed : int
+
 (** [run config] serves until stopped; returns the process exit code
-    (0 on a clean shutdown, 2 when the socket cannot be bound). *)
+    (0 on a clean shutdown, 2 when the socket cannot be bound,
+    {!exit_crashed} when an injected crash killed the incarnation). *)
 val run : config -> int

@@ -1,0 +1,36 @@
+(** Warm-cache durability for the serve daemon.
+
+    One spill is a single CRC-validated {!Layered_runtime.Checkpoint}
+    generation (name ["serve-cache"]) whose payload marshals both shared
+    caches: the keyed result cache ({!Cache.export}) and every valence
+    classifier's memo ({!Layered_analysis.Valence_query.export_spill}).
+    The checkpoint layer supplies atomic tmp+rename writes, torn-write
+    rollback and generation numbering; this module adds a payload
+    version guard (Marshal checks nothing) and prunes all but the two
+    newest generations after each save so a daemon spilling every few
+    responses keeps the directory bounded.
+
+    A restarted daemon calls {!load} before accepting connections: a
+    missing, torn or version-skewed spill is a cold start, never an
+    error — recovery must not be able to fail harder than the crash. *)
+
+(** Spill generations kept on disk after each {!save}. *)
+val keep_generations : int
+
+(** [save ~dir ~rcache ~vcache] spills both caches; returns the number
+    of entries written, or an error description (disk full, directory
+    gone) the caller logs and ignores. *)
+val save :
+  dir:string ->
+  rcache:Cache.t ->
+  vcache:Layered_analysis.Valence_query.cache ->
+  (int, string) result
+
+(** [load ~dir ~rcache ~vcache] rehydrates both caches from the newest
+    intact spill.  Returns the number of entries restored; 0 when there
+    is nothing (or nothing readable) to restore. *)
+val load :
+  dir:string ->
+  rcache:Cache.t ->
+  vcache:Layered_analysis.Valence_query.cache ->
+  int

@@ -116,6 +116,28 @@ let test_missing_dir () =
   check "absent directory loads None" true
     (Ckpt.load_latest ~dir:"/nonexistent/layered-ckpt" ~name:"x" = None)
 
+(* prune keeps the newest [keep] generations, deletes the rest, and
+   never touches sibling names *)
+let test_prune () =
+  with_tmp_dir (fun dir ->
+      List.iter
+        (fun g ->
+          ignore (Ckpt.save ~dir ~name:"p" ~meta:(meta g) ~payload:(string_of_int g)))
+        [ 1; 2; 3; 4 ];
+      ignore (Ckpt.save ~dir ~name:"sib" ~meta:(meta 0) ~payload:"s");
+      let deleted = Ckpt.prune ~dir ~name:"p" ~keep:2 in
+      check_int "two generations deleted" 2 deleted;
+      Alcotest.(check (list int)) "newest two survive" [ 3; 4 ]
+        (Ckpt.generations ~dir ~name:"p");
+      check "sibling untouched" true (Ckpt.generations ~dir ~name:"sib" = [ 1 ]);
+      (match Ckpt.load_latest ~dir ~name:"p" with
+      | Some l -> Alcotest.(check string) "newest payload survives" "4" l.Ckpt.payload
+      | None -> Alcotest.fail "load after prune failed");
+      (* keep is clamped to at least one generation *)
+      ignore (Ckpt.prune ~dir ~name:"p" ~keep:0);
+      check "keep 0 still keeps the newest" true
+        (Ckpt.generations ~dir ~name:"p" = [ 4 ]))
+
 (* ------------------------------------------------------------------ *)
 (* Rollback: torn and corrupt generations are rejected, newest intact
    generation wins *)
@@ -303,6 +325,7 @@ let () =
             test_meta_captures_armed_fault;
           Alcotest.test_case "generations accumulate" `Quick test_generations_accumulate;
           Alcotest.test_case "missing directory" `Quick test_missing_dir;
+          Alcotest.test_case "prune keeps the newest" `Quick test_prune;
         ] );
       ( "rollback",
         [

@@ -130,8 +130,9 @@ let all_responses =
     Protocol.Resp_error
       { id = None; code = Protocol.Unknown_experiment; message = "no E99" };
     Protocol.Resp_error { id = Some 3; code = Protocol.Internal; message = "boom" };
-    Protocol.Resp_overloaded { id = Some 4; reason = `Queue };
-    Protocol.Resp_overloaded { id = None; reason = `Memory };
+    Protocol.Resp_overloaded
+      { id = Some 4; reason = `Queue; retry_after_s = Some 0.25 };
+    Protocol.Resp_overloaded { id = None; reason = `Memory; retry_after_s = None };
   ]
 
 let test_response_roundtrip () =
@@ -302,14 +303,16 @@ let test_admission () =
   | Admission.Admit _ -> ()
   | Admission.Shed _ -> Alcotest.fail "idle daemon shed a request");
   (match Admission.decide cfg ~pending:3 with
-  | Admission.Shed `Queue -> ()
+  | Admission.Shed { reason = `Queue; retry_after_s } ->
+      check "queue shed carries a positive retry hint" true (retry_after_s > 0.)
   | _ -> Alcotest.fail "queue depth over cap not shed");
   match
     Admission.decide
       { cfg with Admission.max_heap_mb = 0 (* watermark below any live heap *) }
       ~pending:0
   with
-  | Admission.Shed `Memory -> ()
+  | Admission.Shed { reason = `Memory; retry_after_s } ->
+      check "memory shed carries a positive retry hint" true (retry_after_s > 0.)
   | _ -> Alcotest.fail "heap over watermark not shed"
 
 (* ------------------------------------------------------------------ *)
@@ -324,7 +327,8 @@ let with_ctx f =
                Admission.queue_cap = 64;
                max_heap_mb = 1_000_000;
                request_timeout_s = 0.;
-             }))
+             }
+           ()))
 
 let classify_line ~id = Protocol.encode_request ~id
     (Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 3 })
@@ -381,7 +385,9 @@ let test_dispatch_containment () =
 let test_dispatch_shed () =
   with_ctx (fun ctx ->
       (match Dispatch.handle ctx ~pending:1000 (classify_line ~id:1) with
-      | Protocol.Resp_overloaded { id = Some 1; reason = `Queue } -> ()
+      | Protocol.Resp_overloaded
+          { id = Some 1; reason = `Queue; retry_after_s = Some s } ->
+          check "shed response carries the retry hint" true (s > 0.)
       | _ -> Alcotest.fail "queue overload not shed");
       match
         Dispatch.handle ctx ~pending:1000
@@ -492,6 +498,326 @@ let test_pipelined_disconnect () =
               | Ok _ -> ()
               | Error e -> Alcotest.fail ("shutdown: " ^ e)))
 
+(* ------------------------------------------------------------------ *)
+(* Client resilience: typed connect timeout, deterministic backoff *)
+
+let fast_retry =
+  {
+    Client.default_retry with
+    connect_deadline_s = 0.2;
+    backoff_initial_s = 0.01;
+    backoff_max_s = 0.03;
+  }
+
+let test_connect_timeout () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "lsrv-no-such.sock" in
+  let t0 = Unix.gettimeofday () in
+  match Client.connect_err ~retry:fast_retry path with
+  | Ok _ -> Alcotest.fail "connected to a socket that does not exist"
+  | Error (Client.Io m) -> Alcotest.fail ("expected Connect_timeout, got Io: " ^ m)
+  | Error (Client.Connect_timeout { path = p; attempts; elapsed_s; last }) ->
+      check_str "error names the socket" path p;
+      check "several backoff attempts were made" true (attempts >= 2);
+      check "elapsed covers the deadline" true (elapsed_s >= 0.2);
+      check "total time bounded by deadline + one backoff" true
+        (Unix.gettimeofday () -. t0 < 1.);
+      check "last errno recorded" true (String.length last > 0)
+
+let test_backoff_deterministic () =
+  (* same policy, same schedule — and every delay lands in
+     [50%, 100%] of the capped nominal *)
+  List.iter
+    (fun attempt ->
+      let a = Client.backoff_s fast_retry ~attempt in
+      let b = Client.backoff_s fast_retry ~attempt in
+      check ("client attempt " ^ string_of_int attempt ^ " deterministic") true
+        (a = b);
+      let nominal =
+        Float.min fast_retry.Client.backoff_max_s
+          (fast_retry.Client.backoff_initial_s *. (2. ** float_of_int attempt))
+      in
+      check "within the jitter band" true
+        (a >= (0.5 *. nominal) -. 1e-9 && a <= nominal +. 1e-9))
+    [ 0; 1; 2; 5; 10 ];
+  let sup = { Supervisor.default with backoff_initial_s = 0.1; backoff_max_s = 0.4 } in
+  List.iter
+    (fun attempt ->
+      let a = Supervisor.backoff_s sup ~attempt in
+      check ("supervisor attempt " ^ string_of_int attempt ^ " deterministic")
+        true
+        (a = Supervisor.backoff_s sup ~attempt);
+      check "supervisor delay capped" true (a <= sup.Supervisor.backoff_max_s))
+    [ 0; 1; 2; 5; 10 ];
+  (* distinct seeds, distinct schedules (the herd desynchronises) *)
+  check "seed moves the schedule" true
+    (Client.backoff_s fast_retry ~attempt:3
+    <> Client.backoff_s { fast_retry with Client.jitter_seed = 1 } ~attempt:3)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: restart counting, exception crashes, circuit breaker *)
+
+let quiet_sup =
+  {
+    Supervisor.default with
+    backoff_initial_s = 0.001;
+    backoff_max_s = 0.002;
+    verbose = false;
+  }
+
+let test_supervisor_restarts () =
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run_inprocess ~config:quiet_sup (fun () ->
+        incr calls;
+        if !calls <= 2 then Server.exit_crashed else 0)
+  in
+  check_int "two crashes absorbed" 2 outcome.Supervisor.restarts;
+  check_int "final incarnation's code" 0 outcome.Supervisor.exit_code;
+  check "breaker untouched" false outcome.Supervisor.gave_up;
+  (* a raised exception is a crash like any abnormal exit *)
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run_inprocess ~config:quiet_sup (fun () ->
+        incr calls;
+        if !calls = 1 then failwith "boom" else 0)
+  in
+  check_int "exception absorbed" 1 outcome.Supervisor.restarts;
+  (* exit 2 (bind failure) must NOT be respawned *)
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run_inprocess ~config:quiet_sup (fun () ->
+        incr calls;
+        2)
+  in
+  check_int "bind failure not respawned" 1 !calls;
+  check_int "bind failure code passed through" 2 outcome.Supervisor.exit_code
+
+let test_supervisor_breaker () =
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run_inprocess
+      ~config:{ quiet_sup with Supervisor.max_restarts = 2 }
+      (fun () ->
+        incr calls;
+        Server.exit_crashed)
+  in
+  check "breaker tripped" true outcome.Supervisor.gave_up;
+  check_int "gave up with exit 1" 1 outcome.Supervisor.exit_code;
+  check_int "max_restarts crashes absorbed before the trip" 2
+    outcome.Supervisor.restarts;
+  check_int "spawned max_restarts + 1 times" 3 !calls
+
+(* ------------------------------------------------------------------ *)
+(* Warm-cache spill: save + load roundtrip through the checkpoint *)
+
+let tmp_counter = Atomic.make 0
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsrv-test-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  let rec rm path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter (fun x -> rm (Filename.concat path x)) (Sys.readdir path);
+        Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let test_spill_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let rcache = Cache.create () in
+      Cache.add rcache "k1" { Cache.exit_code = 0; output = "first\n" };
+      Cache.add rcache "k2" { Cache.exit_code = 3; output = "" };
+      let vcache = Layered_analysis.Valence_query.create_cache ~spill:true () in
+      (* populate the classifier memo through a real query *)
+      ignore
+        (Layered_analysis.Valence_query.run ~cache:vcache ~model:"sync" ~n:3
+           ~t:1 ~depth:2 ());
+      (match Spill.save ~dir ~rcache ~vcache with
+      | Ok n -> check "spill saved some entries" true (n > 0)
+      | Error e -> Alcotest.fail ("spill save: " ^ e));
+      (* a fresh process's caches: reload and compare *)
+      let rcache' = Cache.create () in
+      let vcache' = Layered_analysis.Valence_query.create_cache ~spill:true () in
+      let restored = Spill.load ~dir ~rcache:rcache' ~vcache:vcache' in
+      check "entries restored" true (restored > 0);
+      (match Cache.find rcache' "k1" with
+      | Some { Cache.exit_code = 0; output = "first\n" } -> ()
+      | _ -> Alcotest.fail "result-cache entry lost in the spill roundtrip");
+      check "valence memo restored" true
+        (Layered_analysis.Valence_query.(
+           spill_entries (export_spill vcache'))
+        > 0);
+      (* generations are pruned: repeated spills do not accumulate *)
+      List.iter
+        (fun _ -> ignore (Spill.save ~dir ~rcache ~vcache))
+        [ 1; 2; 3; 4; 5 ];
+      check "old spill generations pruned" true
+        (Array.length (Sys.readdir dir) <= Spill.keep_generations);
+      (* an unreadable spill is a cold start, not a crash *)
+      check_int "missing dir loads cold" 0
+        (Spill.load ~dir:"/nonexistent/lsrv" ~rcache:(Cache.create ())
+           ~vcache:(Layered_analysis.Valence_query.create_cache ~spill:true ())))
+
+(* ------------------------------------------------------------------ *)
+(* Slow-loris: a half-sent request line trips the idle deadline *)
+
+let test_slow_loris () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsrv-loris-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:path) with
+      request_timeout_s = 0.;
+      idle_timeout_s = 0.3;
+      install_signals = false;
+    }
+  in
+  let dom = Domain.spawn (fun () -> Server.run cfg) in
+  let rec wait n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "server socket never appeared"
+    else (
+      Unix.sleepf 0.05;
+      wait (n - 1))
+  in
+  wait 100;
+  (* half a request line, never terminated: a raw fragment written
+     outside Client (which would append the newline) *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let frag = "{\"op\":\"cla" in
+  ignore (Unix.write_substring fd frag 0 (String.length frag));
+  (* meanwhile an honest client keeps being served *)
+  (match Client.connect path with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.request c Protocol.Stats_query ~timeout_s:10. with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("honest client starved: " ^ e)));
+  (* the stalled connection gets a structured timeout, then EOF *)
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec read_all acc =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then acc
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> acc
+      | _ -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> acc
+          | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              acc)
+  in
+  let answer = read_all "" in
+  Unix.close fd;
+  (match String.index_opt answer '\n' with
+  | None -> Alcotest.fail "slow-loris connection got no timeout response"
+  | Some i -> (
+      match Protocol.decode_response (String.sub answer 0 i) with
+      | Ok (Protocol.Resp_error { code = Protocol.Timeout; id = None; _ }) -> ()
+      | _ -> Alcotest.fail "stalled connection not answered with a timeout error"));
+  (* daemon still healthy: shut it down over the wire *)
+  (match Client.connect path with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.request c Protocol.Shutdown ~timeout_s:10. with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("shutdown after loris: " ^ e)));
+  check_int "clean exit code" 0 (Domain.join dom)
+
+(* ------------------------------------------------------------------ *)
+(* End to end crash recovery: supervised daemon, replaying client *)
+
+let test_replay_after_crash () =
+  with_tmp_dir (fun dir ->
+      let path =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "lsrv-replay-%d.sock" (Unix.getpid ()))
+      in
+      let cfg =
+        {
+          (Server.default_config ~socket_path:path) with
+          request_timeout_s = 0.;
+          idle_timeout_s = 0.;
+          spill_dir = Some dir;
+          spill_every = 1;
+          install_signals = false;
+        }
+      in
+      let dom =
+        Domain.spawn (fun () ->
+            Supervisor.run_inprocess ~config:quiet_sup (fun () -> Server.run cfg))
+      in
+      let rec wait n =
+        if Sys.file_exists path then ()
+        else if n = 0 then Alcotest.fail "server socket never appeared"
+        else (
+          Unix.sleepf 0.05;
+          wait (n - 1))
+      in
+      wait 100;
+      (* the crash site is visited once per response: with 3 requests +
+         shutdown it fires within any seed's firing window (< 3) *)
+      Fault.arm ~seed:1 Fault.Serve_crash_before_reply;
+      let outcome =
+        Fun.protect ~finally:Fault.disarm (fun () ->
+            (match
+               Client.connect_err
+                 ~retry:{ fast_retry with Client.connect_deadline_s = 5. }
+                 path
+             with
+            | Error e -> Alcotest.fail (Client.error_message e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    List.iter
+                      (fun id ->
+                        let req =
+                          Protocol.Classify_valence
+                            { model = "sync"; n = 3; t = 1; depth = id }
+                        in
+                        match Client.request c ~id req ~timeout_s:30. with
+                        | Error e ->
+                            Alcotest.fail
+                              (Printf.sprintf "request %d not recovered: %s" id e)
+                        | Ok line -> (
+                            match Protocol.decode_response line with
+                            | Ok (Protocol.Resp_ok { id = Some got; _ }) ->
+                                check_int "response id echoes the request" id got
+                            | _ ->
+                                Alcotest.fail
+                                  (Printf.sprintf "request %d answered badly" id)))
+                      [ 1; 2; 3 ];
+                    check "the injected crash fired" true (Fault.fired () > 0);
+                    check "the client replayed through it" true
+                      (Client.replays c > 0);
+                    match Client.request c Protocol.Shutdown ~timeout_s:10. with
+                    | Ok _ -> ()
+                    | Error e -> Alcotest.fail ("shutdown: " ^ e)));
+            Domain.join dom)
+      in
+      check "supervisor absorbed at least one crash" true
+        (outcome.Supervisor.restarts > 0);
+      check "no crash loop" false outcome.Supervisor.gave_up;
+      ignore (try Unix.unlink path with Unix.Unix_error _ -> ()))
+
 let () =
   Alcotest.run "layered_serve"
     [
@@ -537,5 +863,22 @@ let () =
           Alcotest.test_case "end to end" `Quick test_end_to_end;
           Alcotest.test_case "pipelined disconnect" `Quick
             test_pipelined_disconnect;
+          Alcotest.test_case "slow-loris idle timeout" `Quick test_slow_loris;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "typed connect timeout" `Quick test_connect_timeout;
+          Alcotest.test_case "deterministic backoff" `Quick
+            test_backoff_deterministic;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "restart counting" `Quick test_supervisor_restarts;
+          Alcotest.test_case "circuit breaker" `Quick test_supervisor_breaker;
+        ] );
+      ("spill", [ Alcotest.test_case "roundtrip" `Quick test_spill_roundtrip ]);
+      ( "recovery",
+        [
+          Alcotest.test_case "replay after crash" `Quick test_replay_after_crash;
         ] );
     ]
