@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke serve-smoke serve-crash-smoke fmt
+.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke serve-smoke serve-crash-smoke serve-saturation-smoke fmt
 
 build:
 	dune build
@@ -26,7 +26,7 @@ bench-baseline:
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.
 chaos-smoke:
-	dune exec bin/main.exe -- chaos --seed 42 --trials 42
+	dune exec bin/main.exe -- chaos --seed 42 --trials 51
 
 # SIGKILL an `all --checkpoint-dir` run mid-flight, resume it, and
 # require the resumed report to be byte-identical to an uninterrupted
@@ -45,6 +45,13 @@ serve-smoke:
 # --jobs 1 and 4.
 serve-crash-smoke:
 	bash scripts/serve_crash_smoke.sh
+
+# Flood one connection past its per-client cap while a well-behaved
+# client works a mixed batch: the flood must shed with structured
+# per-client responses, the polite client must complete with one-shot
+# bytes, and the daemon must exit clean.
+serve-saturation-smoke:
+	bash scripts/serve_saturation_smoke.sh
 
 fmt:
 	@dune fmt || echo "fmt skipped (ocamlformat not available)"

@@ -552,7 +552,7 @@ let serve_spill_fixture =
     (let rcache = Layered_serve.Cache.create () in
      let vcache = Valence_query.create_cache ~spill:true () in
      ignore (Valence_query.run ~cache:vcache ~model:"sync" ~n:3 ~t:1 ~depth:3 ());
-     match Layered_serve.Spill.save ~dir:serve_spill_dir ~rcache ~vcache with
+     match Layered_serve.Spill.save ~dir:serve_spill_dir ~rcache ~vcache () with
      | Ok _ -> ()
      | Error e -> failwith ("bench spill: " ^ e))
 
@@ -566,6 +566,106 @@ let serve_warm_after_restart () =
 let force_fixtures () =
   ignore (Lazy.force simgraph_states);
   Lazy.force serve_spill_fixture
+
+(* ------------------------------------------------------------------ *)
+(* Saturation: k clients pipelining m mixed cold queries each against a
+   real in-process daemon.  The same workload runs twice — a jobs=1
+   daemon answers strictly in arrival order, a jobs=4 daemon fans the
+   flights out across its pool — so the seq/conc gap is exactly the
+   payoff of concurrent dispatch under multi-client load.  Every
+   (client, request) pair carries a distinct cache key: the result
+   cache and single-flight coalescing would otherwise flatten the
+   comparison into a cache microbenchmark. *)
+
+(* 4 clients x 6 queries, 24 distinct (model, n, depth) triples, each
+   5-250 ms of cold classification at t=1. *)
+let saturation_matrix =
+  [|
+    [ ("sync", 4, 5); ("mobile", 4, 4); ("sm", 3, 4);
+      ("iis", 3, 3); ("mp", 3, 3); ("smp", 3, 3) ];
+    [ ("sync", 4, 6); ("mobile", 4, 5); ("sm", 4, 3);
+      ("iis", 4, 3); ("mp", 3, 4); ("smp", 3, 4) ];
+    [ ("sync", 5, 4); ("mobile", 5, 4); ("sm", 4, 4);
+      ("iis", 3, 4); ("sm", 5, 3); ("smp", 4, 3) ];
+    [ ("sync", 5, 5); ("mobile", 6, 4); ("sm", 3, 5);
+      ("iis", 4, 4); ("sync", 6, 5); ("mobile", 5, 5) ];
+  |]
+
+let serve_saturation ~jobs () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsrv-bench-sat-%d-%d.sock" (Unix.getpid ()) jobs)
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg =
+    {
+      (Layered_serve.Server.default_config ~socket_path:path) with
+      jobs;
+      request_timeout_s = 0.;
+      install_signals = false;
+    }
+  in
+  let dom = Domain.spawn (fun () -> Layered_serve.Server.run cfg) in
+  let rec wait n =
+    if Sys.file_exists path then ()
+    else if n = 0 then failwith "saturation bench: server socket never appeared"
+    else begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 1_000;
+  let clients =
+    Array.mapi
+      (fun i queries ->
+        Domain.spawn (fun () ->
+            match Layered_serve.Client.connect path with
+            | Error e -> failwith ("saturation bench connect: " ^ e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Layered_serve.Client.close c)
+                  (fun () ->
+                    (* pipeline the whole batch, then collect: up to
+                       k*m requests in flight at once *)
+                    List.iteri
+                      (fun j (model, n, depth) ->
+                        let line =
+                          Layered_serve.Protocol.encode_request
+                            ~id:((i * 100) + j)
+                            (Layered_serve.Protocol.Classify_valence
+                               { model; n; t = 1; depth })
+                        in
+                        match Layered_serve.Client.send c line with
+                        | Ok () -> ()
+                        | Error e -> failwith ("saturation bench send: " ^ e))
+                      queries;
+                    match
+                      Layered_serve.Client.read_lines c
+                        ~n:(List.length queries) ~timeout_s:300.
+                    with
+                    | Ok _ -> ()
+                    | Error e -> failwith ("saturation bench read: " ^ e))))
+      saturation_matrix
+  in
+  Array.iter Domain.join clients;
+  (match Layered_serve.Client.connect path with
+  | Error e -> failwith ("saturation bench shutdown connect: " ^ e)
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Layered_serve.Client.close c)
+        (fun () ->
+          match
+            Layered_serve.Client.request c Layered_serve.Protocol.Shutdown
+              ~timeout_s:30.
+          with
+          | Ok _ -> ()
+          | Error e -> failwith ("saturation bench shutdown: " ^ e)));
+  match Domain.join dom with
+  | 0 -> ()
+  | code -> failwith (Printf.sprintf "saturation bench daemon exited %d" code)
+
+let serve_saturation_seq () = serve_saturation ~jobs:1 ()
+let serve_saturation_conc () = serve_saturation ~jobs:4 ()
 
 (* ------------------------------------------------------------------ *)
 (* Chaos-layer overhead: the fault sites threaded through the hot paths
@@ -641,6 +741,8 @@ let kernels =
     { name = "serve/cold-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_cold };
     { name = "serve/warm-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_warm };
     { name = "serve/warm-after-restart"; n = 3; t = 1; depth = 3; fn = serve_warm_after_restart };
+    { name = "serve/saturation-seq"; n = 4; t = 1; depth = 5; fn = serve_saturation_seq };
+    { name = "serve/saturation-conc"; n = 4; t = 1; depth = 5; fn = serve_saturation_conc };
     { name = "chaos/point-disabled"; n = 0; t = 0; depth = 0; fn = chaos_point_disabled };
     { name = "chaos/mangle-disabled"; n = 0; t = 0; depth = 0; fn = chaos_mangle_disabled };
   ]

@@ -464,7 +464,7 @@ let chaos_cmd =
   let trials =
     Arg.(
       value
-      & opt (bounded_int ~min:1 ~what:"trials") 42
+      & opt (bounded_int ~min:1 ~what:"trials") 51
       & info [ "trials" ] ~docv:"N"
           ~doc:
             "Number of trials, assigned round-robin over the (site, oracle) pairing \
@@ -594,6 +594,26 @@ let serve_cmd =
             "With --spill-dir, spill the caches after every N responses \
              (0 = on drain only).")
   in
+  let spill_keep =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"spill-keep")
+          Layered_serve.Spill.keep_generations
+      & info [ "spill-keep" ] ~docv:"N"
+          ~doc:
+            "With --spill-dir, keep the N newest spill generations on disk \
+             after each save (at least 1).")
+  in
+  let client_cap =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"client-cap") 16
+      & info [ "client-cap" ] ~docv:"N"
+          ~doc:
+            "Shed compute requests from a connection that already has N of \
+             its own in flight (overloaded response, reason per-client); 0 \
+             disables the cap.")
+  in
   let supervise =
     Arg.(
       value & flag
@@ -622,8 +642,9 @@ let serve_cmd =
             "With --supervise, rewrite PATH with the daemon pid after every \
              (re)spawn.")
   in
-  let f socket jobs stats queue_cap max_heap request_timeout idle_timeout
-      spill_dir spill_every supervise max_restarts pid_file =
+  let f socket jobs stats queue_cap max_heap request_timeout client_cap
+      idle_timeout spill_dir spill_every spill_keep supervise max_restarts
+      pid_file =
     let cfg =
       {
         Layered_serve.Server.socket_path = socket;
@@ -631,9 +652,11 @@ let serve_cmd =
         queue_cap;
         max_heap_mb = max_heap;
         request_timeout_s = request_timeout;
+        per_client_cap = client_cap;
         idle_timeout_s = idle_timeout;
         spill_dir;
         spill_every;
+        spill_keep;
         stats;
         install_signals = true;
       }
@@ -655,8 +678,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const f $ socket_arg $ jobs_arg $ stats_arg $ queue_cap $ max_heap
-      $ request_timeout $ idle_timeout $ spill_dir $ spill_every $ supervise
-      $ max_restarts $ pid_file)
+      $ request_timeout $ client_cap $ idle_timeout $ spill_dir $ spill_every
+      $ spill_keep $ supervise $ max_restarts $ pid_file)
 
 let serve_client_cmd =
   let doc =
@@ -687,7 +710,18 @@ let serve_client_cmd =
             "When the daemon sheds a request, sleep its retry-after hint and \
              re-send instead of failing.")
   in
-  let f socket output_only timeout_s retry_overloaded =
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Send every request line from stdin before reading any response \
+             (one response line expected per request, $(b,--timeout) covers \
+             the whole batch).  Exercises the daemon's admission and \
+             fair-share paths, which a one-at-a-time exchange never fills; \
+             forgoes the crash-replay resilience of the default mode.")
+  in
+  let f socket output_only timeout_s retry_overloaded pipeline =
     let module Client = Layered_serve.Client in
     let retry = { Client.default_retry with retry_overloaded } in
     match Client.connect ~retry socket with
@@ -700,6 +734,31 @@ let serve_client_cmd =
           Format.eprintf "layered serve-client: %s@." msg;
           1
         in
+        (* [k] continues on success so raw and decoded printing share the
+           response handling in both exchange modes. *)
+        let render resp ~k =
+          if not output_only then begin
+            print_endline resp;
+            k ()
+          end
+          else
+            match Protocol.decode_response resp with
+            | Ok (Protocol.Resp_ok { output; _ }) ->
+                print_string output;
+                k ()
+            | Ok (Protocol.Resp_error { code; message; _ }) ->
+                bail
+                  (Printf.sprintf "error response [%s]: %s"
+                     (Protocol.error_code_name code) message)
+            | Ok (Protocol.Resp_overloaded { reason; _ }) ->
+                bail
+                  (Printf.sprintf "overloaded (%s)"
+                     (match reason with
+                     | `Queue -> "queue-depth"
+                     | `Memory -> "memory"
+                     | `Client -> "per-client"))
+            | Error e -> bail ("bad response line: " ^ e)
+        in
         let rec loop () =
           match input_line stdin with
           | exception End_of_file -> 0
@@ -708,32 +767,41 @@ let serve_client_cmd =
                  and replays this line under what is left of the deadline *)
               match Client.request_raw c line ~timeout_s with
               | Error e -> bail (Client.error_message e)
-              | Ok resp -> (
-                  if not output_only then begin
-                    print_endline resp;
-                    loop ()
-                  end
-                  else
-                    match Protocol.decode_response resp with
-                    | Ok (Protocol.Resp_ok { output; _ }) ->
-                        print_string output;
-                        loop ()
-                    | Ok (Protocol.Resp_error { code; message; _ }) ->
-                        bail
-                          (Printf.sprintf "error response [%s]: %s"
-                             (Protocol.error_code_name code) message)
-                    | Ok (Protocol.Resp_overloaded { reason; _ }) ->
-                        bail
-                          (Printf.sprintf "overloaded (%s)"
-                             (match reason with
-                             | `Queue -> "queue-depth"
-                             | `Memory -> "memory"))
-                    | Error e -> bail ("bad response line: " ^ e)))
+              | Ok resp -> render resp ~k:loop)
         in
-        Fun.protect ~finally:(fun () -> Client.close c) loop
+        let pipelined () =
+          let rec slurp acc =
+            match input_line stdin with
+            | exception End_of_file -> List.rev acc
+            | line -> slurp (line :: acc)
+          in
+          let reqs = slurp [] in
+          let rec send_all = function
+            | [] -> Ok ()
+            | line :: rest -> (
+                match Client.send c line with
+                | Ok () -> send_all rest
+                | Error e -> Error e)
+          in
+          match send_all reqs with
+          | Error e -> bail e
+          | Ok () -> (
+              match Client.read_lines c ~n:(List.length reqs) ~timeout_s with
+              | Error e -> bail e
+              | Ok resps ->
+                  let rec each = function
+                    | [] -> 0
+                    | resp :: rest -> render resp ~k:(fun () -> each rest)
+                  in
+                  each resps)
+        in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (if pipeline then pipelined else loop)
   in
   Cmd.v (Cmd.info "serve-client" ~doc)
-    Term.(const f $ socket_arg $ output_only $ timeout $ retry_overloaded)
+    Term.(
+      const f $ socket_arg $ output_only $ timeout $ retry_overloaded $ pipeline)
 
 let () =
   (* The serve oracles live in layered_serve (which depends on the

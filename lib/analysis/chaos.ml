@@ -35,7 +35,18 @@ let pairings =
     ( Fault.Corrupt_checkpoint_crc,
       [ "recovery/rollback"; "resume-eq/frontier"; "resume-eq/registry" ] );
     ( Fault.Serve_handler_raise,
-      [ "serve/oneshot-eq"; "serve/interleave-eq"; "serve/jobs-eq" ] );
+      [
+        "serve/oneshot-eq";
+        "serve/interleave-eq";
+        "serve/jobs-eq";
+        "serve/cancel-clean";
+        "serve/singleflight-eq";
+        "serve/fair-share";
+      ] );
+    ( Fault.Serve_cancel_midflight,
+      [ "serve/cancel-clean"; "serve/singleflight-eq"; "serve/fair-share" ] );
+    ( Fault.Serve_singleflight_leader_crash,
+      [ "serve/singleflight-eq"; "serve/cancel-clean"; "serve/fair-share" ] );
     ( Fault.Serve_corrupt_response,
       [ "serve/oneshot-eq"; "serve/interleave-eq"; "serve/jobs-eq" ] );
     ( Fault.Serve_torn_frame,

@@ -15,21 +15,41 @@ let models = Sweep.models
    depth-monotone (see Valence), so one classifier serves every depth.
    The export/import pair round-trips the engine's spillbook (empty
    unless the classifier was built spillable) so a daemon restart can
-   rehydrate the memo from disk. *)
+   rehydrate the memo from disk.
+
+   Each classifier carries its own mutex (captured by the closures):
+   the serve dispatcher runs requests on pool workers concurrently, and
+   the engine's memo tables are plain [Hashtbl]s.  The lock also
+   serialises the [set_budget]/classify/reset window, scoping one walk
+   to the requesting client's per-request fault domain. *)
 type classifier = {
-  classify : depth:int -> (string * Valence.verdict) list;
+  classify : ?budget:Layered_runtime.Budget.t -> depth:int -> unit ->
+    (string * Valence.verdict) list;
   export_memo : unit -> (string * (int * Valence.outcome)) list;
   import_memo : (string * (int * Valence.outcome)) list -> unit;
 }
 
 let classifier (type a) (valence : a Valence.t) ~(key : a -> string)
     (initials : a list) =
+  let lock = Mutex.create () in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
   {
     classify =
-      (fun ~depth ->
-        List.map (fun x -> (key x, Valence.classify valence ~depth x)) initials);
-    export_memo = (fun () -> Valence.export valence);
-    import_memo = (fun entries -> Valence.import valence entries);
+      (fun ?budget ~depth () ->
+        locked (fun () ->
+            Valence.set_budget valence budget;
+            Fun.protect
+              ~finally:(fun () -> Valence.set_budget valence None)
+              (fun () ->
+                List.map
+                  (fun x -> (key x, Valence.classify valence ~depth x))
+                  initials)));
+    export_memo = (fun () -> locked (fun () -> Valence.export valence));
+    import_memo =
+      (fun entries -> locked (fun () -> Valence.import valence entries));
   }
 
 let make_classifier ?(spill = false) ~model ~n ~t () =
@@ -83,23 +103,30 @@ let make_classifier ?(spill = false) ~model ~n ~t () =
 type cache = {
   tbl : (string * int * int, classifier) Hashtbl.t;
   spill : bool;  (** build spillable classifiers, so the cache exports *)
+  lock : Mutex.t;  (** guards [tbl]; per-classifier state has its own *)
 }
 
 let create_cache ?(spill = false) () : cache =
-  { tbl = Hashtbl.create 16; spill }
+  { tbl = Hashtbl.create 16; spill; lock = Mutex.create () }
 
-let cache_entries (c : cache) = Hashtbl.length c.tbl
+let with_cache_lock (c : cache) f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let cache_entries (c : cache) =
+  with_cache_lock c (fun () -> Hashtbl.length c.tbl)
 
 let find_classifier cache ~model ~n ~t =
   let k = (model, n, t) in
-  match Hashtbl.find_opt cache.tbl k with
-  | Some cl -> cl
-  | None ->
-      let cl = make_classifier ~spill:cache.spill ~model ~n ~t () in
-      Hashtbl.add cache.tbl k cl;
-      cl
+  with_cache_lock cache (fun () ->
+      match Hashtbl.find_opt cache.tbl k with
+      | Some cl -> cl
+      | None ->
+          let cl = make_classifier ~spill:cache.spill ~model ~n ~t () in
+          Hashtbl.add cache.tbl k cl;
+          cl)
 
-let run ?cache ~model ~n ~t ~depth () =
+let run ?budget ?cache ~model ~n ~t ~depth () =
   if depth < 0 then
     invalid_arg (Printf.sprintf "Valence_query: negative depth %d" depth);
   let cl =
@@ -107,7 +134,7 @@ let run ?cache ~model ~n ~t ~depth () =
     | None -> make_classifier ~model ~n ~t ()
     | Some cache -> find_classifier cache ~model ~n ~t
   in
-  { model; n; t; depth; verdicts = cl.classify ~depth }
+  { model; n; t; depth; verdicts = cl.classify ?budget ~depth () }
 
 (* ------------------------------------------------------------------ *)
 (* Spill                                                              *)
@@ -115,7 +142,14 @@ let run ?cache ~model ~n ~t ~depth () =
 type spill = ((string * int * int) * (string * (int * Valence.outcome)) list) list
 
 let export_spill (c : cache) : spill =
-  Hashtbl.fold (fun k cl acc -> (k, cl.export_memo ()) :: acc) c.tbl []
+  (* snapshot the classifier list under the cache lock, then export each
+     under its own lock — never both at once, so a concurrent
+     [find_classifier] cannot deadlock against an export *)
+  let classifiers =
+    with_cache_lock c (fun () ->
+        Hashtbl.fold (fun k cl acc -> (k, cl) :: acc) c.tbl [])
+  in
+  List.map (fun (k, cl) -> (k, cl.export_memo ())) classifiers
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.filter (fun (_, entries) -> entries <> [])
 

@@ -25,9 +25,14 @@ type t = {
 (** Available model names: exactly {!Sweep.models}. *)
 val models : string list
 
-(** A cross-call classifier cache keyed by (model, n, t).  Not
-    thread-safe: confine a cache to one domain (the serve dispatcher is
-    sequential, so its shared cache needs no lock). *)
+(** A cross-call classifier cache keyed by (model, n, t).  Thread-safe:
+    the table is mutex-guarded and every classifier serialises its own
+    engine (memo probes, spill export, budget scoping) under a
+    per-classifier lock, so the serve dispatcher can run requests
+    against a shared cache from concurrent pool workers.  Distinct
+    (model, n, t) classifiers proceed in parallel; identical ones
+    serialise — the dispatcher's single-flight layer coalesces those
+    before they ever contend. *)
 type cache
 
 (** [create_cache ?spill ()] — with [spill], classifiers shadow their
@@ -40,11 +45,17 @@ val create_cache : ?spill:bool -> unit -> cache
 (** Number of distinct (model, n, t) classifiers the cache holds. *)
 val cache_entries : cache -> int
 
-(** [run ?cache ~model ~n ~t ~depth ()] classifies every binary initial
-    state of [model].  [t] is the resilience for ["sync"]/["mobile"] and
-    the decision horizon elsewhere (as in {!Sweep.run}).  Raises
-    [Invalid_argument] on an unknown model name or a negative depth. *)
-val run : ?cache:cache -> model:string -> n:int -> t:int -> depth:int -> unit -> t
+(** [run ?budget ?cache ~model ~n ~t ~depth ()] classifies every binary
+    initial state of [model].  [t] is the resilience for
+    ["sync"]/["mobile"] and the decision horizon elsewhere (as in
+    {!Sweep.run}).  With [budget], the walk consults it for the duration
+    of this call only (the per-request fault domain): a tripped budget
+    degrades verdicts to [Unknown] and caches nothing, so a cancelled
+    request leaves the shared memo untouched.  Raises [Invalid_argument]
+    on an unknown model name or a negative depth. *)
+val run :
+  ?budget:Layered_runtime.Budget.t ->
+  ?cache:cache -> model:string -> n:int -> t:int -> depth:int -> unit -> t
 
 (** {1 Spill}
 

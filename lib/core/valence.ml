@@ -32,7 +32,7 @@ type 'a cache =
 
 type 'a t = {
   spec : 'a spec;
-  budget : Layered_runtime.Budget.t option;
+  mutable budget : Layered_runtime.Budget.t option;
   cache : 'a cache;
   (* The spillbook: a canonical-key shadow of the memo, maintained only
      when the engine was created with [~spill:true].  Intern ids are
@@ -53,6 +53,13 @@ let create ?budget ?ident ?(spill = false) spec =
   in
   let spillbook = if spill then Some (Hashtbl.create 4096) else None in
   { spec; budget; cache; spillbook }
+
+(* Swap the budget consulted by [compute].  Not synchronised: callers
+   that share an engine across domains (the serve dispatcher) must hold
+   their per-classifier lock around set/classify/reset.  Budget-cut
+   outcomes are never cached, so a cancelled walk leaves the memo
+   exactly as it found it. *)
+let set_budget t budget = t.budget <- budget
 
 let cache_find t x =
   let primary =
@@ -124,7 +131,15 @@ let rec compute t ~depth x =
             children
         in
         let res = if children = [] then { res with complete = spec.terminal x } else res in
-        cache_store t x (depth, res);
+        (* A budget trip mid-fold prunes futures arbitrarily, so [res]
+           reflects this walk's interruption point, not the state.  All
+           budget trips are monotone (deadlines stay passed, counters
+           only grow, cancellation is permanent), so checking here
+           catches any trip during the fold above — only budget-clean
+           results may enter the memo, or one walk's cancellation would
+           leak Unknown verdicts into every later walk at this depth. *)
+        if Layered_runtime.Budget.exceeded_opt t.budget = None then
+          cache_store t x (depth, res);
         res
   end
 

@@ -14,7 +14,10 @@ type t = {
   states : int Atomic.t;
   probe : int Atomic.t;  (* check counter, for sampling the heap *)
   first_trip : reason option Atomic.t;  (* sticky: first reason observed *)
+  parent : parent;  (* cancellation flows down the chain, never up *)
 }
+
+and parent = Root | Child of t
 
 let word_bytes = Sys.word_size / 8
 
@@ -36,10 +39,19 @@ let create ?timeout_s ?max_states ?max_memory_mb () =
     states = Atomic.make 0;
     probe = Atomic.make 0;
     first_trip = Atomic.make None;
+    parent = Root;
+  }
+
+let child ?timeout_s ?max_states ?max_memory_mb parent =
+  { (create ?timeout_s ?max_states ?max_memory_mb ()) with
+    parent = Child parent;
   }
 
 let cancel t = Atomic.set t.cancelled true
-let is_cancelled t = Atomic.get t.cancelled
+
+let rec is_cancelled t =
+  Atomic.get t.cancelled
+  || match t.parent with Root -> false | Child p -> is_cancelled p
 let charge t n = if n <> 0 then ignore (Atomic.fetch_and_add t.states n)
 let states_seen t = Atomic.get t.states
 
@@ -66,7 +78,7 @@ let restrict_deadline t ~remaining_s =
 let sample_mask = 63
 
 let probe_limits t =
-  if Atomic.get t.cancelled then Some Interrupted
+  if is_cancelled t then Some Interrupted
     (* chaos site: a probe claims cancellation nobody asked for — the
        clean-run-completes oracle must notice the lie *)
   else if Fault.point Fault.Spurious_cancel then Some Interrupted

@@ -49,10 +49,22 @@ type t
     Raises [Invalid_argument] on a negative or non-positive limit. *)
 val create : ?timeout_s:float -> ?max_states:int -> ?max_memory_mb:int -> unit -> t
 
+(** [child ?timeout_s ?max_states ?max_memory_mb parent] makes a budget
+    whose limits are its own but whose cancellation token is linked to
+    [parent]: cancelling any ancestor trips the child as [Interrupted],
+    while cancelling the child never affects the parent or siblings.
+    This is the per-request fault domain used by the serve dispatcher —
+    one parent token per connection, one child per admitted request, so
+    a disconnect cancels exactly that connection's in-flight work.  A
+    child with no limits of its own is a pure cancellation token. *)
+val child : ?timeout_s:float -> ?max_states:int -> ?max_memory_mb:int -> t -> t
+
 (** Flip the cancellation token.  Async-signal-safe (one atomic store);
-    idempotent. *)
+    idempotent.  Affects this budget and its descendants, never its
+    ancestors. *)
 val cancel : t -> unit
 
+(** True when this budget or any ancestor has been cancelled. *)
 val is_cancelled : t -> bool
 
 (** [charge t n] adds [n] states to the budget's counter. *)

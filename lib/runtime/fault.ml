@@ -13,6 +13,8 @@ type site =
   | Serve_torn_frame
   | Serve_stalled_client
   | Serve_crash_before_reply
+  | Serve_cancel_midflight
+  | Serve_singleflight_leader_crash
 
 exception Injected of site
 
@@ -22,6 +24,7 @@ let all =
     Worker_stall; Spurious_cancel; Flip_valence_bit; Torn_checkpoint_write;
     Corrupt_checkpoint_crc; Serve_handler_raise; Serve_corrupt_response;
     Serve_torn_frame; Serve_stalled_client; Serve_crash_before_reply;
+    Serve_cancel_midflight; Serve_singleflight_leader_crash;
   ]
 
 let site_name = function
@@ -39,6 +42,8 @@ let site_name = function
   | Serve_torn_frame -> "serve_torn_frame"
   | Serve_stalled_client -> "serve_stalled_client"
   | Serve_crash_before_reply -> "serve_crash_before_reply"
+  | Serve_cancel_midflight -> "serve_cancel_midflight"
+  | Serve_singleflight_leader_crash -> "serve_singleflight_leader_crash"
 
 let site_of_name s = List.find_opt (fun site -> site_name site = s) all
 let pp_site ppf s = Format.pp_print_string ppf (site_name s)

@@ -64,6 +64,17 @@ type site =
       (** the daemon dies after dispatching a request — caches filled,
           spill written — but before the response write, the canonical
           torn-window crash the supervisor and client replay must mask *)
+  | Serve_cancel_midflight
+      (** an admitted request's budget token is cancelled at dispatch
+          time, as by a client disconnect racing its own request — the
+          per-request fault domain must answer {e that} request with the
+          structured [cancelled] error and leave every other request,
+          the caches and the daemon untouched *)
+  | Serve_singleflight_leader_crash
+      (** the leader of a single-flight computation raises mid-walk;
+          the dispatcher must fail only the leader and re-run the
+          computation for the coalesced waiters under a waiter's own
+          budget (the cancellation-safe retry) *)
 
 (** Raised into the runtime by the [Worker_raise] site. *)
 exception Injected of site

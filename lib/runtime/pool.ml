@@ -20,6 +20,7 @@ type t = {
   size : int;
   workers : worker array;  (* [size - 1] of them; slot p runs on workers.(p - 1) *)
   stop : bool Atomic.t;
+  next_post : int Atomic.t;  (* round-robin cursor for [post] *)
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
@@ -80,7 +81,7 @@ let create ?jobs () =
           domain = None;
         })
   in
-  let pool = { size; workers; stop = Atomic.make false } in
+  let pool = { size; workers; stop = Atomic.make false; next_post = Atomic.make 0 } in
   Array.iter (fun w -> spawn pool w) workers;
   pool
 
@@ -118,6 +119,25 @@ let shutdown pool =
       Option.iter Domain.join w.domain;
       w.domain <- None)
     pool.workers
+
+(* Fire-and-forget submission for the serve dispatcher: one task, no
+   barrier, completion reported through whatever channel [run] itself
+   arranges.  On a single-slot pool the task runs inline on the caller
+   with the same crash containment a worker would give it — the serve
+   loop at --jobs 1 is then exactly the old sequential dispatch.  Must
+   be called from the pool's owner domain (it may respawn workers). *)
+let post pool ~run ~fail =
+  if Array.length pool.workers = 0 then begin
+    Stats.record_task ~slot:0;
+    match run () with () -> () | exception e -> (try fail e with _ -> ())
+  end
+  else begin
+    ensure_live pool;
+    let w = Atomic.fetch_and_add pool.next_post 1 in
+    let slot = w mod Array.length pool.workers in
+    Stats.record_task ~slot:(slot + 1);
+    submit pool.workers.(slot) { run; fail }
+  end
 
 let with_pool ?jobs ?budget f =
   let pool = create ?jobs () in

@@ -53,6 +53,16 @@ val parallel_map : ?budget:Budget.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 val parallel_iter : ?budget:Budget.t -> t -> ('a -> unit) -> 'a list -> unit
 
+(** [post t ~run ~fail] submits one fire-and-forget task to a worker
+    (round-robin), with the same crash containment as the combinators:
+    anything escaping [run] is routed to [fail] instead of killing the
+    submitter's accounting.  Completion must be reported by [run]/[fail]
+    themselves (e.g. through a completion queue) — there is no barrier.
+    On a pool of [jobs = 1] the task runs inline on the caller.  Call
+    only from the pool's owner domain; unlike the combinators, [run]
+    must not itself dispatch onto the same pool. *)
+val post : t -> run:(unit -> unit) -> fail:(exn -> unit) -> unit
+
 (** Join all worker domains.  Idempotent.  The pool must not be used
     afterwards. *)
 val shutdown : t -> unit

@@ -12,6 +12,8 @@ type snapshot = {
   simgraph_candidates : int;
   result_cache_hits : int;
   result_cache_misses : int;
+  requests_cancelled : int;
+  singleflight_joins : int;
 }
 
 let states_expanded = Atomic.make 0
@@ -26,6 +28,8 @@ let simgraph_maskings = Atomic.make 0
 let simgraph_candidates = Atomic.make 0
 let result_cache_hits = Atomic.make 0
 let result_cache_misses = Atomic.make 0
+let requests_cancelled = Atomic.make 0
+let singleflight_joins = Atomic.make 0
 
 (* One bit per pool slot; popcount = "domains utilised". *)
 let domain_mask = Atomic.make 0
@@ -41,6 +45,9 @@ let record_intern ~fresh = add (if fresh then interned_states else intern_hits) 
 
 let record_result_cache ~hit =
   add (if hit then result_cache_hits else result_cache_misses) 1
+
+let record_request_cancelled () = add requests_cancelled 1
+let record_singleflight_join () = add singleflight_joins 1
 let add_simgraph_maskings n = add simgraph_maskings n
 let add_simgraph_candidates n = add simgraph_candidates n
 
@@ -74,6 +81,8 @@ let snapshot () =
     simgraph_candidates = Atomic.get simgraph_candidates;
     result_cache_hits = Atomic.get result_cache_hits;
     result_cache_misses = Atomic.get result_cache_misses;
+    requests_cancelled = Atomic.get requests_cancelled;
+    singleflight_joins = Atomic.get singleflight_joins;
   }
 
 let reset () =
@@ -89,6 +98,8 @@ let reset () =
   Atomic.set simgraph_candidates 0;
   Atomic.set result_cache_hits 0;
   Atomic.set result_cache_misses 0;
+  Atomic.set requests_cancelled 0;
+  Atomic.set singleflight_joins 0;
   Atomic.set domain_mask 0
 
 (* [domains_utilised] is a popcount, so restoring it can only mark "that
@@ -108,6 +119,8 @@ let restore s =
   Atomic.set simgraph_candidates s.simgraph_candidates;
   Atomic.set result_cache_hits s.result_cache_hits;
   Atomic.set result_cache_misses s.result_cache_misses;
+  Atomic.set requests_cancelled s.requests_cancelled;
+  Atomic.set singleflight_joins s.singleflight_joins;
   Atomic.set domain_mask (mask_of_count s.domains_utilised)
 
 let merge s =
@@ -123,6 +136,8 @@ let merge s =
   add simgraph_candidates s.simgraph_candidates;
   add result_cache_hits s.result_cache_hits;
   add result_cache_misses s.result_cache_misses;
+  add requests_cancelled s.requests_cancelled;
+  add singleflight_joins s.singleflight_joins;
   let rec or_mask m =
     let cur = Atomic.get domain_mask in
     let next = cur lor m in
@@ -148,6 +163,8 @@ let diff a b =
     simgraph_candidates = d a.simgraph_candidates b.simgraph_candidates;
     result_cache_hits = d a.result_cache_hits b.result_cache_hits;
     result_cache_misses = d a.result_cache_misses b.result_cache_misses;
+    requests_cancelled = d a.requests_cancelled b.requests_cancelled;
+    singleflight_joins = d a.singleflight_joins b.singleflight_joins;
   }
 
 let pp ppf s =
@@ -165,8 +182,10 @@ let pp ppf s =
     \  simgraph maskings     %d@,\
     \  simgraph candidates   %d@,\
     \  result cache hits     %d@,\
-    \  result cache misses   %d@]@."
+    \  result cache misses   %d@,\
+    \  requests cancelled    %d@,\
+    \  single-flight joins   %d@]@."
     s.states_expanded s.dedup_hits s.valence_cache_hits s.valence_cache_misses
     s.tasks_executed s.domains_utilised s.workers_respawned s.interned_states
     s.intern_hits s.simgraph_maskings s.simgraph_candidates s.result_cache_hits
-    s.result_cache_misses
+    s.result_cache_misses s.requests_cancelled s.singleflight_joins

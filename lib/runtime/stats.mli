@@ -36,6 +36,13 @@ type snapshot = {
           (the response bytes were replayed, not recomputed) *)
   result_cache_misses : int;
       (** result-cache probes that fell through to a fresh computation *)
+  requests_cancelled : int;
+      (** serve requests answered with the structured [cancelled] error
+          (their per-request fault domain was cancelled — disconnect,
+          shed eviction or injected cancellation) *)
+  singleflight_joins : int;
+      (** serve requests that coalesced onto an identical in-flight
+          computation instead of starting their own engine walk *)
 }
 
 val reset : unit -> unit
@@ -80,6 +87,13 @@ val add_simgraph_candidates : int -> unit
     the serve daemon: a replayed response when [hit], a fresh
     computation otherwise. *)
 val record_result_cache : hit:bool -> unit
+
+(** One serve request was answered with the [cancelled] error code. *)
+val record_request_cancelled : unit -> unit
+
+(** One serve request joined an identical in-flight computation as a
+    single-flight waiter. *)
+val record_singleflight_join : unit -> unit
 
 (** [record_task ~slot] counts one executed chunk and marks pool slot
     [slot] as utilised (slots >= 62 share the last bit). *)

@@ -4,13 +4,15 @@ type config = {
   queue_cap : int;
   max_heap_mb : int;
   request_timeout_s : float;
+  per_client_cap : int;
 }
 
-let default = { queue_cap = 64; max_heap_mb = 1024; request_timeout_s = 10. }
+let default =
+  { queue_cap = 64; max_heap_mb = 1024; request_timeout_s = 10.; per_client_cap = 16 }
 
 type decision =
   | Admit of Budget.t
-  | Shed of { reason : [ `Queue | `Memory ]; retry_after_s : float }
+  | Shed of { reason : [ `Queue | `Memory | `Client ]; retry_after_s : float }
 
 let heap_mb () =
   let words = (Gc.quick_stat ()).Gc.heap_words in
@@ -19,14 +21,21 @@ let heap_mb () =
 (* The backoff hint shipped with a shed: proportional to how far over
    the queue cap the drain is (the deeper the backlog, the longer the
    wait), a flat half-second for memory pressure — the heap only
-   relaxes on a major collection, not per-request. *)
+   relaxes on a major collection, not per-request.  A per-client shed
+   clears as soon as the client's own in-flight requests finish, so its
+   hint is the floor. *)
 let queue_retry_after ~pending ~queue_cap =
   Float.min 1.0 (0.05 +. (0.01 *. float_of_int (max 0 (pending - queue_cap))))
 
 let memory_retry_after = 0.5
+let client_retry_after = 0.05
 
-let decide cfg ~pending =
-  if pending > cfg.queue_cap then
+let decide ?parent cfg ~pending ~client_pending =
+  if cfg.per_client_cap > 0 && client_pending >= cfg.per_client_cap then
+    (* checked before the global gates: a client past its own cap is
+       never allowed to consume a global admission slot *)
+    Shed { reason = `Client; retry_after_s = client_retry_after }
+  else if pending > cfg.queue_cap then
     Shed
       {
         reason = `Queue;
@@ -38,4 +47,148 @@ let decide cfg ~pending =
     let timeout_s =
       if cfg.request_timeout_s > 0. then Some cfg.request_timeout_s else None
     in
-    Admit (Budget.create ?timeout_s ~max_memory_mb:cfg.max_heap_mb ())
+    Admit
+      (match parent with
+      | None -> Budget.create ?timeout_s ~max_memory_mb:cfg.max_heap_mb ()
+      | Some p -> Budget.child ?timeout_s ~max_memory_mb:cfg.max_heap_mb p)
+
+(* ------------------------------------------------------------------ *)
+(* Backlog                                                            *)
+
+module Backlog = struct
+  (* A binary min-heap ordered by (deadline, seq): earliest deadline
+     first, and — the determinism the tie-break tests pin — arrival
+     order among equal deadlines, via a total arrival sequence number.
+     Per-client occupancy is tracked on the side so fair-share policy
+     (cap checks, evicting the deepest client) reads in O(1). *)
+  type 'a entry = { deadline : float; seq : int; client : int; payload : 'a }
+
+  type 'a t = {
+    mutable heap : 'a entry array;  (* slots [0, len) are live *)
+    mutable len : int;
+    depths : (int, int) Hashtbl.t;  (* client -> queued entries *)
+    mutable next_seq : int;
+  }
+
+  let create () =
+    { heap = [||]; len = 0; depths = Hashtbl.create 16; next_seq = 0 }
+
+  let length t = t.len
+
+  let depth_of t ~client =
+    Option.value ~default:0 (Hashtbl.find_opt t.depths client)
+
+  let bump t client d =
+    let cur = depth_of t ~client in
+    let next = cur + d in
+    if next <= 0 then Hashtbl.remove t.depths client
+    else Hashtbl.replace t.depths client next
+
+  let before a b =
+    a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
+
+  let swap t i j =
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(j);
+    t.heap.(j) <- tmp
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if before t.heap.(i) t.heap.(p) then begin
+        swap t i p;
+        sift_up t p
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = if l < t.len && before t.heap.(l) t.heap.(i) then l else i in
+    let m = if r < t.len && before t.heap.(r) t.heap.(m) then r else m in
+    if m <> i then begin
+      swap t i m;
+      sift_down t m
+    end
+
+  let push t ~client ~deadline payload =
+    let e = { deadline; seq = t.next_seq; client; payload } in
+    t.next_seq <- t.next_seq + 1;
+    if Array.length t.heap = 0 then t.heap <- Array.make 8 e
+    else if t.len = Array.length t.heap then begin
+      let bigger = Array.make (2 * t.len) e in
+      Array.blit t.heap 0 bigger 0 t.len;
+      t.heap <- bigger
+    end;
+    t.heap.(t.len) <- e;
+    t.len <- t.len + 1;
+    bump t client 1;
+    sift_up t (t.len - 1)
+
+  (* Delete the entry at heap slot [i] (swap-with-last then restore the
+     heap property in whichever direction the replacement violates). *)
+  let delete_at t i =
+    let e = t.heap.(i) in
+    t.len <- t.len - 1;
+    bump t e.client (-1);
+    if i < t.len then begin
+      t.heap.(i) <- t.heap.(t.len);
+      sift_down t i;
+      sift_up t i
+    end;
+    e
+
+  let pop t =
+    if t.len = 0 then None
+    else
+      let e = delete_at t 0 in
+      Some e.payload
+
+  let evict_newest_of_deepest t ~spare ~deeper_than =
+    if t.len = 0 then None
+    else begin
+      (* deepest client other than [spare]; depth ties break toward the
+         smaller client id so the shedding order is deterministic *)
+      let victim_client = ref (-1) and victim_depth = ref 0 in
+      Hashtbl.iter
+        (fun client depth ->
+          if
+            client <> spare
+            && (depth > !victim_depth
+               || (depth = !victim_depth && !victim_client >= 0
+                  && client < !victim_client))
+          then begin
+            victim_client := client;
+            victim_depth := depth
+          end)
+        t.depths;
+      if !victim_client < 0 || !victim_depth <= deeper_than then None
+      else begin
+        (* that client's newest entry = max (deadline, seq) among its
+           slots — the request that would have run last anyway *)
+        let best = ref (-1) in
+        for i = 0 to t.len - 1 do
+          if
+            t.heap.(i).client = !victim_client
+            && (!best < 0 || before t.heap.(!best) t.heap.(i))
+          then best := i
+        done;
+        let e = delete_at t !best in
+        Some (e.client, e.payload)
+      end
+    end
+
+  let remove_client t ~client =
+    let keep = ref [] and mine = ref [] in
+    for i = 0 to t.len - 1 do
+      let e = t.heap.(i) in
+      if e.client = client then mine := e :: !mine else keep := e :: !keep
+    done;
+    t.heap <- Array.of_list !keep;
+    t.len <- Array.length t.heap;
+    for i = (t.len / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    Hashtbl.remove t.depths client;
+    List.sort (fun a b -> if before a b then -1 else 1) !mine
+    |> List.map (fun e -> e.payload)
+end

@@ -1,12 +1,16 @@
 (** Admission control: decide, before any work happens, whether a
     compute request runs — and under what budget — or is shed.
 
-    Two shedding triggers, both answered with a distinguished
+    Three shedding triggers, all answered with a distinguished
     [overloaded] response rather than an error (the client did nothing
     wrong; it should back off and retry):
 
+    - {b per-client cap}: this connection alone already has
+      [per_client_cap] requests in flight — checked first, so a
+      flooding client is turned away before it can consume a global
+      admission slot (the fair-share half of overload isolation);
     - {b queue depth}: more than [queue_cap] requests already waiting
-      in the batch being drained;
+      across all clients;
     - {b memory watermark}: the OCaml heap is over [max_heap_mb] at
       admission time — new work would push a loaded daemon toward the
       OOM killer.
@@ -14,27 +18,83 @@
     Admitted compute requests get a fresh {!Layered_runtime.Budget}
     carrying the per-request deadline (and the memory cap, so a single
     admitted query that blows past the watermark mid-flight truncates
-    instead of taking the daemon down). *)
+    instead of taking the daemon down).  With [?parent], the budget is
+    a {e child} of the caller's token — the per-request fault domain:
+    cancelling the parent (client disconnect) trips every one of its
+    admitted requests, cancelling one request touches nothing else. *)
 
 type config = {
   queue_cap : int;  (** shed when more than this many requests wait *)
   max_heap_mb : int;  (** shed new work when the heap exceeds this *)
   request_timeout_s : float;  (** per-request deadline; 0 = none *)
+  per_client_cap : int;
+      (** max in-flight requests per connection; 0 disables the cap *)
 }
 
 val default : config
 
 type decision =
   | Admit of Layered_runtime.Budget.t
-  | Shed of { reason : [ `Queue | `Memory ]; retry_after_s : float }
+  | Shed of {
+      reason : [ `Queue | `Memory | `Client ];
+      retry_after_s : float;
+    }
       (** [retry_after_s] is the backoff the overloaded response
           suggests: queue sheds scale with backlog depth (50 ms plus
           10 ms per excess request, capped at 1 s), memory sheds are a
-          flat 0.5 s *)
+          flat 0.5 s, per-client sheds a flat 50 ms (the cap clears as
+          soon as the client's own requests finish) *)
 
-(** [decide cfg ~pending] — [pending] is how many requests are queued
-    behind this one in the current drain. *)
-val decide : config -> pending:int -> decision
+(** [decide ?parent cfg ~pending ~client_pending] — [pending] is how
+    many admitted requests are queued or running across all clients;
+    [client_pending] is how many this connection already has in
+    flight. *)
+val decide :
+  ?parent:Layered_runtime.Budget.t ->
+  config -> pending:int -> client_pending:int -> decision
 
 (** Current major-heap size in MiB, as admission sees it. *)
 val heap_mb : unit -> int
+
+(** A deterministic priority queue for admitted-but-not-yet-running
+    work, keyed by (deadline, arrival seq): earliest deadline first,
+    strict arrival (FIFO) order among equal deadlines — so the order
+    work starts, and the order fair-share shedding evicts it, is a pure
+    function of the admission sequence, independent of scheduling.
+    Deadline-free entries (daemon running with [request_timeout_s = 0])
+    all tie at infinity and drain strictly FIFO.
+
+    Not thread-safe: the serve dispatcher owns its backlog from the
+    select-loop thread. *)
+module Backlog : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+
+  (** Queued entries for one client (0 when absent). *)
+  val depth_of : 'a t -> client:int -> int
+
+  (** [push t ~client ~deadline payload] enqueues with the next arrival
+      sequence number.  Use [infinity] for "no deadline". *)
+  val push : 'a t -> client:int -> deadline:float -> 'a -> unit
+
+  (** Remove and return the minimum — earliest (deadline, seq). *)
+  val pop : 'a t -> 'a option
+
+  (** [evict_newest_of_deepest t ~spare ~deeper_than] removes the
+      (deadline, seq) {e maximum} entry of the client with the most
+      queued entries, never touching client [spare] — the fair-share
+      shed: the deepest queue loses the request that would have run
+      last.  Depth ties break toward the smaller client id.  [None]
+      when no client other than [spare] has queued work, or when the
+      deepest such client holds no more than [deeper_than] entries
+      (evicting a peer no deeper than the newcomer would be churn, not
+      fairness). *)
+  val evict_newest_of_deepest :
+    'a t -> spare:int -> deeper_than:int -> (int * 'a) option
+
+  (** Drop every entry of one client (its connection died), returned in
+      (deadline, seq) order. *)
+  val remove_client : 'a t -> client:int -> 'a list
+end

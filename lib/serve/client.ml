@@ -160,7 +160,8 @@ let send_raw t line =
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
             ->
-              ignore (Unix.select [] [ fd ] [] 1.0);
+              (try ignore (Unix.select [] [ fd ] [] 1.0)
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ());
               go off
       in
       match go 0 with
@@ -188,6 +189,9 @@ let read_one t ~deadline =
               Error (Fatal "timed out waiting for a response line")
             else
               match Unix.select [ fd ] [] [] remaining with
+              (* a signal mid-wait is not a timeout: retry with the
+                 deadline recomputed *)
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
               | [], _, _ -> Error (Fatal "timed out waiting for a response line")
               | _ -> (
                   match Unix.read fd buf 0 (Bytes.length buf) with

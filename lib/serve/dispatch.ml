@@ -35,14 +35,18 @@ let with_buffer f =
   Format.pp_print_flush ppf ();
   (code, Buffer.contents b)
 
-(* Classification runs unbudgeted by design: a deadline mid-exploration
-   would make verdicts depend on cache warmth (a warm memo answers
-   before the deadline, a cold one trips it), breaking the guarantee
-   that responses are independent of request history.  The caps in
-   [Protocol] bound the work instead. *)
-let classify_output ?cache ~model ~n ~t ~depth () =
+(* Classification runs deadline-free by design: a deadline
+   mid-exploration would make verdicts depend on cache warmth (a warm
+   memo answers before the deadline, a cold one trips it), breaking the
+   guarantee that responses are independent of request history.  The
+   caps in [Protocol] bound the work instead.  [?budget] therefore
+   carries only a {e cancellation} token (a limit-free budget child):
+   a cancelled walk degrades to Unknown verdicts and caches nothing,
+   and the dispatcher discards the output in favour of a [cancelled]
+   error — warm-cache determinism is untouched. *)
+let classify_output ?cache ?budget ~model ~n ~t ~depth () =
   with_buffer (fun ppf ->
-      let q = Valence_query.run ?cache ~model ~n ~t ~depth () in
+      let q = Valence_query.run ?budget ?cache ~model ~n ~t ~depth () in
       Format.fprintf ppf "%a" Valence_query.pp q;
       0)
 
@@ -109,6 +113,29 @@ let execute ctx ~budget req =
       run_experiment_output ~pool:ctx.pool ~budget ~id ()
   | Protocol.Stats_query | Protocol.Shutdown -> assert false
 
+(* Task body for the concurrent dispatcher: runs on a pool worker, so
+   inner parallelism is disabled (Pool combinators must not be nested
+   on the same pool; serial and pooled renderings are byte-identical by
+   construction) and the request's budget token is threaded everywhere
+   — into classification as a pure cancellation child, so a disconnect
+   or an eviction interrupts the walk without ever imposing a deadline
+   on verdicts.  The leader-crash site lives here: every task is the
+   leader of exactly one single-flight computation. *)
+let execute_concurrent ctx ~budget req =
+  if Fault.point Fault.Serve_handler_raise then
+    raise (Fault.Injected Fault.Serve_handler_raise);
+  if Fault.point Fault.Serve_singleflight_leader_crash then
+    raise (Fault.Injected Fault.Serve_singleflight_leader_crash);
+  match req with
+  | Protocol.Classify_valence { model; n; t; depth } ->
+      let cancel_token = Budget.child budget in
+      classify_output ~cache:ctx.vcache ~budget:cancel_token ~model ~n ~t
+        ~depth ()
+  | Protocol.Sweep { model; n; t; depth } ->
+      sweep_output ~budget ~model ~n ~t ~depth ()
+  | Protocol.Run_experiment { id } -> run_experiment_output ~budget ~id ()
+  | Protocol.Stats_query | Protocol.Shutdown -> assert false
+
 let handle ctx ~pending line =
   match Protocol.decode_request line with
   | Error (id, code, message) -> Protocol.Resp_error { id; code; message }
@@ -121,7 +148,7 @@ let handle ctx ~pending line =
       Atomic.set ctx.stop true;
       Protocol.Resp_ok { id; exit_code = 0; output = "shutting down\n" }
   | Ok (id, req) -> (
-      match Admission.decide ctx.admission ~pending with
+      match Admission.decide ctx.admission ~pending ~client_pending:0 with
       | Admission.Shed { reason; retry_after_s } ->
           Protocol.Resp_overloaded { id; reason; retry_after_s = Some retry_after_s }
       | Admission.Admit budget -> (

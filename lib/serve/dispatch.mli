@@ -1,11 +1,13 @@
 (** Request execution: one decoded request in, one response out.
 
-    The dispatcher is single-threaded — parallelism lives {e inside}
-    queries, in the shared {!Layered_runtime.Pool} — so the shared
-    caches need no locks.  Per-request containment: any exception out
-    of a handler (including an injected {!Layered_runtime.Fault} one)
-    becomes an [internal] error response for that request only; the
-    daemon keeps serving.
+    Two execution paths share these renderers: the sequential {!handle}
+    (one request at a time on the calling thread, pool parallelism
+    {e inside} queries) and {!execute_concurrent}, the task body the
+    concurrent {!Dispatcher} posts to pool workers (whole requests in
+    parallel, no inner pool nesting).  Per-request containment either
+    way: any exception out of a handler (including an injected
+    {!Layered_runtime.Fault} one) becomes an [internal] error response
+    for that request only; the daemon keeps serving.
 
     {b Byte-identity.}  The [output] field of an [ok] response is
     rendered by the same pretty-printers the one-shot CLI drives
@@ -31,10 +33,28 @@ val create_ctx :
   ?spill:bool ->
   pool:Layered_runtime.Pool.t -> admission:Admission.config -> unit -> ctx
 
+(** The CLI exit code for a budget-truncated result (3).  Truncated
+    results are never cached — they reflect one request's deadline
+    luck, not the query's answer. *)
+val exit_trunc : int
+
 (** [handle ctx ~pending line] decodes, validates, admits and executes
-    one request line.  [pending] is the number of requests queued behind
-    this one (admission's queue-depth signal).  Never raises. *)
+    one request line, sequentially on the calling thread.  [pending] is
+    the number of requests queued behind this one (admission's
+    queue-depth signal; the per-client gate is not consulted).  Never
+    raises.  This is the reference path — the concurrent {!Dispatcher}
+    must be byte-equivalent to it per connection. *)
 val handle : ctx -> pending:int -> string -> Protocol.response
+
+(** [execute_concurrent ctx ~budget req] renders one compute request on
+    the calling (pool-worker) thread: no inner pool parallelism, and
+    [budget] threaded into the walk — classification receives it as a
+    limit-free cancellation child, so verdicts stay deadline-free.  Home
+    of the [serve_handler_raise] and [serve_singleflight_leader_crash]
+    fault sites; raises whatever the handler (or an injected fault)
+    raises — the dispatcher contains it. *)
+val execute_concurrent :
+  ctx -> budget:Layered_runtime.Budget.t -> Protocol.request -> int * string
 
 (** {1 Pure renderers}
 
@@ -43,6 +63,7 @@ val handle : ctx -> pending:int -> string -> Protocol.response
 
 val classify_output :
   ?cache:Layered_analysis.Valence_query.cache ->
+  ?budget:Layered_runtime.Budget.t ->
   model:string -> n:int -> t:int -> depth:int -> unit -> int * string
 
 val sweep_output :

@@ -16,6 +16,7 @@ type error_code =
   | Unknown_model
   | Internal
   | Timeout
+  | Cancelled
 
 let error_code_name = function
   | Parse -> "parse"
@@ -25,6 +26,7 @@ let error_code_name = function
   | Unknown_model -> "unknown-model"
   | Internal -> "internal"
   | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
 
 let error_code_of_name = function
   | "parse" -> Some Parse
@@ -34,6 +36,7 @@ let error_code_of_name = function
   | "unknown-model" -> Some Unknown_model
   | "internal" -> Some Internal
   | "timeout" -> Some Timeout
+  | "cancelled" -> Some Cancelled
   | _ -> None
 
 type response =
@@ -41,7 +44,7 @@ type response =
   | Resp_error of { id : int option; code : error_code; message : string }
   | Resp_overloaded of {
       id : int option;
-      reason : [ `Queue | `Memory ];
+      reason : [ `Queue | `Memory | `Client ];
       retry_after_s : float option;
     }
 
@@ -54,11 +57,15 @@ let max_t = 4
 let max_depth = 12
 let max_line_bytes = 65536
 
-let reason_name = function `Queue -> "queue-depth" | `Memory -> "memory"
+let reason_name = function
+  | `Queue -> "queue-depth"
+  | `Memory -> "memory"
+  | `Client -> "per-client"
 
 let reason_of_name = function
   | "queue-depth" -> Some `Queue
   | "memory" -> Some `Memory
+  | "per-client" -> Some `Client
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

@@ -51,6 +51,12 @@ type error_code =
       (** the server gave up waiting — a stalled connection holding half
           a request line past the idle deadline, never a compute result
           (deadline-tripped compute is a truncated [ok], exit 3) *)
+  | Cancelled
+      (** the request's fault domain was cancelled before a result was
+          committed — its client disconnected, an admission fair-share
+          eviction revoked it, or an injected cancellation tripped its
+          budget token.  Scoped strictly to the one request: the daemon,
+          its caches and every other in-flight request are unaffected *)
 
 val error_code_name : error_code -> string
 
@@ -59,7 +65,11 @@ type response =
   | Resp_error of { id : int option; code : error_code; message : string }
   | Resp_overloaded of {
       id : int option;
-      reason : [ `Queue | `Memory ];
+      reason : [ `Queue | `Memory | `Client ];
+          (** [`Queue]: global queue depth; [`Memory]: heap watermark;
+              [`Client]: this connection alone is past its fair-share
+              in-flight cap ([per-client] on the wire) — other clients
+              are still being admitted *)
       retry_after_s : float option;
           (** the server's backoff suggestion ([retry-after] on the
               wire); a resilient client sleeps this long and replays

@@ -28,15 +28,16 @@ let fresh_socket_path () =
    oracle verdicts must not depend on deadline luck.  Shutdown goes over
    the wire in [finally], so the daemon dies even when [f] bails early;
    the client-side read deadline keeps a dead daemon from hanging us. *)
-let with_server ~jobs f =
+let with_server ?(tweak = Fun.id) ~jobs f =
   let path = fresh_socket_path () in
   let cfg =
-    {
-      (Server.default_config ~socket_path:path) with
-      jobs;
-      request_timeout_s = 0.;
-      install_signals = false;
-    }
+    tweak
+      {
+        (Server.default_config ~socket_path:path) with
+        jobs;
+        request_timeout_s = 0.;
+        install_signals = false;
+      }
   in
   let dom = Domain.spawn (fun () -> Server.run cfg) in
   let rec wait n =
@@ -174,6 +175,259 @@ let jobs_eq ~jobs =
     else if serial.Oracle.detail <> parallel.Oracle.detail then
       fail "daemon responses differ between jobs=1 and a multi-worker pool"
     else pass_
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency oracles: per-request fault domains, single-flight,      *)
+(* fair-share shedding                                                 *)
+
+(* "result cache hits     3" out of the stats pretty-printer. *)
+let stats_field output name =
+  String.split_on_char '\n' output
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.starts_with ~prefix:name line then
+           int_of_string_opt
+             (String.trim
+                (String.sub line (String.length name)
+                   (String.length line - String.length name)))
+         else None)
+
+let query_stats c =
+  match Client.request c Protocol.Stats_query ~timeout_s with
+  | Error e -> Error ("stats: " ^ e)
+  | Ok line -> (
+      match Protocol.decode_response line with
+      | Ok (Protocol.Resp_ok { output; _ }) -> Ok output
+      | Ok _ -> Error "stats request answered with a non-ok response"
+      | Error e -> Error ("stats response did not decode: " ^ e))
+
+(* Distinct from q1..q3 so intra-oracle cache interactions are exactly
+   the ones each oracle scripts. *)
+let q_solo = Protocol.Classify_valence { model = "mobile"; n = 3; t = 1; depth = 3 }
+let q_flock = Protocol.Classify_valence { model = "sync"; n = 3; t = 1; depth = 2 }
+
+(* Lock-step roundtrip with a byte check per response. *)
+let check_queries c qs =
+  let rec go = function
+    | [] -> pass_
+    | (id, req) :: rest -> (
+        match Client.request c ~id req ~timeout_s with
+        | Error e -> fail e
+        | Ok line ->
+            if line = expected_line ~id req then go rest
+            else
+              fail
+                (Printf.sprintf
+                   "response %d differs from the one-shot CLI rendering" id))
+  in
+  go qs
+
+(* A disconnect is a private fault: the dying connection's requests are
+   cancelled, and nothing a surviving client can observe — response
+   bytes or cache accounting — may change.  Y's first three queries are
+   also the first three admissions AND the first three executed
+   flights, so any armed serve fault lands on a response this oracle
+   byte-checks. *)
+let cancel_clean ~jobs =
+  with_server ~jobs:(clamp jobs) (fun path ->
+      with_client path (fun y ->
+          let warm = check_queries y [ (1, q1); (2, q2); (3, q3) ] in
+          if not warm.Oracle.ok then warm
+          else
+            (* X: one admitted request, then a hard disconnect — its
+               fault domain must cancel without touching anything Y
+               sees *)
+            match Client.connect path with
+            | Error e -> fail ("client X: " ^ e)
+            | Ok x -> (
+                let sent = Client.send x (Protocol.encode_request ~id:9 q_solo) in
+                Client.close x;
+                match sent with
+                | Error e -> fail ("client X send: " ^ e)
+                | Ok () -> (
+                    match Client.request y ~id:5 q_solo ~timeout_s with
+                    | Error e -> fail ("post-disconnect: " ^ e)
+                    | Ok line ->
+                        if line <> expected_line ~id:5 q_solo then
+                          fail
+                            "query after a foreign disconnect differs from \
+                             the one-shot rendering"
+                        else (
+                          match query_stats y with
+                          | Error e -> fail e
+                          | Ok output -> (
+                              (* five compute submissions total; each is
+                                 exactly one of hit / miss / join in every
+                                 legal interleaving of X's disconnect *)
+                              match
+                                ( stats_field output "result cache hits",
+                                  stats_field output "result cache misses",
+                                  stats_field output "single-flight joins" )
+                              with
+                              | Some h, Some m, Some j ->
+                                  if h + m + j = 5 then pass_
+                                  else
+                                    fail
+                                      (Printf.sprintf
+                                         "cache accounting off after a \
+                                          disconnect: hits+misses+joins = %d, \
+                                          expected 5"
+                                         (h + m + j))
+                              | _ -> fail "stats output lacks cache counters"))))))
+
+(* Four connections fire the same query at once: everyone must get the
+   leader's bytes, and the daemon must have computed exactly once
+   (one miss; the other three are joins or warm hits, depending on
+   arrival timing — never a second miss). *)
+let singleflight_eq ~jobs =
+  with_server ~jobs:(clamp jobs) (fun path ->
+      let conns = List.init 4 (fun _ -> Client.connect path) in
+      let cs = List.filter_map Result.to_option conns in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close cs)
+        (fun () ->
+          match
+            List.find_map
+              (function Error e -> Some e | Ok _ -> None)
+              conns
+          with
+          | Some e -> fail ("connect: " ^ e)
+          | None -> (
+              let line = Protocol.encode_request ~id:1 q_flock in
+              match
+                List.find_map
+                  (fun c ->
+                    match Client.send c line with
+                    | Error e -> Some e
+                    | Ok () -> None)
+                  cs
+              with
+              | Some e -> fail ("send: " ^ e)
+              | None -> (
+                  let expect = expected_line ~id:1 q_flock in
+                  let bad =
+                    List.find_map
+                      (fun c ->
+                        match Client.read_lines c ~n:1 ~timeout_s with
+                        | Error e -> Some ("read: " ^ e)
+                        | Ok [ l ] when l = expect -> None
+                        | Ok _ ->
+                            Some
+                              "a coalesced reply differs from the one-shot \
+                               rendering")
+                      cs
+                  in
+                  match bad with
+                  | Some d -> fail d
+                  | None -> (
+                      let c0 = List.hd cs in
+                      match query_stats c0 with
+                      | Error e -> fail e
+                      | Ok output -> (
+                          match
+                            ( stats_field output "result cache hits",
+                              stats_field output "result cache misses",
+                              stats_field output "single-flight joins" )
+                          with
+                          | Some h, Some m, Some j ->
+                              if m <> 1 then
+                                fail
+                                  (Printf.sprintf
+                                     "identical concurrent requests computed \
+                                      %d times, expected 1"
+                                     m)
+                              else if h + j <> 3 then
+                                fail
+                                  (Printf.sprintf
+                                     "expected 3 coalesced followers \
+                                      (hits+joins), found %d"
+                                     (h + j))
+                              else
+                                (* three more executed flights so the
+                                   execution-side fault sites always fire
+                                   on a byte-checked response *)
+                                check_queries c0
+                                  [ (11, q1); (12, q2); (13, q3) ]
+                          | _ -> fail "stats output lacks cache counters"))))))
+
+(* One flooding client, one well-behaved one, per-client cap 4.  The
+   flood's first four requests coalesce onto one flight and answer ok;
+   the rest are shed with the per-client reason, in FIFO order.  The
+   well-behaved client's queries all answer with one-shot bytes. *)
+let q_fair_b = [ (11, q2); (12, q3); (13, q_solo) ]
+
+let fair_share ~jobs =
+  with_server ~jobs:(clamp jobs)
+    ~tweak:(fun c -> { c with Server.per_client_cap = 4 })
+    (fun path ->
+      with_client path (fun a ->
+          with_client path (fun b ->
+              let ids = List.init 8 (fun i -> i + 1) in
+              let payload =
+                String.concat "\n"
+                  (List.map (fun id -> Protocol.encode_request ~id q1) ids)
+              in
+              match Client.send a payload with
+              | Error e -> fail ("flooding client: " ^ e)
+              | Ok () -> (
+                  match Client.read_lines a ~n:8 ~timeout_s with
+                  | Error e -> fail ("flooding client: " ^ e)
+                  | Ok lines -> (
+                      let check_reply i line =
+                        let id = i + 1 in
+                        if i < 4 then
+                          if line = expected_line ~id q1 then None
+                          else
+                            Some
+                              (Printf.sprintf
+                                 "admitted flood request %d does not carry \
+                                  the one-shot bytes"
+                                 id)
+                        else
+                          match Protocol.decode_response line with
+                          | Ok
+                              (Protocol.Resp_overloaded
+                                 { id = Some rid; reason = `Client; _ })
+                            when rid = id ->
+                              None
+                          | _ ->
+                              Some
+                                (Printf.sprintf
+                                   "flood request %d over the per-client cap \
+                                    was not shed with reason per-client"
+                                   id)
+                      in
+                      let bad =
+                        List.mapi check_reply lines
+                        |> List.find_map Fun.id
+                      in
+                      match bad with
+                      | Some d -> fail d
+                      | None -> (
+                          (* the well-behaved client is untouched by the
+                             flood next door *)
+                          let v = check_queries b q_fair_b in
+                          if not v.Oracle.ok then
+                            fail ("well-behaved client: " ^ v.Oracle.detail)
+                          else
+                            match query_stats b with
+                            | Error e -> fail e
+                            | Ok output -> (
+                                match
+                                  stats_field output "single-flight joins"
+                                with
+                                | Some 3 -> pass_
+                                | Some j ->
+                                    fail
+                                      (Printf.sprintf
+                                         "expected the flood's 3 identical \
+                                          admitted requests to coalesce, \
+                                          found %d joins"
+                                         j)
+                                | None ->
+                                    fail
+                                      "stats output lacks a single-flight \
+                                       line")))))))
 
 (* ------------------------------------------------------------------ *)
 (* Recovery oracles: crash-proof serving                               *)
@@ -343,27 +597,6 @@ let crash_recover_eq ~jobs =
       in
       absorbed ~restarts ~replays ~elapsed verdict)
 
-(* "result cache hits     3" out of the stats pretty-printer. *)
-let stats_field output name =
-  String.split_on_char '\n' output
-  |> List.find_map (fun line ->
-         let line = String.trim line in
-         if String.starts_with ~prefix:name line then
-           int_of_string_opt
-             (String.trim
-                (String.sub line (String.length name)
-                   (String.length line - String.length name)))
-         else None)
-
-let query_stats c =
-  match Client.request c Protocol.Stats_query ~timeout_s with
-  | Error e -> Error ("stats: " ^ e)
-  | Ok line -> (
-      match Protocol.decode_response line with
-      | Ok (Protocol.Resp_ok { output; _ }) -> Ok output
-      | Ok _ -> Error "stats request answered with a non-ok response"
-      | Error e -> Error ("stats response did not decode: " ^ e))
-
 let warm_restart ~jobs =
   with_spill_dir (fun dir ->
       let phase f = with_supervised_server ~jobs:(clamp jobs) ~dir f in
@@ -462,6 +695,27 @@ let oracles =
       Oracle.name = "serve/jobs-eq";
       what = "a jobs=1 daemon and a multi-worker daemon answer identically";
       check = jobs_eq;
+    };
+    {
+      Oracle.name = "serve/cancel-clean";
+      what =
+        "a client disconnect cancels only its own in-flight requests; \
+         surviving clients see one-shot bytes and clean cache accounting";
+      check = cancel_clean;
+    };
+    {
+      Oracle.name = "serve/singleflight-eq";
+      what =
+        "identical concurrent requests coalesce onto one computation; every \
+         waiter receives the leader's bytes";
+      check = singleflight_eq;
+    };
+    {
+      Oracle.name = "serve/fair-share";
+      what =
+        "a flooding client is shed at its per-client cap (FIFO, reason \
+         per-client) while a well-behaved client gets one-shot bytes";
+      check = fair_share;
     };
     {
       Oracle.name = "serve/crash-recover-eq";

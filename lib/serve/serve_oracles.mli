@@ -13,11 +13,25 @@
       identical response bytes, and a repeated query is answered
       identically warm (cached) and cold;
     - [serve/jobs-eq]: a jobs=1 daemon and a multi-worker daemon answer
-      the same query set identically.
+      the same query set identically;
+    - [serve/cancel-clean]: a client disconnect cancels only that
+      client's in-flight requests — a surviving client's answers and
+      the shared caches' accounting are untouched;
+    - [serve/singleflight-eq]: four connections firing the identical
+      query at once all receive the leader's bytes, and the daemon
+      computed exactly once;
+    - [serve/fair-share]: a client flooding past its per-client cap is
+      shed deterministically (FIFO, reason per-client) while a
+      well-behaved client is served one-shot bytes;
+    - the [serve/crash-recover-eq], [serve/warm-restart] and
+      [serve/replay-idempotent] recovery oracles run the supervised
+      stack and treat restarts, replays and latency-guard trips as
+      detections even when the bytes come back right.
 
-    Each oracle issues at least three uncached compute requests, so an
-    armed serve fault site (firing index < 3) is guaranteed to fire
-    during a chaos trial. *)
+    Each oracle issues at least three byte-checked compute requests
+    covering the first three admissions and the first three executed
+    flights, so an armed serve fault site (firing index < 3) is
+    guaranteed to fire on a response the oracle verifies. *)
 
-(** Register the three oracles.  Idempotent. *)
+(** Register the oracles.  Idempotent. *)
 val register : unit -> unit

@@ -8,9 +8,11 @@ type config = {
   queue_cap : int;
   max_heap_mb : int;
   request_timeout_s : float;
+  per_client_cap : int;
   idle_timeout_s : float;
   spill_dir : string option;
   spill_every : int;
+  spill_keep : int;
   stats : bool;
   install_signals : bool;
 }
@@ -22,9 +24,11 @@ let default_config ~socket_path =
     queue_cap = Admission.default.Admission.queue_cap;
     max_heap_mb = Admission.default.Admission.max_heap_mb;
     request_timeout_s = Admission.default.Admission.request_timeout_s;
+    per_client_cap = Admission.default.Admission.per_client_cap;
     idle_timeout_s = 30.;
     spill_dir = None;
     spill_every = 32;
+    spill_keep = Spill.keep_generations;
     stats = false;
     install_signals = true;
   }
@@ -34,13 +38,12 @@ let default_config ~socket_path =
    in-process supervisor can tell a simulated death from a clean stop. *)
 let exit_crashed = 70
 
-(* Raised by the crash-before-reply fault site: the in-process stand-in
-   for the whole daemon dying between cache fill and response write. *)
-exception Crashed
+exception Crashed = Dispatcher.Crashed
 
 type client = {
   fd : Unix.file_descr;
   session : Session.t;
+  conn : Dispatcher.conn;
   mutable last_data_s : float;
       (* when this connection last produced bytes; with a partial line
          pending, the slow-loris deadline counts from here *)
@@ -135,202 +138,221 @@ let run cfg =
   | None -> 2
   | Some listener ->
       Stats.reset ();
-      Pool.with_pool ~jobs:cfg.jobs (fun pool ->
-          let admission =
-            {
-              Admission.queue_cap = cfg.queue_cap;
-              max_heap_mb = cfg.max_heap_mb;
-              request_timeout_s = cfg.request_timeout_s;
-            }
+      let pool = Pool.create ~jobs:cfg.jobs () in
+      let admission =
+        {
+          Admission.queue_cap = cfg.queue_cap;
+          max_heap_mb = cfg.max_heap_mb;
+          request_timeout_s = cfg.request_timeout_s;
+          per_client_cap = cfg.per_client_cap;
+        }
+      in
+      let ctx =
+        Dispatch.create_ctx
+          ~spill:(cfg.spill_dir <> None)
+          ~pool ~admission ()
+      in
+      (* Warm-cache recovery: rehydrate both shared caches from the
+         newest intact spill before the first request arrives. *)
+      (match cfg.spill_dir with
+      | Some dir ->
+          let restored =
+            Spill.load ~dir ~rcache:ctx.Dispatch.rcache
+              ~vcache:ctx.Dispatch.vcache
           in
-          let ctx =
-            Dispatch.create_ctx
-              ~spill:(cfg.spill_dir <> None)
-              ~pool ~admission ()
+          if restored > 0 then
+            Format.eprintf "layered serve: restored %d cache entries@."
+              restored
+      | None -> ());
+      let served = ref 0 in
+      let do_spill () =
+        match cfg.spill_dir with
+        | None -> ()
+        | Some dir -> (
+            match
+              Spill.save ~keep:cfg.spill_keep ~dir
+                ~rcache:ctx.Dispatch.rcache ~vcache:ctx.Dispatch.vcache ()
+            with
+            | Ok _ -> ()
+            | Error e ->
+                Format.eprintf "layered serve: cache spill failed: %s@." e)
+      in
+      (* Spill cadence runs per committed response, BEFORE the crash
+         site and the write (inside Dispatcher.flush): the crash window
+         the recovery oracles probe is "caches filled and durable,
+         reply lost" — the replayed request must be answered from the
+         reloaded cache, never recomputed. *)
+      let disp =
+        Dispatcher.create ~ctx
+          ~on_commit:(fun () ->
+            incr served;
+            if cfg.spill_every > 0 && !served mod cfg.spill_every = 0 then
+              do_spill ())
+          ()
+      in
+      let saved =
+        install_stop_handlers ~install_signals:cfg.install_signals
+          ctx.Dispatch.stop
+      in
+      let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+      let stopping () = Atomic.get ctx.Dispatch.stop in
+      let add_client client_fd =
+        (* the cycle (conn needs fd's closures, client holds conn) is
+           tied through [on_dead]: the dispatcher decides when the
+           connection is dead — failed write, disconnect, or a flushed
+           farewell — and this closure retires the fd exactly once *)
+        let conn =
+          Dispatcher.add_conn disp
+            ~write:(fun resp -> write_response client_fd resp)
+            ~on_dead:(fun () ->
+              Hashtbl.remove clients client_fd;
+              close_quiet client_fd)
+        in
+        Hashtbl.replace clients client_fd
+          {
+            fd = client_fd;
+            session = Session.create ();
+            conn;
+            last_data_s = Unix.gettimeofday ();
+          }
+      in
+      let handle_readable c =
+        (* chaos site: the read path stalls before consuming bytes,
+           as by a scheduling hiccup — the latency guard in the
+           recovery oracles must notice *)
+        if Fault.point Fault.Serve_stalled_client then
+          Unix.sleepf Fault.stall_seconds;
+        let buf = Bytes.create 4096 in
+        match Unix.read c.fd buf 0 (Bytes.length buf) with
+        | 0 -> Dispatcher.drop_conn disp c.conn
+        | n ->
+            c.last_data_s <- Unix.gettimeofday ();
+            let lines, overflow =
+              Session.feed c.session (Bytes.sub_string buf 0 n)
+            in
+            List.iter (Dispatcher.submit disp c.conn) lines;
+            if overflow then
+              (* line sync is lost; answer everything owed, then the
+                 farewell, then hang up *)
+              Dispatcher.finish_conn disp c.conn
+                ~farewell:
+                  (Protocol.Resp_error
+                     {
+                       id = None;
+                       code = Protocol.Parse;
+                       message =
+                         Printf.sprintf "request line exceeds %d bytes"
+                           Protocol.max_line_bytes;
+                     })
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            (* a signal landed mid-read; select will re-offer the fd *)
+            ()
+        | exception Unix.Unix_error (_, _, _) ->
+            Dispatcher.drop_conn disp c.conn
+      in
+      (* Slow-loris guard: a connection holding half a request line
+         past the idle deadline gets a structured [timeout] error —
+         queued behind any answers it is still owed — and is dropped;
+         one stalled client must not wedge the select loop for the
+         others.  Connections idle with an {e empty} buffer are
+         legitimate (a keep-alive client between requests) and are
+         left alone. *)
+      let reap_stalled () =
+        if cfg.idle_timeout_s > 0. then begin
+          let now = Unix.gettimeofday () in
+          let stalled =
+            Hashtbl.fold
+              (fun _ c acc ->
+                if
+                  Session.pending_bytes c.session > 0
+                  && now -. c.last_data_s > cfg.idle_timeout_s
+                then c :: acc
+                else acc)
+              clients []
           in
-          (* Warm-cache recovery: rehydrate both shared caches from the
-             newest intact spill before the first request arrives. *)
-          (match cfg.spill_dir with
-          | Some dir ->
-              let restored =
-                Spill.load ~dir ~rcache:ctx.Dispatch.rcache
-                  ~vcache:ctx.Dispatch.vcache
-              in
-              if restored > 0 then
-                Format.eprintf "layered serve: restored %d cache entries@."
-                  restored
-          | None -> ());
-          let served = ref 0 in
-          let do_spill () =
-            match cfg.spill_dir with
-            | None -> ()
-            | Some dir -> (
-                match
-                  Spill.save ~dir ~rcache:ctx.Dispatch.rcache
-                    ~vcache:ctx.Dispatch.vcache
-                with
-                | Ok _ -> ()
-                | Error e ->
-                    Format.eprintf "layered serve: cache spill failed: %s@." e)
+          List.iter
+            (fun c ->
+              Dispatcher.finish_conn disp c.conn
+                ~farewell:
+                  (Protocol.Resp_error
+                     {
+                       id = None;
+                       code = Protocol.Timeout;
+                       message =
+                         Printf.sprintf
+                           "no complete request line within %g s"
+                           cfg.idle_timeout_s;
+                     }))
+            stalled
+        end
+      in
+      (* EINTR discipline, audited: [select] interrupted by a signal is
+         an empty readiness set (the loop condition re-checks the stop
+         flag); [accept] interrupted by a signal retries immediately —
+         a SIGUSR1 (or a stop signal, which the retry guard notices)
+         during accept must never kill the daemon or lose the pending
+         connection.  Other accept errors (ECONNABORTED, EMFILE) drop
+         that one connection attempt and keep serving. *)
+      let rec accept_retry () =
+        match Unix.accept listener with
+        | r -> Some r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            if stopping () then None else accept_retry ()
+        | exception Unix.Unix_error (_, _, _) -> None
+      in
+      let wake_r = Dispatcher.wakeup_fd disp in
+      let serve_loop () =
+        while not (stopping ()) do
+          let fds =
+            listener :: wake_r
+            :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
           in
-          let saved =
-            install_stop_handlers ~install_signals:cfg.install_signals ctx.Dispatch.stop
-          in
-          let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
-          let drop_client c =
-            Hashtbl.remove clients c.fd;
-            close_quiet c.fd
-          in
-          let stopped_by_request = ref false in
-          let stopping () = Atomic.get ctx.Dispatch.stop in
-          (* Answer every line already read from [c], oldest first.  The
-             batch keeps draining after a shutdown request or signal:
-             in-flight requests always get their response.  A failed
-             write means the client is gone — drop it and abandon the
-             rest of the batch rather than writing to a closed fd.
-             Returns [false] when the client was dropped. *)
-          let serve_lines c lines =
-            let total = List.length lines in
-            let dropped = ref false in
-            List.iteri
-              (fun i line ->
-                if not !dropped then begin
-                  let before = stopping () in
-                  let response =
-                    Dispatch.handle ctx ~pending:(total - 1 - i) line
-                  in
-                  if stopping () && not before then stopped_by_request := true;
-                  (* Spill BEFORE the crash site and the write: the
-                     crash window the recovery oracles probe is "caches
-                     filled and durable, reply lost" — the replayed
-                     request must be answered from the reloaded cache,
-                     never recomputed. *)
-                  incr served;
-                  if
-                    cfg.spill_every > 0
-                    && !served mod cfg.spill_every = 0
-                  then do_spill ();
-                  if Fault.point Fault.Serve_crash_before_reply then
-                    raise Crashed;
-                  if not (write_response c.fd response) then begin
-                    drop_client c;
-                    dropped := true
-                  end
-                end)
-              lines;
-            not !dropped
-          in
-          let handle_readable c =
-            (* chaos site: the read path stalls before consuming bytes,
-               as by a scheduling hiccup — the latency guard in the
-               recovery oracles must notice *)
-            if Fault.point Fault.Serve_stalled_client then
-              Unix.sleepf Fault.stall_seconds;
-            let buf = Bytes.create 4096 in
-            match Unix.read c.fd buf 0 (Bytes.length buf) with
-            | 0 -> drop_client c
-            | n ->
-                c.last_data_s <- Unix.gettimeofday ();
-                let lines, overflow =
-                  Session.feed c.session (Bytes.sub_string buf 0 n)
-                in
-                let alive = serve_lines c lines in
-                if overflow && alive then begin
-                  (* line sync is lost; answer once, then hang up *)
-                  ignore
-                    (write_response c.fd
-                       (Protocol.Resp_error
-                          {
-                            id = None;
-                            code = Protocol.Parse;
-                            message =
-                              Printf.sprintf "request line exceeds %d bytes"
-                                Protocol.max_line_bytes;
-                          }));
-                  drop_client c
-                end
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-            | exception Unix.Unix_error (_, _, _) -> drop_client c
-          in
-          (* Slow-loris guard: a connection holding half a request line
-             past the idle deadline gets a structured [timeout] error
-             and is dropped — one stalled client must not wedge the
-             select loop for the others.  Connections idle with an
-             {e empty} buffer are legitimate (a keep-alive client
-             between requests) and are left alone. *)
-          let reap_stalled () =
-            if cfg.idle_timeout_s > 0. then begin
-              let now = Unix.gettimeofday () in
-              let stalled =
-                Hashtbl.fold
-                  (fun _ c acc ->
-                    if
-                      Session.pending_bytes c.session > 0
-                      && now -. c.last_data_s > cfg.idle_timeout_s
-                    then c :: acc
-                    else acc)
-                  clients []
-              in
+          (match Unix.select fds [] [] 0.2 with
+          | readable, _, _ ->
               List.iter
-                (fun c ->
-                  ignore
-                    (write_response c.fd
-                       (Protocol.Resp_error
-                          {
-                            id = None;
-                            code = Protocol.Timeout;
-                            message =
-                              Printf.sprintf
-                                "no complete request line within %g s"
-                                cfg.idle_timeout_s;
-                          }));
-                  drop_client c)
-                stalled
-            end
-          in
-          let serve_loop () =
-            while not (stopping ()) do
-              let fds =
-                listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
-              in
-              (match Unix.select fds [] [] 0.2 with
-              | readable, _, _ ->
-                  List.iter
-                    (fun fd ->
-                      if fd = listener then begin
-                        match Unix.accept listener with
-                        | client_fd, _ ->
-                            Hashtbl.replace clients client_fd
-                              {
-                                fd = client_fd;
-                                session = Session.create ();
-                                last_data_s = Unix.gettimeofday ();
-                              }
-                        | exception Unix.Unix_error (_, _, _) -> ()
-                      end
-                      else
-                        match Hashtbl.find_opt clients fd with
-                        | Some c -> handle_readable c
-                        | None -> ())
-                    readable
-              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                  (* a signal landed; the loop condition notices the flag *)
-                  ());
-              reap_stalled ()
-            done
-          in
-          match serve_loop () with
+                (fun fd ->
+                  if fd = listener then (
+                    match accept_retry () with
+                    | Some (client_fd, _) -> add_client client_fd
+                    | None -> ())
+                  else
+                    (* the wakeup pipe falls through here: pump below
+                       drains it *)
+                    match Hashtbl.find_opt clients fd with
+                    | Some c -> handle_readable c
+                    | None -> ())
+                readable
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (* a signal landed; the loop condition notices the flag *)
+              ());
+          (* settle completed flights, start queued ones, flush replies *)
+          Dispatcher.pump disp;
+          reap_stalled ()
+        done
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* pool first, pipe second: a worker finishing during
+             shutdown must find the wakeup pipe still open *)
+          Pool.shutdown pool;
+          Dispatcher.close disp;
+          restore_handlers saved)
+        (fun () ->
+          match
+            serve_loop ();
+            (* every admitted request still gets its response: finish
+               running and queued flights before the final spill *)
+            Dispatcher.drain disp
+          with
           | () ->
-              let stopped_by_signal = stopping () && not !stopped_by_request in
-              (* One more pass: anything the signal interrupted mid-read
-                 has already been answered (dispatch is synchronous), so
-                 shutdown is spilling, closing fds and reporting. *)
+              let stopped_by_signal =
+                stopping () && not (Dispatcher.shutdown_requested disp)
+              in
               do_spill ();
               Hashtbl.iter (fun _ c -> close_quiet c.fd) clients;
               Hashtbl.reset clients;
               close_quiet listener;
               unlink_quiet cfg.socket_path;
-              restore_handlers saved;
               if cfg.stats || stopped_by_signal then
                 Format.eprintf "%a" Stats.pp (Stats.snapshot ());
               0
@@ -343,5 +365,4 @@ let run cfg =
               Hashtbl.iter (fun _ c -> close_quiet c.fd) clients;
               Hashtbl.reset clients;
               close_quiet listener;
-              restore_handlers saved;
               exit_crashed)

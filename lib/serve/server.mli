@@ -1,19 +1,29 @@
 (** The serve daemon: a Unix-domain-socket server for the layered
     verification queries.
 
-    Single accept/dispatch loop on [Unix.select]; requests are executed
-    sequentially, in arrival order, with parallelism inside each query
-    via one shared worker {!Layered_runtime.Pool}.  Shared across
-    requests: the valence classifier cache (warm memo), the keyed
-    result cache, and the process-wide {!Layered_runtime.Stats}.
+    Single accept/read loop on [Unix.select]; decoded requests are
+    handed to the concurrent {!Dispatcher}, which runs whole requests
+    in parallel on the shared domain {!Layered_runtime.Pool} (at
+    [jobs = 1] they run inline, reproducing sequential dispatch
+    exactly).  Shared across requests: the valence classifier cache
+    (warm memo), the keyed result cache, and the process-wide
+    {!Layered_runtime.Stats}.
+
+    {b Isolation.}  Each connection owns a {!Layered_runtime.Budget}
+    fault-domain root; each admitted request runs under a child of it.
+    A disconnect cancels exactly that connection's in-flight requests
+    (answered [cancelled], results discarded, caches untouched); a
+    per-client in-flight cap and fair-share backlog shedding keep one
+    flooding client from starving the rest.
 
     {b Shutdown.}  SIGINT, SIGTERM (when [install_signals]) and the
-    [shutdown] request all set one stop flag.  The loop then finishes
-    the batch it is draining — every request already read gets its
-    response — closes client connections and the listening socket,
-    unlinks the socket path, flushes a final stats snapshot to stderr
-    (when [stats] or stopped by a signal) and returns 0.  Never a stack
-    trace.
+    [shutdown] request all set one stop flag.  The loop then drains the
+    dispatcher — every admitted request gets its response — closes
+    client connections and the listening socket, unlinks the socket
+    path, flushes a final stats snapshot to stderr (when [stats] or
+    stopped by a signal) and returns 0.  Never a stack trace.  A signal
+    interrupting [select], [accept] or [read] is retried or absorbed
+    (EINTR discipline), never fatal.
 
     {b Containment.}  A request that raises — including a fault-
     injection raise — poisons only its own response ([internal] error);
@@ -27,6 +37,8 @@ type config = {
   queue_cap : int;
   max_heap_mb : int;
   request_timeout_s : float;  (** per-request deadline; 0 = none *)
+  per_client_cap : int;
+      (** max in-flight requests per connection; 0 = uncapped *)
   idle_timeout_s : float;
       (** slow-loris deadline: a connection holding a {e partial}
           request line longer than this gets a [timeout] error response
@@ -40,6 +52,9 @@ type config = {
       (** spill after every this-many responses (before the response
           write, so a crash in the reply window never loses the entry
           it just cached); 0 = on drain only.  Default 32. *)
+  spill_keep : int;
+      (** spill generations kept on disk after each save
+          ([--spill-keep]); default {!Spill.keep_generations} *)
   stats : bool;  (** flush a stats snapshot to stderr on exit *)
   install_signals : bool;
       (** install SIGINT/SIGTERM handlers (off for in-process servers

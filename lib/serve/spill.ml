@@ -18,7 +18,7 @@ type payload = {
 let entry_count p =
   List.length p.rcache + Valence_query.spill_entries p.vcache
 
-let save ~dir ~rcache ~vcache =
+let save ?(keep = keep_generations) ~dir ~rcache ~vcache () =
   let p =
     {
       version = payload_version;
@@ -33,7 +33,7 @@ let save ~dir ~rcache ~vcache =
       ~payload:(Marshal.to_string p [])
   with
   | (_ : Checkpoint.saved) ->
-      ignore (Checkpoint.prune ~dir ~name ~keep:keep_generations : int);
+      ignore (Checkpoint.prune ~dir ~name ~keep : int);
       Ok entries
   | exception e ->
       (* a full disk or a vanished directory must not take the daemon

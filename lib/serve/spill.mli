@@ -14,16 +14,21 @@
     missing, torn or version-skewed spill is a cold start, never an
     error — recovery must not be able to fail harder than the crash. *)
 
-(** Spill generations kept on disk after each {!save}. *)
+(** Spill generations kept on disk after each {!save} when [?keep] is
+    not given (the [--spill-keep] default). *)
 val keep_generations : int
 
-(** [save ~dir ~rcache ~vcache] spills both caches; returns the number
-    of entries written, or an error description (disk full, directory
-    gone) the caller logs and ignores. *)
+(** [save ?keep ~dir ~rcache ~vcache ()] spills both caches and prunes
+    all but the [keep] (default {!keep_generations}) newest
+    generations; returns the number of entries written, or an error
+    description (disk full, directory gone) the caller logs and
+    ignores. *)
 val save :
+  ?keep:int ->
   dir:string ->
   rcache:Cache.t ->
   vcache:Layered_analysis.Valence_query.cache ->
+  unit ->
   (int, string) result
 
 (** [load ~dir ~rcache ~vcache] rehydrates both caches from the newest

@@ -27,7 +27,9 @@ join -j 1 <(extract "$base") <(extract "$cur") |
     BEGIN { printf "%-34s %12s %12s %8s\n", "kernel", "base_ns", "cur_ns", "ratio"; bad = 0 }
     {
       ratio = ($2 > 0) ? $3 / $2 : 0
-      printf "%-34s %12d %12d %8.2f\n", $1, $2, $3, ratio
+      # %.0f, not %d: wall times past 2^31 ns (the saturation kernels)
+      # would clamp under 32-bit awk integer formatting
+      printf "%-34s %12.0f %12.0f %8.2f\n", $1, $2, $3, ratio
       if (max != "" && ratio > max + 0) bad++
     }
     END {

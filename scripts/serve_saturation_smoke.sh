@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Saturation smoke: overload isolation under a multi-client burst.
+#
+# One aggressive client pipelines a 24-deep flood of the same compute
+# query on a single connection against a daemon running with
+# --client-cap 4; a concurrent well-behaved client works through a
+# mixed batch.  Gates:
+#
+#   (a) the aggressive connection is shed deterministically -- its
+#       over-cap requests come back as structured overloaded responses
+#       with reason "per-client" (never a dropped connection, never a
+#       starved daemon);
+#   (b) the well-behaved client completes every request, and its
+#       decoded outputs diff clean against the one-shot CLI;
+#   (c) the daemon exits 0 via the shutdown op with its socket
+#       unlinked.
+#
+# The per-client cap is the isolation boundary: a flood must only eat
+# its own connection's budget, so (b) holding while (a) fires is the
+# entire point of the test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dune build bin/main.exe
+BIN=_build/default/bin/main.exe
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/lsrv-sat-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# The flood: one moderately heavy query, 24 ids deep on one connection.
+# With --client-cap 4 the first four are admitted (coalescing into one
+# single-flight computation) and the rest must shed per-client.
+: > "$WORK/flood.jsonl"
+for id in $(seq 1 24); do
+  echo "{\"id\":$id,\"op\":\"classify-valence\",\"model\":\"mp\",\"n\":3,\"t\":1,\"depth\":3}" \
+    >> "$WORK/flood.jsonl"
+done
+
+cat > "$WORK/polite.jsonl" <<'EOF'
+{"id":101,"op":"classify-valence","model":"sync","n":4,"t":1,"depth":5}
+{"id":102,"op":"classify-valence","model":"mobile","n":4,"t":1,"depth":4}
+{"id":103,"op":"classify-valence","model":"sm","n":3,"t":1,"depth":4}
+{"id":104,"op":"classify-valence","model":"iis","n":3,"t":1,"depth":3}
+{"id":105,"op":"classify-valence","model":"smp","n":3,"t":1,"depth":3}
+EOF
+
+# One-shot CLI reference for the polite client's decoded outputs.
+{
+  "$BIN" classify -m sync -n 4 -t 1 -d 5
+  "$BIN" classify -m mobile -n 4 -t 1 -d 4
+  "$BIN" classify -m sm -n 3 -t 1 -d 4
+  "$BIN" classify -m iis -n 3 -t 1 -d 3
+  "$BIN" classify -m smp -n 3 -t 1 -d 3
+} > "$WORK/oneshot.txt"
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "serve-saturation-smoke: socket $1 never appeared" >&2
+  return 1
+}
+
+sock="$WORK/sat.sock"
+"$BIN" serve --socket "$sock" --jobs 4 --client-cap 4 --request-timeout 0 &
+srv=$!
+wait_for_socket "$sock"
+
+# Flood and polite batch race each other on separate connections.  The
+# flood pipelines (all 24 requests in flight on one connection) -- the
+# per-client cap is invisible to a one-at-a-time exchange.
+"$BIN" serve-client --socket "$sock" --pipeline --timeout 120 \
+  < "$WORK/flood.jsonl" > "$WORK/flood-out.txt" &
+flood=$!
+"$BIN" serve-client --socket "$sock" --output-only --timeout 120 \
+  < "$WORK/polite.jsonl" > "$WORK/polite-out.txt" &
+polite=$!
+
+# (b) the well-behaved client must complete -- this wait gates the run.
+if ! wait "$polite"; then
+  echo "serve-saturation-smoke: well-behaved client failed under flood" >&2
+  exit 1
+fi
+wait "$flood"
+
+diff "$WORK/oneshot.txt" "$WORK/polite-out.txt"
+
+# (a) the flood was shed with structured per-client responses.
+if ! grep -q '"reason":"per-client"' "$WORK/flood-out.txt"; then
+  echo "serve-saturation-smoke: flood was never shed per-client" >&2
+  exit 1
+fi
+# ...but its in-cap requests were still answered ok.
+if ! grep -q '"status":"ok"' "$WORK/flood-out.txt"; then
+  echo "serve-saturation-smoke: flood got no ok answers at all" >&2
+  exit 1
+fi
+
+# (c) clean shutdown over the wire, socket unlinked.
+echo '{"op":"shutdown"}' | "$BIN" serve-client --socket "$sock" > /dev/null
+code=0
+wait "$srv" || code=$?
+if [ "$code" -ne 0 ]; then
+  echo "serve-saturation-smoke: daemon exited $code" >&2
+  exit 1
+fi
+if [ -e "$sock" ]; then
+  echo "serve-saturation-smoke: socket left behind" >&2
+  exit 1
+fi
+
+echo "serve-saturation-smoke: PASS"

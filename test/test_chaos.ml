@@ -79,7 +79,10 @@ let test_oracles_clean () =
 let test_pairings_resolve () =
   List.iter
     (fun (site, oracles) ->
-      check_int (Fault.site_name site ^ " has three detectors") 3 (List.length oracles);
+      check
+        (Fault.site_name site ^ " has at least three detectors")
+        true
+        (List.length oracles >= 3);
       List.iter
         (fun name ->
           check (name ^ " exists") true (Oracle.find name <> None))

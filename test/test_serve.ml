@@ -297,23 +297,111 @@ let test_stats_pp_mentions_result_cache () =
 
 let test_admission () =
   let cfg =
-    { Admission.queue_cap = 2; max_heap_mb = 1_000_000; request_timeout_s = 5. }
+    {
+      Admission.queue_cap = 2;
+      max_heap_mb = 1_000_000;
+      request_timeout_s = 5.;
+      per_client_cap = 4;
+    }
   in
-  (match Admission.decide cfg ~pending:0 with
+  (match Admission.decide cfg ~pending:0 ~client_pending:0 with
   | Admission.Admit _ -> ()
   | Admission.Shed _ -> Alcotest.fail "idle daemon shed a request");
-  (match Admission.decide cfg ~pending:3 with
+  (match Admission.decide cfg ~pending:3 ~client_pending:0 with
   | Admission.Shed { reason = `Queue; retry_after_s } ->
       check "queue shed carries a positive retry hint" true (retry_after_s > 0.)
   | _ -> Alcotest.fail "queue depth over cap not shed");
   match
     Admission.decide
       { cfg with Admission.max_heap_mb = 0 (* watermark below any live heap *) }
-      ~pending:0
+      ~pending:0 ~client_pending:0
   with
   | Admission.Shed { reason = `Memory; retry_after_s } ->
       check "memory shed carries a positive retry hint" true (retry_after_s > 0.)
   | _ -> Alcotest.fail "heap over watermark not shed"
+
+let test_admission_per_client_cap () =
+  let cfg =
+    {
+      Admission.queue_cap = 64;
+      max_heap_mb = 1_000_000;
+      request_timeout_s = 0.;
+      per_client_cap = 2;
+    }
+  in
+  (match Admission.decide cfg ~pending:0 ~client_pending:1 with
+  | Admission.Admit _ -> ()
+  | Admission.Shed _ -> Alcotest.fail "client under its cap shed");
+  (match Admission.decide cfg ~pending:0 ~client_pending:2 with
+  | Admission.Shed { reason = `Client; retry_after_s } ->
+      check "per-client shed carries a positive retry hint" true
+        (retry_after_s > 0.)
+  | _ -> Alcotest.fail "client at its cap not shed");
+  (* the per-client gate is checked before the global queue gate *)
+  (match Admission.decide cfg ~pending:1_000 ~client_pending:2 with
+  | Admission.Shed { reason = `Client; _ } -> ()
+  | _ -> Alcotest.fail "per-client shed not checked before queue shed");
+  (* 0 disables the cap *)
+  match
+    Admission.decide
+      { cfg with Admission.per_client_cap = 0 }
+      ~pending:0 ~client_pending:10_000
+  with
+  | Admission.Admit _ -> ()
+  | Admission.Shed _ -> Alcotest.fail "disabled per-client cap still shed"
+
+(* The backlog's determinism obligations: earliest deadline first,
+   strict arrival order among equal deadlines — so which request runs
+   next, and which is shed first, is a pure function of the admission
+   sequence. *)
+let test_backlog_order () =
+  let b = Admission.Backlog.create () in
+  Admission.Backlog.push b ~client:1 ~deadline:infinity "a";
+  Admission.Backlog.push b ~client:2 ~deadline:infinity "b";
+  Admission.Backlog.push b ~client:1 ~deadline:1. "c";
+  Admission.Backlog.push b ~client:3 ~deadline:infinity "d";
+  Admission.Backlog.push b ~client:2 ~deadline:1. "e";
+  check_int "five queued" 5 (Admission.Backlog.length b);
+  let drained = List.init 5 (fun _ -> Admission.Backlog.pop b) in
+  check "deadlines first, FIFO among equals" true
+    ([ Some "c"; Some "e"; Some "a"; Some "b"; Some "d" ] = drained);
+  check "drained empty" true (Admission.Backlog.pop b = None)
+
+let test_backlog_fair_share () =
+  let b = Admission.Backlog.create () in
+  List.iter
+    (fun (client, x) -> Admission.Backlog.push b ~client ~deadline:infinity x)
+    [
+      (1, "a1"); (1, "a2"); (1, "a3");
+      (2, "b1"); (2, "b2"); (2, "b3");
+      (3, "c1");
+    ];
+  check_int "depth of client 1" 3 (Admission.Backlog.depth_of b ~client:1);
+  (* depth tie (3 vs 3) breaks toward the smaller client id; the victim
+     loses its NEWEST entry *)
+  (match Admission.Backlog.evict_newest_of_deepest b ~spare:9 ~deeper_than:0 with
+  | Some (1, "a3") -> ()
+  | _ -> Alcotest.fail "tie not broken toward the smaller client id");
+  (* client 2 (3 entries) is now strictly deepest *)
+  (match Admission.Backlog.evict_newest_of_deepest b ~spare:9 ~deeper_than:0 with
+  | Some (2, "b3") -> ()
+  | _ -> Alcotest.fail "deepest client not chosen after the first eviction");
+  (* the spare client is never the victim, even when deepest-tied *)
+  (match Admission.Backlog.evict_newest_of_deepest b ~spare:1 ~deeper_than:0 with
+  | Some (2, "b2") -> ()
+  | _ -> Alcotest.fail "spare client was not spared");
+  (* deeper_than: no client deeper than 2 remains *)
+  (match Admission.Backlog.evict_newest_of_deepest b ~spare:9 ~deeper_than:2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "evicted a client no deeper than the threshold");
+  (* a dead client's entries leave in (deadline, seq) order *)
+  check "remove_client returns in order" true
+    ([ "a1"; "a2" ] = Admission.Backlog.remove_client b ~client:1);
+  check_int "removed client has no depth" 0
+    (Admission.Backlog.depth_of b ~client:1);
+  check "remaining pop order" true
+    ([ Some "b1"; Some "c1"; None ]
+    = List.init 3 (fun _ -> Admission.Backlog.pop b))
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher: byte-identity with the renderers, containment, caching *)
@@ -327,6 +415,7 @@ let with_ctx f =
                Admission.queue_cap = 64;
                max_heap_mb = 1_000_000;
                request_timeout_s = 0.;
+               per_client_cap = 0;
              }
            ()))
 
@@ -399,17 +488,18 @@ let test_dispatch_shed () =
 (* ------------------------------------------------------------------ *)
 (* End to end: a real daemon on a real socket *)
 
-let with_daemon tag f =
+let with_daemon ?(tweak = Fun.id) tag f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "lsrv-%s-%d.sock" tag (Unix.getpid ()))
   in
   let cfg =
-    {
-      (Server.default_config ~socket_path:path) with
-      request_timeout_s = 0.;
-      install_signals = false;
-    }
+    tweak
+      {
+        (Server.default_config ~socket_path:path) with
+        request_timeout_s = 0.;
+        install_signals = false;
+      }
   in
   let dom = Domain.spawn (fun () -> Server.run cfg) in
   let rec wait n =
@@ -494,6 +584,151 @@ let test_pipelined_disconnect () =
               | Ok _ -> ()
               | Error e ->
                   Alcotest.fail ("daemon dead after rude disconnect: " ^ e));
+              match Client.request c Protocol.Shutdown ~timeout_s:10. with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("shutdown: " ^ e)))
+
+(* A signal storm around the accept/select loop must not kill the
+   daemon: the loop's EINTR discipline treats an interrupted select as
+   an empty readiness set and retries an interrupted accept, so a
+   request issued mid-storm still gets correct bytes and the daemon
+   still exits cleanly. *)
+let test_signal_during_accept () =
+  let old = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigusr1 old)
+    (fun () ->
+      with_daemon "sigstorm" (fun path ->
+          let storm n =
+            for _ = 1 to n do
+              Unix.kill (Unix.getpid ()) Sys.sigusr1
+            done
+          in
+          for round = 1 to 5 do
+            storm 20;
+            match Client.connect path with
+            | Error e -> Alcotest.fail ("connect mid-storm: " ^ e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    storm 20;
+                    match
+                      Client.request c ~id:round
+                        (Protocol.Classify_valence
+                           { model = "sync"; n = 3; t = 1; depth = 3 })
+                        ~timeout_s:30.
+                    with
+                    | Error e -> Alcotest.fail ("request mid-storm: " ^ e)
+                    | Ok line ->
+                        let code, output =
+                          Dispatch.classify_output ~model:"sync" ~n:3 ~t:1
+                            ~depth:3 ()
+                        in
+                        check_str "answer mid-storm equals renderer"
+                          (Protocol.encode_response
+                             (Protocol.Resp_ok
+                                { id = Some round; exit_code = code; output }))
+                          line)
+          done;
+          storm 20;
+          match Client.connect path with
+          | Error e -> Alcotest.fail e
+          | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.request c Protocol.Shutdown ~timeout_s:10. with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.fail ("shutdown mid-storm: " ^ e))))
+
+(* Three connections racing the identical cold query against a
+   multi-worker daemon must all get the renderer's bytes: the
+   dispatcher coalesces them into one flight (or answers the laggards
+   warm), and either path is byte-identical. *)
+let test_concurrent_singleflight () =
+  with_daemon
+    ~tweak:(fun c -> { c with Server.jobs = 3 })
+    "sflight"
+    (fun path ->
+      let req =
+        Protocol.encode_request ~id:1
+          (Protocol.Classify_valence { model = "sync"; n = 4; t = 1; depth = 3 })
+      in
+      let code, output =
+        Dispatch.classify_output ~model:"sync" ~n:4 ~t:1 ~depth:3 ()
+      in
+      let expected =
+        Protocol.encode_response
+          (Protocol.Resp_ok { id = Some 1; exit_code = code; output })
+      in
+      let conns =
+        List.map
+          (fun _ ->
+            match Client.connect path with
+            | Ok c -> c
+            | Error e -> Alcotest.fail e)
+          [ 1; 2; 3 ]
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close conns)
+        (fun () ->
+          List.iter
+            (fun c ->
+              match Client.send c req with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail ("racing send: " ^ e))
+            conns;
+          List.iter
+            (fun c ->
+              match Client.read_lines c ~n:1 ~timeout_s:30. with
+              | Ok [ line ] -> check_str "coalesced answer" expected line
+              | Ok _ | Error _ -> Alcotest.fail "no answer to the raced query")
+            conns);
+      match Client.connect path with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              match Client.request c Protocol.Shutdown ~timeout_s:10. with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("shutdown: " ^ e)))
+
+(* A client that hangs up with a request in flight cancels only its own
+   fault domain: a later client asking the same question gets the full,
+   correct bytes — never a leaked cancellation. *)
+let test_disconnect_cancels () =
+  with_daemon
+    ~tweak:(fun c -> { c with Server.jobs = 3 })
+    "cancel"
+    (fun path ->
+      let q =
+        Protocol.Classify_valence { model = "sync"; n = 4; t = 1; depth = 4 }
+      in
+      (match Client.connect path with
+      | Error e -> Alcotest.fail e
+      | Ok rude -> (
+          match Client.send rude (Protocol.encode_request ~id:1 q) with
+          | Ok () -> Client.close rude
+          | Error e -> Alcotest.fail ("rude send: " ^ e)));
+      match Client.connect path with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              (match Client.request c ~id:2 q ~timeout_s:30. with
+              | Error e -> Alcotest.fail ("survivor starved: " ^ e)
+              | Ok line ->
+                  let code, output =
+                    Dispatch.classify_output ~model:"sync" ~n:4 ~t:1 ~depth:4 ()
+                  in
+                  check_str "survivor gets full bytes"
+                    (Protocol.encode_response
+                       (Protocol.Resp_ok
+                          { id = Some 2; exit_code = code; output }))
+                    line);
               match Client.request c Protocol.Shutdown ~timeout_s:10. with
               | Ok _ -> ()
               | Error e -> Alcotest.fail ("shutdown: " ^ e)))
@@ -638,7 +873,7 @@ let test_spill_roundtrip () =
       ignore
         (Layered_analysis.Valence_query.run ~cache:vcache ~model:"sync" ~n:3
            ~t:1 ~depth:2 ());
-      (match Spill.save ~dir ~rcache ~vcache with
+      (match Spill.save ~dir ~rcache ~vcache () with
       | Ok n -> check "spill saved some entries" true (n > 0)
       | Error e -> Alcotest.fail ("spill save: " ^ e));
       (* a fresh process's caches: reload and compare *)
@@ -655,7 +890,7 @@ let test_spill_roundtrip () =
         > 0);
       (* generations are pruned: repeated spills do not accumulate *)
       List.iter
-        (fun _ -> ignore (Spill.save ~dir ~rcache ~vcache))
+        (fun _ -> ignore (Spill.save ~dir ~rcache ~vcache ()))
         [ 1; 2; 3; 4; 5 ];
       check "old spill generations pruned" true
         (Array.length (Sys.readdir dir) <= Spill.keep_generations);
@@ -663,6 +898,27 @@ let test_spill_roundtrip () =
       check_int "missing dir loads cold" 0
         (Spill.load ~dir:"/nonexistent/lsrv" ~rcache:(Cache.create ())
            ~vcache:(Layered_analysis.Valence_query.create_cache ~spill:true ())))
+
+(* The retention depth is a parameter now (--spill-keep on the CLI):
+   keep=1 must leave at most one generation on disk, and that survivor
+   must still load. *)
+let test_spill_keep () =
+  with_tmp_dir (fun dir ->
+      let rcache = Cache.create () in
+      Cache.add rcache "k" { Cache.exit_code = 0; output = "x\n" };
+      let vcache = Layered_analysis.Valence_query.create_cache ~spill:true () in
+      List.iter
+        (fun _ ->
+          match Spill.save ~keep:1 ~dir ~rcache ~vcache () with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("spill save: " ^ e))
+        [ 1; 2; 3; 4 ];
+      check "keep=1 leaves a single generation" true
+        (Array.length (Sys.readdir dir) <= 1);
+      check "the surviving generation still loads" true
+        (Spill.load ~dir ~rcache:(Cache.create ())
+           ~vcache:(Layered_analysis.Valence_query.create_cache ~spill:true ())
+        > 0))
 
 (* ------------------------------------------------------------------ *)
 (* Slow-loris: a half-sent request line trips the idle deadline *)
@@ -849,7 +1105,19 @@ let () =
           Alcotest.test_case "counters and replay" `Quick test_cache_counters;
           Alcotest.test_case "stats pp" `Quick test_stats_pp_mentions_result_cache;
         ] );
-      ("admission", [ Alcotest.test_case "shed and admit" `Quick test_admission ]);
+      ( "admission",
+        [
+          Alcotest.test_case "shed and admit" `Quick test_admission;
+          Alcotest.test_case "per-client cap" `Quick
+            test_admission_per_client_cap;
+        ] );
+      ( "backlog",
+        [
+          Alcotest.test_case "deadline then arrival order" `Quick
+            test_backlog_order;
+          Alcotest.test_case "fair-share eviction" `Quick
+            test_backlog_fair_share;
+        ] );
       ( "dispatch",
         [
           Alcotest.test_case "matches the one-shot renderer" `Quick
@@ -864,6 +1132,12 @@ let () =
           Alcotest.test_case "pipelined disconnect" `Quick
             test_pipelined_disconnect;
           Alcotest.test_case "slow-loris idle timeout" `Quick test_slow_loris;
+          Alcotest.test_case "signal storm on accept" `Quick
+            test_signal_during_accept;
+          Alcotest.test_case "concurrent single-flight" `Quick
+            test_concurrent_singleflight;
+          Alcotest.test_case "disconnect cancels only its own work" `Quick
+            test_disconnect_cancels;
         ] );
       ( "client",
         [
@@ -876,7 +1150,11 @@ let () =
           Alcotest.test_case "restart counting" `Quick test_supervisor_restarts;
           Alcotest.test_case "circuit breaker" `Quick test_supervisor_breaker;
         ] );
-      ("spill", [ Alcotest.test_case "roundtrip" `Quick test_spill_roundtrip ]);
+      ( "spill",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spill_roundtrip;
+          Alcotest.test_case "retention depth" `Quick test_spill_keep;
+        ] );
       ( "recovery",
         [
           Alcotest.test_case "replay after crash" `Quick test_replay_after_crash;
