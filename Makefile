@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke serve-smoke serve-crash-smoke serve-saturation-smoke fmt
+.PHONY: build test bench-smoke bench-compare bench-baseline chaos-smoke resume-smoke oom-spill-smoke serve-smoke serve-crash-smoke serve-saturation-smoke fmt
 
 build:
 	dune build
@@ -26,13 +26,20 @@ bench-baseline:
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.
 chaos-smoke:
-	dune exec bin/main.exe -- chaos --seed 42 --trials 51
+	dune exec bin/main.exe -- chaos --seed 42 --trials 60
 
 # SIGKILL an `all --checkpoint-dir` run mid-flight, resume it, and
 # require the resumed report to be byte-identical to an uninterrupted
 # one at --jobs 1 and --jobs 4.
 resume-smoke:
 	bash scripts/resume_smoke.sh
+
+# Force the frontier's spill-to-disk tier with a tight soft memory
+# watermark and require the spilled report to be byte-identical to the
+# in-core one at --jobs 1 and 4, with ENOSPC fallback and the --max-mem
+# hard-trip exit code along for the ride.
+oom-spill-smoke:
+	bash scripts/oom_spill_smoke.sh
 
 # Start the verification daemon, replay mixed queries from concurrent
 # clients at --jobs 1 and 4, diff everything against the one-shot CLI,

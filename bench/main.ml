@@ -463,7 +463,46 @@ let checkpoint_restore =
              (pool 1) ~succ ~key:E.key ~depth:2 x)
 
 let cleanup_ckpt_dirs () =
-  List.iter (fun sub -> rm_ckpt_dir (ckpt_bench_dir sub)) [ "write"; "restore" ]
+  List.iter
+    (fun sub -> rm_ckpt_dir (ckpt_bench_dir sub))
+    [ "write"; "restore"; "oocore-spill" ]
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-core frontier: one (6,1) synchronic-MP instance — the largest
+   bench instance, big enough that the pooled frontier pays off —
+   explored serially, with the pooled Frontier at 1 and 4 domains, and
+   with the pooled Frontier forced to spill every level's dedup shards
+   and undelivered prefix to disk ([Always], no memory pressure
+   required).  The serial/jobs trio gives the speedup curve CI watches;
+   the spill kernel's delta against jobs-4 is the out-of-core tax:
+   marshal + CRC + write + read-back validation + fingerprint probes on
+   every subsequent level. *)
+
+module Oocore_P = (val Layered_protocols.Sync_floodset.make ~t:1)
+module Oocore_E = Layered_async_mp.Synchronic.Make (Oocore_P)
+
+let oocore_x0 =
+  Oocore_E.initial
+    ~inputs:(Array.init 6 (fun i -> if i = 0 then Value.zero else Value.one))
+
+let oocore_serial () =
+  ignore
+    (Explore.count_reachable
+       { Explore.succ = Oocore_E.smp; key = Oocore_E.key }
+       ~depth:2 oocore_x0)
+
+let oocore_jobs jobs () =
+  ignore
+    (Frontier.count_reachable ~budget:(bench_budget ()) (pool jobs)
+       ~succ:Oocore_E.smp ~key:Oocore_E.key ~depth:2 oocore_x0)
+
+let oocore_spill () =
+  let dir = ckpt_bench_dir "oocore-spill" in
+  rm_ckpt_dir dir;
+  let spill = { Frontier.spill_dir = dir; spill_mode = Frontier.Always } in
+  ignore
+    (Frontier.count_reachable ~budget:(bench_budget ()) ~spill (pool 4)
+       ~succ:Oocore_E.smp ~key:Oocore_E.key ~depth:2 oocore_x0)
 
 (* ------------------------------------------------------------------ *)
 (* Similarity-graph construction: the all-pairs reference vs the
@@ -738,6 +777,10 @@ let kernels =
     { name = "valence/interned"; n = 3; t = 1; depth = 3; fn = valence_interned };
     { name = "checkpoint/write"; n = 4; t = 1; depth = 2; fn = checkpoint_write };
     { name = "checkpoint/restore"; n = 4; t = 1; depth = 2; fn = checkpoint_restore };
+    { name = "oocore/smp6-serial"; n = 6; t = 1; depth = 2; fn = oocore_serial };
+    { name = "oocore/smp6-jobs1"; n = 6; t = 1; depth = 2; fn = oocore_jobs 1 };
+    { name = "oocore/smp6-jobs4"; n = 6; t = 1; depth = 2; fn = oocore_jobs 4 };
+    { name = "oocore/smp6-spill-jobs4"; n = 6; t = 1; depth = 2; fn = oocore_spill };
     { name = "serve/cold-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_cold };
     { name = "serve/warm-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_warm };
     { name = "serve/warm-after-restart"; n = 3; t = 1; depth = 3; fn = serve_warm_after_restart };

@@ -18,6 +18,7 @@ open Layered_analysis
 module Pool = Layered_runtime.Pool
 module Stats = Layered_runtime.Stats
 module Budget = Layered_runtime.Budget
+module Frontier = Layered_runtime.Frontier
 
 let print_rows ~markdown rows =
   if markdown then print_string (Report.to_markdown rows)
@@ -197,10 +198,21 @@ let budget_term =
             "Stop when the OCaml heap exceeds MB megabytes (sampled watermark, not a \
              hard cap).")
   in
-  let make timeout_s max_states max_memory_mb =
-    Budget.create ?timeout_s ?max_states ?max_memory_mb ()
+  let mem_soft =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:1 ~what:"mem-soft")) None
+      & info [ "mem-soft" ] ~docv:"MB"
+          ~doc:
+            "Soft memory watermark in megabytes, below $(b,--max-mem): crossing it \
+             triggers graceful degradation (one GC compaction, then — with \
+             $(b,--spill-dir) on commands that support it — spill-to-disk and \
+             backpressure) before the hard cap can trip.")
   in
-  Term.(const make $ timeout $ max_states $ max_mem)
+  let make timeout_s max_states max_memory_mb soft_memory_mb =
+    Budget.create ?timeout_s ?max_states ?max_memory_mb ?soft_memory_mb ()
+  in
+  Term.(const make $ timeout $ max_states $ max_mem $ mem_soft)
 
 let ckpt_term =
   let dir =
@@ -357,7 +369,20 @@ let layers_cmd =
       & opt (bounded_int ~min:0 ~what:"depth") 2
       & info [ "d"; "depth" ] ~docv:"D" ~doc:"Layers to explore (at least 0).")
   in
-  let f model n t depth jobs stats budget ckpt =
+  let spill_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Out-of-core exploration: under memory pressure (past $(b,--mem-soft), \
+             or past $(b,--max-mem) with no soft watermark set), spill cold dedup \
+             shards and the undelivered level prefix into CRC-validated segment \
+             files under DIR and evict them from the heap.  Output bytes are \
+             identical to an in-core run; a lost segment restarts the sweep \
+             in-core.")
+  in
+  let f model n t depth jobs stats budget ckpt spill_dir =
     if ckpt_invalid ckpt then 2
     else begin
       let checkpoint =
@@ -366,10 +391,16 @@ let layers_cmd =
             { Sweep.dir; every = ckpt.ckpt_every; resume = ckpt.ckpt_resume })
           ckpt.ckpt_dir
       in
+      let spill =
+        Option.map
+          (fun dir ->
+            { Frontier.spill_dir = dir; spill_mode = Frontier.Pressure })
+          spill_dir
+      in
       Stats.reset ();
       let sweep =
         Pool.with_pool ~jobs ~budget (fun pool ->
-            Sweep.run ~pool ~budget ?checkpoint ~model ~n ~t ~depth ())
+            Sweep.run ~pool ~budget ?checkpoint ?spill ~model ~n ~t ~depth ())
       in
       Format.printf "%a" Sweep.pp sweep;
       ckpt_hint budget ckpt;
@@ -380,7 +411,7 @@ let layers_cmd =
   Cmd.v (Cmd.info "layers" ~doc)
     Term.(
       const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg $ budget_term
-      $ ckpt_term)
+      $ ckpt_term $ spill_dir)
 
 let chain_cmd =
   let doc =
@@ -464,7 +495,7 @@ let chaos_cmd =
   let trials =
     Arg.(
       value
-      & opt (bounded_int ~min:1 ~what:"trials") 51
+      & opt (bounded_int ~min:1 ~what:"trials") 60
       & info [ "trials" ] ~docv:"N"
           ~doc:
             "Number of trials, assigned round-robin over the (site, oracle) pairing \

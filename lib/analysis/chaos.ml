@@ -55,6 +55,12 @@ let pairings =
       [ "serve/crash-recover-eq"; "serve/warm-restart"; "serve/replay-idempotent" ] );
     ( Fault.Serve_crash_before_reply,
       [ "serve/crash-recover-eq"; "serve/warm-restart"; "serve/replay-idempotent" ] );
+    ( Fault.Frontier_spill_torn,
+      [ "spill/in-core-eq"; "spill/torn-fallback"; "spill/resume-compose" ] );
+    ( Fault.Frontier_spill_enospc,
+      [ "spill/in-core-eq"; "spill/torn-fallback"; "spill/resume-compose" ] );
+    ( Fault.Frontier_reload_corrupt,
+      [ "spill/in-core-eq"; "spill/torn-fallback"; "spill/resume-compose" ] );
   ]
 
 (* Any exception out of an oracle counts as the oracle failing — under

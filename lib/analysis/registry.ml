@@ -139,6 +139,13 @@ let run_all ?pool ?budget ?checkpoint experiments =
         match Ckpt.load_latest ~dir ~name:(checkpoint_name e) with
         | None -> None
         | Some loaded -> (
+            if loaded.Ckpt.rejected > 0 then
+              Printf.eprintf
+                "warning: %s: rolled back past %d corrupt checkpoint \
+                 generation%s\n\
+                 %!"
+                (checkpoint_name e) loaded.Ckpt.rejected
+                (if loaded.Ckpt.rejected = 1 then "" else "s");
             match
               (Marshal.from_string loaded.Ckpt.payload 0
                 : Layered_core.Report.row list)

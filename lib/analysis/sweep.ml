@@ -26,8 +26,8 @@ let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.
    over the states: a truncated run therefore never re-pays for work the
    budget already cut off.  Min/max are order-independent, so the
    accumulation is deterministic across job counts. *)
-let sweep_generic (type a) ~pool ?budget ?ckpt ~name ~(succ : a -> a list)
-    ~(key : a -> string) ~(x0 : a) ~depth () =
+let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
+    ~(succ : a -> a list) ~(key : a -> string) ~(x0 : a) ~depth () =
   let cur_min = Atomic.make max_int and cur_max = Atomic.make 0 in
   let rec fold_atomic better a v =
     let c = Atomic.get a in
@@ -63,6 +63,13 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ~name ~(succ : a -> a list)
         match Ckpt.load_latest ~dir ~name with
         | None -> None
         | Some loaded -> (
+            if loaded.Ckpt.rejected > 0 then
+              Printf.eprintf
+                "warning: %s: rolled back past %d corrupt checkpoint \
+                 generation%s\n\
+                 %!"
+                name loaded.Ckpt.rejected
+                (if loaded.Ckpt.rejected = 1 then "" else "s");
             match
               (Marshal.from_string loaded.Ckpt.payload 0
                 : a Frontier.snapshot * (int * int) list)
@@ -109,9 +116,21 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ~name ~(succ : a -> a list)
         })
       ckpt
   in
+  (* The post-resume seed values double as the restart baseline: a lost
+     spill segment makes the frontier rerun in-core from the resume
+     point, re-delivering every level, so the accumulators must rewind
+     to exactly what the resume block left them at. *)
+  let seed_sizes = !sizes and seed_stats = !stats and seed_last = !last_level in
+  let on_restart () =
+    sizes := seed_sizes;
+    stats := seed_stats;
+    last_level := seed_last;
+    Atomic.set cur_min max_int;
+    Atomic.set cur_max 0
+  in
   let status =
-    Frontier.iter_levels ?budget ?checkpoint ?resume pool ~succ:succ_counted
-      ~key ~depth ~f x0
+    Frontier.iter_levels ?budget ?checkpoint ?resume ?spill ~on_restart pool
+      ~succ:succ_counted ~key ~depth ~f x0
   in
   let sizes = Array.of_list (List.rev !sizes) in
   let harvested = Array.of_list (List.rev !stats) in
@@ -161,11 +180,12 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ~name ~(succ : a -> a list)
    domains. *)
 let serial_pool = lazy (Layered_runtime.Pool.create ~jobs:1 ())
 
-let run ?pool ?budget ?checkpoint ~model ~n ~t ~depth () =
+let run ?pool ?budget ?checkpoint ?spill ~model ~n ~t ~depth () =
   let pool = match pool with Some p -> p | None -> Lazy.force serial_pool in
   let name = checkpoint_name ~model ~n ~t ~depth in
   let sweep_generic ~succ ~key ~x0 ~depth =
-    sweep_generic ~pool ?budget ?ckpt:checkpoint ~name ~succ ~key ~x0 ~depth ()
+    sweep_generic ~pool ?budget ?ckpt:checkpoint ?spill ~name ~succ ~key ~x0
+      ~depth ()
   in
   let levels, status =
     match model with

@@ -43,12 +43,18 @@ val checkpoint_name : model:string -> n:int -> t:int -> depth:int -> string
     independent of the job count.  With a [budget], an infeasible sweep
     stops at the budget and reports the levels whose expansion completed
     (layer statistics are gathered during expansion, so truncation never
-    re-pays for cut-off work).  Raises [Invalid_argument] on an unknown
-    model name. *)
+    re-pays for cut-off work).  With a [spill] configuration, memory
+    pressure walks the out-of-core ladder (compact, spill to validated
+    segments, backpressure) before [--max-mem] can trip — output bytes
+    are unchanged (see {!Layered_runtime.Frontier}); a lost spill
+    segment restarts the sweep in-core with its accumulators rewound to
+    the resume point.  Raises [Invalid_argument] on an unknown model
+    name. *)
 val run :
   ?pool:Layered_runtime.Pool.t ->
   ?budget:Layered_runtime.Budget.t ->
   ?checkpoint:checkpoint ->
+  ?spill:Layered_runtime.Frontier.spill ->
   model:string ->
   n:int ->
   t:int ->

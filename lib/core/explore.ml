@@ -39,6 +39,10 @@ let bfs ?budget spec ~depth ~visit ~stop x =
        | None -> ());
        Budget.charge_opt budget 1;
        Layered_runtime.Stats.add_states_expanded 1;
+       (* soft-watermark relief: the serial explorer has no disk tier to
+          spill to, but it still spends the budget's one compaction
+          before the hard memory cap can trip *)
+       ignore (Budget.relieve_opt budget : bool);
        visit y;
        (match stop y with
        | Some _ as r ->

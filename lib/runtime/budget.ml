@@ -10,9 +10,11 @@ type t = {
   deadline : float option Atomic.t;  (* absolute, Unix.gettimeofday scale *)
   max_states : int option;
   max_heap_words : int option;
+  soft_heap_words : int option;  (* spill/compact watermark, below the cap *)
   cancelled : bool Atomic.t;
   states : int Atomic.t;
   probe : int Atomic.t;  (* check counter, for sampling the heap *)
+  compacted : bool Atomic.t;  (* the once-per-budget Gc.compact was spent *)
   first_trip : reason option Atomic.t;  (* sticky: first reason observed *)
   parent : parent;  (* cancellation flows down the chain, never up *)
 }
@@ -21,7 +23,7 @@ and parent = Root | Child of t
 
 let word_bytes = Sys.word_size / 8
 
-let create ?timeout_s ?max_states ?max_memory_mb () =
+let create ?timeout_s ?max_states ?max_memory_mb ?soft_memory_mb () =
   (match timeout_s with
   | Some s when s < 0. -> invalid_arg "Budget.create: timeout_s must be >= 0"
   | _ -> ());
@@ -31,19 +33,25 @@ let create ?timeout_s ?max_states ?max_memory_mb () =
   (match max_memory_mb with
   | Some n when n < 1 -> invalid_arg "Budget.create: max_memory_mb must be >= 1"
   | _ -> ());
+  (match soft_memory_mb with
+  | Some n when n < 1 -> invalid_arg "Budget.create: soft_memory_mb must be >= 1"
+  | _ -> ());
+  let words mb = mb * 1024 * 1024 / word_bytes in
   {
     deadline = Atomic.make (Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s);
     max_states;
-    max_heap_words = Option.map (fun mb -> mb * 1024 * 1024 / word_bytes) max_memory_mb;
+    max_heap_words = Option.map words max_memory_mb;
+    soft_heap_words = Option.map words soft_memory_mb;
     cancelled = Atomic.make false;
     states = Atomic.make 0;
     probe = Atomic.make 0;
+    compacted = Atomic.make false;
     first_trip = Atomic.make None;
     parent = Root;
   }
 
-let child ?timeout_s ?max_states ?max_memory_mb parent =
-  { (create ?timeout_s ?max_states ?max_memory_mb ()) with
+let child ?timeout_s ?max_states ?max_memory_mb ?soft_memory_mb parent =
+  { (create ?timeout_s ?max_states ?max_memory_mb ?soft_memory_mb ()) with
     parent = Child parent;
   }
 
@@ -77,6 +85,38 @@ let restrict_deadline t ~remaining_s =
    free either); sample it every 64th check. *)
 let sample_mask = 63
 
+(* Spend the budget's one [Gc.compact]: true iff this call performed it.
+   The CAS makes the compaction a once-per-budget event even when worker
+   domains race through a sampled probe together. *)
+let compact_once t =
+  Atomic.compare_and_set t.compacted false true
+  && begin
+       Gc.compact ();
+       Stats.record_gc_compaction ();
+       true
+     end
+
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+(* Direct (un-sampled) pressure reading, for level boundaries where the
+   cost of a [quick_stat] is amortised over a whole level. *)
+let pressure t =
+  let heap = heap_words () in
+  match t.max_heap_words with
+  | Some cap when heap > cap -> `Hard
+  | _ -> (
+      match t.soft_heap_words with
+      | Some soft when heap > soft -> `Soft
+      | _ -> `Ok)
+
+let pressure_opt = function None -> `Ok | Some t -> pressure t
+
+(* A fragmented heap must not trip a run that would fit: on the first
+   sampled crossing the budget spends its one compaction and only
+   reports [Memory] if the live heap is still over the cap. *)
+let over_hard_cap t cap =
+  heap_words () > cap && ((not (compact_once t)) || heap_words () > cap)
+
 let probe_limits t =
   if is_cancelled t then Some Interrupted
     (* chaos site: a probe claims cancellation nobody asked for — the
@@ -96,9 +136,27 @@ let probe_limits t =
           match t.max_heap_words with
           | Some cap
             when Atomic.fetch_and_add t.probe 1 land sample_mask = 0
-                 && (Gc.quick_stat ()).Gc.heap_words > cap ->
+                 && over_hard_cap t cap ->
               Some Memory
           | _ -> None)
+
+(* Serial engines poll this per state: a sampled soft-watermark check
+   that spends the budget's compaction on the first crossing.  Returns
+   [true] when pressure persists after relief (callers with a disk tier
+   should spill; serial callers just learn the squeeze is real). *)
+let relieve t =
+  match t.soft_heap_words with
+  | None -> false
+  | Some soft ->
+      Atomic.fetch_and_add t.probe 1 land sample_mask = 0
+      && heap_words () > soft
+      && begin
+           Stats.record_mem_soft_event ();
+           ignore (compact_once t);
+           heap_words () > soft
+         end
+
+let relieve_opt = function None -> false | Some t -> relieve t
 
 let exceeded t =
   match Atomic.get t.first_trip with

@@ -42,12 +42,22 @@ type 'a outcome = { value : 'a; status : status }
 
 type t
 
-(** [create ?timeout_s ?max_states ?max_memory_mb ()] makes a budget.
-    The deadline is [timeout_s] wall-clock seconds from the call; a
-    [timeout_s] of [0.] is already expired.  All limits default to
-    absent: a limit-free budget never trips except through {!cancel}.
-    Raises [Invalid_argument] on a negative or non-positive limit. *)
-val create : ?timeout_s:float -> ?max_states:int -> ?max_memory_mb:int -> unit -> t
+(** [create ?timeout_s ?max_states ?max_memory_mb ?soft_memory_mb ()]
+    makes a budget.  The deadline is [timeout_s] wall-clock seconds from
+    the call; a [timeout_s] of [0.] is already expired.  All limits
+    default to absent: a limit-free budget never trips except through
+    {!cancel}.  [soft_memory_mb] is the {e soft} watermark of the
+    degradation ladder — crossing it never trips the budget; it makes
+    {!pressure} report [`Soft] and {!relieve} engage compaction, and
+    spill-capable traversals start evicting to disk.  Raises
+    [Invalid_argument] on a negative or non-positive limit. *)
+val create :
+  ?timeout_s:float ->
+  ?max_states:int ->
+  ?max_memory_mb:int ->
+  ?soft_memory_mb:int ->
+  unit ->
+  t
 
 (** [child ?timeout_s ?max_states ?max_memory_mb parent] makes a budget
     whose limits are its own but whose cancellation token is linked to
@@ -57,7 +67,13 @@ val create : ?timeout_s:float -> ?max_states:int -> ?max_memory_mb:int -> unit -
     one parent token per connection, one child per admitted request, so
     a disconnect cancels exactly that connection's in-flight work.  A
     child with no limits of its own is a pure cancellation token. *)
-val child : ?timeout_s:float -> ?max_states:int -> ?max_memory_mb:int -> t -> t
+val child :
+  ?timeout_s:float ->
+  ?max_states:int ->
+  ?max_memory_mb:int ->
+  ?soft_memory_mb:int ->
+  t ->
+  t
 
 (** Flip the cancellation token.  Async-signal-safe (one atomic store);
     idempotent.  Affects this budget and its descendants, never its
@@ -86,9 +102,32 @@ val restrict_deadline : t -> remaining_s:float -> unit
 (** [exceeded t] is the first limit observed to be exhausted, or [None].
     Cancellation and the states cap are checked on every call; the
     deadline is checked whenever one is set; the heap watermark is
-    sampled every 64th call.  Sticky: once some reason is returned, every
-    later call returns that same reason. *)
+    sampled every 64th call.  A sampled heap over the cap first spends
+    the budget's one {!compact_once} and only reports [Memory] if the
+    live heap is still over — a fragmented heap must not trip a run that
+    would fit.  Sticky: once some reason is returned, every later call
+    returns that same reason. *)
 val exceeded : t -> reason option
+
+(** {1 Memory-pressure ladder} *)
+
+(** Direct (un-sampled) heap reading against this budget's watermarks:
+    [`Hard] above [max_memory_mb], [`Soft] above [soft_memory_mb],
+    [`Ok] otherwise (and always [`Ok] with no memory limits).  One
+    [Gc.quick_stat]; meant for level boundaries, not per-state loops. *)
+val pressure : t -> [ `Ok | `Soft | `Hard ]
+
+(** [compact_once t] spends the budget's single [Gc.compact] (counted in
+    {!Stats}): [true] iff this call performed it.  Idempotent across
+    domains — racing callers get at most one compaction per budget. *)
+val compact_once : t -> bool
+
+(** [relieve t] is the per-state form of the ladder's first two rungs
+    for serial engines: every 64th call it samples the heap against the
+    soft watermark, counts a [memory soft event] and spends
+    {!compact_once} on a crossing, and returns [true] when pressure
+    persists after relief.  Free when no soft watermark is set. *)
+val relieve : t -> bool
 
 (** [check t] raises [Exhausted r] iff [exceeded t = Some r]. *)
 val check : t -> unit
@@ -108,6 +147,11 @@ val truncated : t -> reason:reason -> at_depth:int -> status
 val exceeded_opt : t option -> reason option
 val charge_opt : t option -> int -> unit
 val check_opt : t option -> unit
+
+(** [`Ok] when no budget is present. *)
+val pressure_opt : t option -> [ `Ok | `Soft | `Hard ]
+
+val relieve_opt : t option -> bool
 
 (** {1 Signal integration} *)
 

@@ -171,13 +171,34 @@ let scan ~dir ~name =
 
 let load_latest ~dir ~name =
   let rec newest_intact rejected = function
-    | [] -> None
+    | [] ->
+        Stats.add_ckpt_rejected rejected;
+        None
     | generation :: older -> (
         match load_generation ~dir ~name generation with
-        | Some (meta, payload) -> Some { meta; payload; generation; rejected }
+        | Some (meta, payload) ->
+            Stats.add_ckpt_rejected rejected;
+            Some { meta; payload; generation; rejected }
         | None -> newest_intact (rejected + 1) older)
   in
   newest_intact 0 (List.rev (generations ~dir ~name))
+
+let path_of ~dir ~name generation = path ~dir ~name generation
+
+let scan_dir ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun e -> Filename.check_suffix e ".ckpt")
+      |> List.sort compare
+      |> List.map (fun e ->
+             let intact =
+               match read_file (Filename.concat dir e) with
+               | None -> false
+               | Some data -> Option.is_some (decode data)
+             in
+             (e, intact))
 
 let prune ~dir ~name ~keep =
   let keep = max 1 keep in

@@ -24,7 +24,14 @@
     it.  A domain-fatal failure additionally kills the worker's domain;
     the pool detects the dead domain on its next dispatch and respawns
     it ({!Stats} counts the respawns), so a pool survives worker crashes
-    without losing capacity. *)
+    without losing capacity.
+
+    {b Quiescence.}  Every combinator is a barrier: it returns only
+    after all of its chunks have settled, and workers run nothing
+    between combinator calls.  Between two calls the pool is therefore
+    {e quiescent} — no task is touching caller state — which is the
+    invariant {!Frontier}'s out-of-core ladder relies on when it evicts
+    the dedup table and compacts the heap at level boundaries. *)
 
 type t
 

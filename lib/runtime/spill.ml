@@ -1,0 +1,241 @@
+(* Disk tier for the out-of-core frontier: committed dedup keys and the
+   undelivered level prefix are written as generation-numbered,
+   CRC-validated segments (the Checkpoint format, one fresh name per
+   segment), evicted from the heap, and membership-probed through a
+   per-segment fingerprint index with exact read-back confirmation.
+
+   Exactness is non-negotiable: a false "already seen" would silently
+   drop a state and change the traversal's bytes.  Fingerprints only
+   pre-filter — a "no" is final, a "maybe" reloads the segment (through
+   a small cache) and compares the actual key.  A segment that cannot be
+   read back intact raises [Segment_lost]; the frontier answers that by
+   restarting the traversal in-core, trading time for correctness. *)
+
+exception Segment_lost of string
+
+let () =
+  Printexc.register_printer (function
+    | Segment_lost detail -> Some (Printf.sprintf "Spill.Segment_lost(%s)" detail)
+    | _ -> None)
+
+type segment = {
+  id : int;
+  seg_name : string;
+  gen : int;  (* the validated generation under [seg_name] *)
+  fps : int array;  (* sorted fingerprints of the segment's keys *)
+  nkeys : int;
+}
+
+type t = {
+  dir : string;
+  tag : string;  (* per-session file-name prefix: no cross-run collisions *)
+  mutable segs : segment list;  (* newest first *)
+  mutable next_id : int;
+  mutable prefix_names : (string * int) list;  (* prefix chunks, newest first *)
+  cache : (int, string array) Hashtbl.t;  (* seg id -> sorted keys *)
+  cache_fifo : int Queue.t;
+  mutex : Mutex.t;
+}
+
+(* Enough cached segments that the recently-spilled levels — where
+   almost all dup probes land in a level-synchronous BFS — confirm from
+   memory; small enough that the cache cannot defeat the eviction. *)
+let cache_capacity = 4
+
+let session_counter = Atomic.make 0
+
+let create ~dir =
+  {
+    dir;
+    tag =
+      Printf.sprintf "spill-%d-%d" (Unix.getpid ())
+        (Atomic.fetch_and_add session_counter 1);
+    segs = [];
+    next_id = 0;
+    prefix_names = [];
+    cache = Hashtbl.create 8;
+    cache_fifo = Queue.create ();
+    mutex = Mutex.create ();
+  }
+
+(* Two independent Hashtbl hashes give a ~60-bit fingerprint: collisions
+   cost a confirming reload, never a wrong answer. *)
+let fingerprint k =
+  Hashtbl.hash k lor (Hashtbl.seeded_hash 0x9e37 k lsl 30)
+
+let sorted_mem (cmp : 'a -> 'a -> int) (arr : 'a array) (x : 'a) =
+  let rec go lo hi =
+    lo < hi
+    &&
+    let mid = (lo + hi) / 2 in
+    let c = cmp x arr.(mid) in
+    if c = 0 then true else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length arr)
+
+let seg_file_name t id = Printf.sprintf "%s-seg%06d" t.tag id
+let pfx_file_name t id = Printf.sprintf "%s-pfx%06d" t.tag id
+
+(* One segment write through the Checkpoint format, read back and
+   compared before anyone is allowed to rely on it.  Returns the
+   generation on success; [None] (with the failure counted) on a torn
+   read-back, injected or real ENOSPC, or any other I/O error — callers
+   keep the data in core and carry on. *)
+let write_validated t ~name ~payload =
+  match
+    if Fault.point Fault.Frontier_spill_enospc then
+      (* injected: the disk fills mid-spill *)
+      raise (Sys_error (t.dir ^ ": No space left on device (injected)"));
+    let saved =
+      Checkpoint.save ~dir:t.dir ~name
+        ~meta:(Checkpoint.make_meta ~progress:t.next_id ())
+        ~payload
+    in
+    (* injected: a crash between write and fsync leaves the renamed file
+       short — tear the segment in place, after the atomic rename *)
+    if Fault.point Fault.Frontier_spill_torn then begin
+      let path = Checkpoint.path_of ~dir:t.dir ~name saved.Checkpoint.generation in
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let half = really_input_string ic (len / 2) in
+      close_in_noerr ic;
+      let oc = open_out_bin path in
+      output_string oc half;
+      close_out oc
+    end;
+    saved.Checkpoint.generation
+  with
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      Stats.record_spill_write_failure ();
+      None
+  | generation -> (
+      (* read-back validation: never evict against bytes the disk cannot
+         return.  A torn/corrupt file stays on disk as debris for the
+         recovery oracles; it is simply never registered. *)
+      match Checkpoint.load_generation ~dir:t.dir ~name generation with
+      | Some (_, read_back) when String.equal read_back payload -> Some generation
+      | Some _ | None ->
+          Stats.record_spill_write_failure ();
+          None
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          Stats.record_spill_write_failure ();
+          None)
+
+let spill_keys t keys =
+  match keys with
+  | [] -> true
+  | _ -> (
+      let id = t.next_id in
+      (* advance even on failure: a name is used at most once, so a
+         registered segment is always its name's generation *)
+      t.next_id <- id + 1;
+      let name = seg_file_name t id in
+      let arr = Array.of_list keys (* sorted by the caller *) in
+      let payload = Marshal.to_string arr [] in
+      match write_validated t ~name ~payload with
+      | None -> false
+      | Some gen ->
+          let fps = Array.map fingerprint arr in
+          Array.sort compare fps;
+          t.segs <-
+            { id; seg_name = name; gen; fps; nkeys = Array.length arr }
+            :: t.segs;
+          Stats.record_spill_segment ~keys:(Array.length arr)
+            ~bytes:(String.length payload);
+          true)
+
+(* Consult a segment's actual bytes.  Every consultation — cache hit or
+   miss — passes the reload-corruption fault site: the injected fault
+   models the segment being found corrupt at the moment it is needed,
+   wherever its bytes happen to live. *)
+let consult t (seg : segment) =
+  if Fault.point Fault.Frontier_reload_corrupt then
+    raise (Segment_lost (seg.seg_name ^ ": corrupt at reload (injected)"));
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.cache seg.id with
+      | Some keys -> keys
+      | None -> (
+          match
+            Checkpoint.load_generation ~dir:t.dir ~name:seg.seg_name seg.gen
+          with
+          | exception (Sys_error _ | Unix.Unix_error _) ->
+              raise (Segment_lost (seg.seg_name ^ ": unreadable"))
+          | None -> raise (Segment_lost (seg.seg_name ^ ": torn or corrupt"))
+          | Some (_, payload) ->
+              let keys =
+                match (Marshal.from_string payload 0 : string array) with
+                | keys when Array.length keys = seg.nkeys -> keys
+                | _ -> raise (Segment_lost (seg.seg_name ^ ": wrong key count"))
+                | exception _ ->
+                    raise (Segment_lost (seg.seg_name ^ ": undecodable"))
+              in
+              Stats.record_spill_reload ();
+              Hashtbl.replace t.cache seg.id keys;
+              Queue.add seg.id t.cache_fifo;
+              if Queue.length t.cache_fifo > cache_capacity then
+                Hashtbl.remove t.cache (Queue.pop t.cache_fifo);
+              keys))
+
+let member t key =
+  t.segs <> []
+  &&
+  let fp = fingerprint key in
+  List.exists
+    (fun seg ->
+      sorted_mem compare seg.fps fp
+      && sorted_mem String.compare (consult t seg) key)
+    t.segs
+
+let all_keys t =
+  List.concat_map
+    (fun seg -> Array.to_list (consult t seg))
+    (List.rev t.segs)
+
+let spill_prefix t payload =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let name = pfx_file_name t id in
+  match write_validated t ~name ~payload with
+  | None -> false
+  | Some gen ->
+      t.prefix_names <- (name, gen) :: t.prefix_names;
+      Stats.record_spill_segment ~keys:0 ~bytes:(String.length payload);
+      true
+
+let prefix_payloads t =
+  List.rev_map
+    (fun (name, gen) ->
+      if Fault.point Fault.Frontier_reload_corrupt then
+        raise (Segment_lost (name ^ ": corrupt at reload (injected)"));
+      match Checkpoint.load_generation ~dir:t.dir ~name gen with
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          raise (Segment_lost (name ^ ": unreadable"))
+      | None -> raise (Segment_lost (name ^ ": torn or corrupt"))
+      | Some (_, payload) ->
+          Stats.record_spill_reload ();
+          payload)
+    t.prefix_names
+
+let segments t = List.length t.segs + List.length t.prefix_names
+let spilled_keys t = List.fold_left (fun a s -> a + s.nkeys) 0 t.segs
+
+(* Remove the session's registered files: spilled content is scratch
+   (checkpoint snapshots absorb it), so a finished traversal leaves
+   nothing behind.  Unregistered debris — torn read-backs — is left for
+   the recovery oracles and post-mortems. *)
+let discard t =
+  let remove name gen =
+    try Sys.remove (Checkpoint.path_of ~dir:t.dir ~name gen)
+    with Sys_error _ -> ()
+  in
+  List.iter (fun seg -> remove seg.seg_name seg.gen) t.segs;
+  List.iter (fun (name, gen) -> remove name gen) t.prefix_names;
+  t.segs <- [];
+  t.prefix_names <- [];
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.cache;
+  Queue.clear t.cache_fifo;
+  Mutex.unlock t.mutex

@@ -1,0 +1,81 @@
+(** Disk tier for the out-of-core frontier.
+
+    When a traversal crosses its memory soft watermark, the frontier
+    drains its committed dedup keys (and, under a checkpoint sink, the
+    undelivered level prefix) into {e spill segments}: generation-
+    numbered, CRC-validated files in the {!Checkpoint} format, one fresh
+    name per segment, written atomically (tmp+rename) and {b validated
+    by an immediate read-back} before the in-heap copy may be evicted.
+    A failed read-back (torn file, ENOSPC, any I/O error) keeps the data
+    in core and counts a [spill write failure] — graceful degradation,
+    never data loss.
+
+    {b Exact membership.}  Spilled keys are probed through a per-segment
+    sorted fingerprint index (~60 bits per key).  A fingerprint miss is
+    a definitive "unseen" and costs no I/O; a hit is only a {e maybe}
+    and is confirmed against the segment's actual keys, reloaded through
+    a small FIFO cache.  False "already seen" answers — which would
+    silently drop states and change the traversal's bytes — are
+    structurally impossible.
+
+    {b Loss is survivable, corruption is not acceptable.}  A segment
+    that cannot be read back intact when consulted raises
+    {!Segment_lost}; {!Frontier.iter_levels} catches it and restarts the
+    traversal in-core ([spill restarts] counter), trading time for
+    correctness.
+
+    A session's registered files are scratch — checkpoint snapshots
+    absorb spilled keys — and are removed by {!discard}; torn debris is
+    deliberately left on disk for the recovery oracles.
+
+    Writes ({!spill_keys}, {!spill_prefix}, {!discard}) must come from
+    one domain at a time (the frontier calls them at level boundaries,
+    where no pool pass is in flight); {!member} is safe from any number
+    of worker domains concurrently. *)
+
+type t
+
+(** A spilled segment could not be read back intact when it was needed.
+    Callers must treat the spilled dedup knowledge as gone and
+    re-explore; answering membership from a lost segment is never
+    sound. *)
+exception Segment_lost of string
+
+(** [create ~dir] opens a spill session rooted at [dir] (created on
+    first write).  File names carry a per-session tag, so concurrent or
+    successive sessions can share a directory. *)
+val create : dir:string -> t
+
+(** [spill_keys t keys] writes one dedup segment holding [keys] (which
+    the caller passes sorted — the read-back confirm binary-searches
+    them).  [true] on a validated write: the caller may evict the keys
+    from the heap.  [false] when the write failed; the keys must stay in
+    core.  An empty [keys] is a no-op [true]. *)
+val spill_keys : t -> string list -> bool
+
+(** Exact membership of [key] in any spilled segment.  Raises
+    {!Segment_lost} when a fingerprint-hit segment cannot be consulted
+    intact. *)
+val member : t -> string -> bool
+
+(** Every spilled dedup key, oldest segment first (each segment's keys
+    in their sorted order).  Used by checkpoint flushes, so snapshots
+    stay complete while keys live on disk.  Raises {!Segment_lost}. *)
+val all_keys : t -> string list
+
+(** [spill_prefix t payload] writes one opaque prefix chunk (the caller
+    marshals its own levels).  Same contract as {!spill_keys}. *)
+val spill_prefix : t -> string -> bool
+
+(** Every prefix chunk payload, oldest first.  Raises {!Segment_lost}. *)
+val prefix_payloads : t -> string list
+
+(** Registered (validated) segments in this session, dedup + prefix. *)
+val segments : t -> int
+
+(** Dedup keys currently living only on disk. *)
+val spilled_keys : t -> int
+
+(** Delete the session's registered segment files and forget them.
+    Torn debris from failed writes is left behind. *)
+val discard : t -> unit

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Out-of-core smoke: run one (6,1) synchronic-MP sweep under a soft
+# memory watermark tight enough to force the frontier's spill tier, and
+# require the spilled run's report to be byte-identical to an
+# unconstrained in-core reference -- at --jobs 1 and --jobs 4.
+#
+# Three further legs harden the contract:
+#   - the spilled runs must actually have spilled ("spill segments
+#     written" > 0 in --stats) and seen pressure ("memory soft events"
+#     > 0), or the watermark silently stopped biting and the smoke
+#     proves nothing;
+#   - an ENOSPC leg re-runs the spilled sweep under a file-size rlimit
+#     small enough that every segment write fails (SIGXFSZ ignored so
+#     writes fail with a catchable error instead of killing the
+#     process): the run must fall back to in-core, still complete with
+#     an identical report, and count "spill write failures";
+#   - a hard-trip leg runs with --max-mem 1 and no spill directory and
+#     must exit 3 (the truncation exit code): the spill tier degrades
+#     the *soft* watermark gracefully but never overrides the hard cap.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dune build bin/main.exe
+BIN=_build/default/bin/main.exe
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/layered-oom-spill-smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+INSTANCE=(layers -m smp -n 6 -t 1 -d 2)
+SOFT_MB="${OOM_SPILL_SOFT_MB:-1}"
+
+count() { # count <file> <label>  -- integer value of a --stats counter
+  awk -v lbl="$2" '
+    { line = $0; sub(/^[ \t]+/, "", line) }
+    index(line, lbl) == 1 { print $NF; found = 1; exit }
+    END { if (!found) print 0 }' "$1"
+}
+
+for jobs in 1 4; do
+  ref="$WORK/ref-j$jobs.txt"
+  out="$WORK/out-j$jobs.txt"
+  err="$WORK/out-j$jobs.err"
+  spill="$WORK/spill-j$jobs"
+
+  # Unconstrained in-core reference.
+  "$BIN" "${INSTANCE[@]}" --jobs "$jobs" > "$ref" 2>/dev/null
+
+  # Spilled run: soft watermark low enough that the first pressure
+  # probe trips, pushing cold dedup shards and the undelivered prefix
+  # to disk.  Stats go to stderr; stdout must not change at all.
+  "$BIN" "${INSTANCE[@]}" --jobs "$jobs" --mem-soft "$SOFT_MB" \
+    --spill-dir "$spill" --stats > "$out" 2> "$err"
+  if ! diff -u "$ref" "$out"; then
+    echo "oom-spill-smoke: jobs=$jobs spilled report differs from in-core" >&2
+    exit 1
+  fi
+
+  segments=$(count "$err" "spill segments written")
+  soft=$(count "$err" "memory soft events")
+  if [ "$segments" -le 0 ] || [ "$soft" -le 0 ]; then
+    echo "oom-spill-smoke: jobs=$jobs watermark never bit (segments=$segments, soft events=$soft)" >&2
+    exit 1
+  fi
+  echo "oom-spill-smoke: jobs=$jobs OK ($segments segment(s) spilled, $soft soft event(s), report identical)"
+done
+
+# ENOSPC leg: an 8-block file-size limit makes every segment write
+# fail mid-stream.  SIGXFSZ must be ignored *before* the limit applies
+# (the disposition survives exec) so the write surfaces as an error the
+# spill tier can absorb.  Run the prebuilt binary directly -- a dune
+# wrapper would trip the limit itself.
+enospc_out="$WORK/enospc.txt"
+enospc_err="$WORK/enospc.err"
+(
+  trap '' XFSZ
+  ulimit -f 8
+  "$BIN" "${INSTANCE[@]}" --jobs 1 --mem-soft "$SOFT_MB" \
+    --spill-dir "$WORK/spill-enospc" --stats > "$enospc_out" 2> "$enospc_err"
+)
+if ! diff -u "$WORK/ref-j1.txt" "$enospc_out"; then
+  echo "oom-spill-smoke: ENOSPC run report differs from in-core" >&2
+  exit 1
+fi
+failures=$(count "$enospc_err" "spill write failures")
+if [ "$failures" -le 0 ]; then
+  echo "oom-spill-smoke: ENOSPC leg saw no spill write failures -- limit never bit" >&2
+  exit 1
+fi
+echo "oom-spill-smoke: ENOSPC OK ($failures failed write(s), fell back in-core, report identical)"
+
+# Hard-trip leg: the hard cap is not negotiable.  With --max-mem 1 and
+# no spill tier the sweep must truncate and exit 3.
+set +e
+"$BIN" "${INSTANCE[@]}" --jobs 1 --max-mem 1 > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+  echo "oom-spill-smoke: --max-mem 1 exited $code, expected 3 (truncated)" >&2
+  exit 1
+fi
+echo "oom-spill-smoke: hard-trip OK (exit 3 under --max-mem 1)"
+
+echo "oom-spill-smoke: PASS"

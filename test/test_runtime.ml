@@ -331,6 +331,85 @@ let test_stats_monotone_and_reset () =
   check "zero after final reset" true (is_zero (Stats.snapshot ()))
 
 (* ------------------------------------------------------------------ *)
+(* Memory watermarks: the hard cap trips sticky (after spending one
+   compaction), the soft watermark relieves, and a tripped budget never
+   memoises cut valence nodes. *)
+
+(* ~16 MB of live unboxed ints: compaction cannot shrink a live array,
+   so an 8 MB cap must trip — and stay tripped — however often it is
+   probed afterwards. *)
+let test_memory_hard_trip_sticky () =
+  let b = Budget.create ~max_memory_mb:8 () in
+  let ballast = Array.init (2 * 1024 * 1024) Fun.id in
+  let before = (Stats.snapshot ()).Stats.gc_compactions in
+  let seen = ref None in
+  (* the watermark is sampled every 64th probe *)
+  for _ = 1 to 256 do
+    match Budget.exceeded b with
+    | Some r when !seen = None -> seen := Some r
+    | _ -> ()
+  done;
+  check "tripped on Memory" true (!seen = Some Budget.Memory);
+  check "trip is sticky" true (Budget.tripped b = Some Budget.Memory);
+  check "still exceeded on re-probe" true
+    (Budget.exceeded b = Some Budget.Memory);
+  let after = (Stats.snapshot ()).Stats.gc_compactions in
+  check_int "exactly one compaction spent before tripping" 1 (after - before);
+  (* a fresh generous budget on the same heap must not trip: the cap,
+     not the probe, decides *)
+  let generous = Budget.create ~max_memory_mb:65536 () in
+  for _ = 1 to 256 do
+    check "generous cap never trips" true (Budget.exceeded generous = None)
+  done;
+  ignore (Sys.opaque_identity ballast)
+
+let test_memory_soft_relieve () =
+  let b = Budget.create ~max_memory_mb:65536 ~soft_memory_mb:8 () in
+  let ballast = Array.init (2 * 1024 * 1024) Fun.id in
+  let before = Stats.snapshot () in
+  let squeezed = ref false in
+  for _ = 1 to 256 do
+    if Budget.relieve b then squeezed := true
+  done;
+  let d = Stats.diff (Stats.snapshot ()) before in
+  check "soft pressure reported" true !squeezed;
+  check "soft events counted" true (d.Stats.mem_soft_events > 0);
+  check_int "the one compaction spent exactly once" 1 d.Stats.gc_compactions;
+  check "hard cap untouched" true (Budget.tripped b = None);
+  check "pressure reads Soft" true (Budget.pressure b = `Soft);
+  ignore (Sys.opaque_identity ballast)
+
+let test_budget_create_validation () =
+  Alcotest.check_raises "soft_memory_mb must be >= 1"
+    (Invalid_argument "Budget.create: soft_memory_mb must be >= 1") (fun () ->
+      ignore (Budget.create ~soft_memory_mb:0 ()))
+
+(* A tripped budget degrades valence outcomes to incomplete and must
+   not memoise them: a later untripped engine would otherwise inherit
+   Unknown verdicts for nodes the budget — not the depth — cut. *)
+let test_valence_no_memo_when_tripped () =
+  let open Layered_core in
+  let vspec =
+    {
+      Valence.succ = (fun x -> if x < 3 then [ x + 1 ] else []);
+      key = string_of_int;
+      decided = (fun x -> if x = 3 then Vset.singleton 1 else Vset.empty);
+      terminal = (fun x -> x = 3);
+    }
+  in
+  let b = Budget.create () in
+  Budget.cancel b;
+  check "budget is tripped" true (Budget.exceeded b <> None);
+  let v = Valence.create ~budget:b vspec in
+  let o = Valence.outcome v ~depth:5 0 in
+  check "cut outcome is incomplete" true (not o.Valence.complete);
+  check_int "nothing memoised under a tripped budget" 0 (Valence.cache_entries v);
+  (* the same engine, budget lifted, classifies from scratch: complete *)
+  Valence.set_budget v None;
+  let o2 = Valence.outcome v ~depth:5 0 in
+  check "untripped walk is complete" true o2.Valence.complete;
+  check "cache filled once the budget no longer cuts" true
+    (Valence.cache_entries v > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Crash containment (chaos regression) *)
@@ -408,6 +487,14 @@ let () =
             test_budget_cancel_parallel_map;
           Alcotest.test_case "generous budget is invisible" `Quick
             test_budget_complete_identical;
+          Alcotest.test_case "memory hard trip is sticky" `Quick
+            test_memory_hard_trip_sticky;
+          Alcotest.test_case "soft watermark relieves once" `Quick
+            test_memory_soft_relieve;
+          Alcotest.test_case "create validation" `Quick
+            test_budget_create_validation;
+          Alcotest.test_case "no memoisation of cut valence nodes" `Quick
+            test_valence_no_memo_when_tripped;
         ] );
       ( "stats",
         [ Alcotest.test_case "monotone and reset" `Quick test_stats_monotone_and_reset ] );

@@ -1,0 +1,301 @@
+(* Unit tests for the out-of-core frontier: the Spill segment tier, the
+   memory-pressure ladder, and spilled-vs-in-core byte identity. *)
+
+open Layered_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tmp_counter = Atomic.make 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "layered-spill-test-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Spill segment tier *)
+
+let test_spill_member_exact () =
+  with_tmp_dir (fun dir ->
+      let s = Spill.create ~dir in
+      let keys = List.init 200 (fun i -> Printf.sprintf "key-%04d" (i * 2)) in
+      check "validated write" true (Spill.spill_keys s keys);
+      check_int "one segment" 1 (Spill.segments s);
+      check_int "keys counted" 200 (Spill.spilled_keys s);
+      List.iter
+        (fun k -> check ("member " ^ k) true (Spill.member s k))
+        keys;
+      (* absent keys interleave the present ones, so fingerprint misses
+         and full-probe misses both occur *)
+      List.iter
+        (fun i ->
+          let k = Printf.sprintf "key-%04d" ((i * 2) + 1) in
+          check ("not member " ^ k) false (Spill.member s k))
+        (List.init 200 Fun.id);
+      check "unrelated key absent" false (Spill.member s "zzz");
+      Spill.discard s)
+
+let test_spill_all_keys_ordered () =
+  with_tmp_dir (fun dir ->
+      let s = Spill.create ~dir in
+      let seg1 = [ "a"; "b"; "c" ] and seg2 = [ "d"; "e" ] in
+      check "seg1" true (Spill.spill_keys s seg1);
+      check "seg2" true (Spill.spill_keys s seg2);
+      Alcotest.(check (list string))
+        "oldest segment first" (seg1 @ seg2) (Spill.all_keys s);
+      check "empty spill is a no-op" true (Spill.spill_keys s []);
+      check_int "no empty segment registered" 2 (Spill.segments s);
+      Spill.discard s)
+
+let test_spill_prefix_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let s = Spill.create ~dir in
+      let p1 = Marshal.to_string [ [ 1 ]; [ 2; 3 ] ] []
+      and p2 = Marshal.to_string [ [ 4; 5; 6 ] ] [] in
+      check "chunk 1" true (Spill.spill_prefix s p1);
+      check "chunk 2" true (Spill.spill_prefix s p2);
+      Alcotest.(check (list string))
+        "payloads back, oldest first" [ p1; p2 ]
+        (Spill.prefix_payloads s);
+      Spill.discard s)
+
+let test_spill_discard_removes_files () =
+  with_tmp_dir (fun dir ->
+      let s = Spill.create ~dir in
+      check "write" true (Spill.spill_keys s [ "x"; "y" ]);
+      check "prefix" true (Spill.spill_prefix s "payload");
+      check "files on disk" true (Array.length (Sys.readdir dir) > 0);
+      Spill.discard s;
+      check_int "files removed" 0 (Array.length (Sys.readdir dir));
+      check_int "segments forgotten" 0 (Spill.segments s))
+
+(* A failed write keeps the data out of the registered tier.  The
+   injector fires at a seed-derived visit ordinal < 3, so some seed in
+   0..9 fires on the very first write. *)
+let test_spill_write_failure_keeps_core () =
+  with_tmp_dir (fun dir ->
+      let fired_once = ref false in
+      let seeds = List.init 10 Fun.id in
+      List.iter
+        (fun seed ->
+          if not !fired_once then begin
+            let s = Spill.create ~dir in
+            Fault.arm ~seed Fault.Frontier_spill_enospc;
+            let before = Stats.snapshot () in
+            let ok =
+              Fun.protect ~finally:Fault.disarm (fun () ->
+                  Spill.spill_keys s [ "k1"; "k2" ])
+            in
+            let d = Stats.diff (Stats.snapshot ()) before in
+            if Fault.fired () > 0 then begin
+              fired_once := true;
+              check "failed write returns false" false ok;
+              check_int "nothing registered" 0 (Spill.segments s);
+              check "member stays false" false (Spill.member s "k1");
+              check_int "failure counted" 1 d.Stats.spill_write_failures
+            end;
+            Spill.discard s
+          end)
+        seeds;
+      check "some seed fired on the first write" true !fired_once)
+
+(* A torn write (fault after the rename) must fail read-back validation,
+   stay unregistered, and leave debris on disk for post-mortems. *)
+let test_spill_torn_write_leaves_debris () =
+  with_tmp_dir (fun dir ->
+      let fired_once = ref false in
+      List.iter
+        (fun seed ->
+          if not !fired_once then begin
+            let s = Spill.create ~dir in
+            Fault.arm ~seed Fault.Frontier_spill_torn;
+            let ok =
+              Fun.protect ~finally:Fault.disarm (fun () ->
+                  Spill.spill_keys s [ "k1"; "k2"; "k3" ])
+            in
+            if Fault.fired () > 0 then begin
+              fired_once := true;
+              check "torn write returns false" false ok;
+              check_int "nothing registered" 0 (Spill.segments s);
+              let debris =
+                List.filter
+                  (fun (_, intact) -> not intact)
+                  (Checkpoint.scan_dir ~dir)
+              in
+              check "torn debris on disk, rejected by validation" true
+                (debris <> [])
+            end;
+            Spill.discard s;
+            Array.iter
+              (fun e -> try Sys.remove (Filename.concat dir e) with _ -> ())
+              (Sys.readdir dir)
+          end)
+        (List.init 10 Fun.id);
+      check "some seed fired on the first write" true !fired_once)
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-core frontier: spilled and in-core runs are byte-identical *)
+
+let dag_bound = 120
+let dag_succ x = if x >= dag_bound then [] else [ x + 1; x + 2; x + 3 ]
+let dag_key = string_of_int
+let dag_depth = 60
+let forced dir = { Frontier.spill_dir = dir; spill_mode = Frontier.Always }
+
+let dag_levels (o : int list list Budget.outcome) =
+  List.map (List.map dag_key) o.Budget.value
+
+let test_spilled_equals_in_core () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          with_tmp_dir (fun dir ->
+              let reference =
+                Frontier.levels pool ~succ:dag_succ ~key:dag_key
+                  ~depth:dag_depth 0
+              in
+              let before = Stats.snapshot () in
+              let spilled =
+                Frontier.levels ~spill:(forced dir) pool ~succ:dag_succ
+                  ~key:dag_key ~depth:dag_depth 0
+              in
+              let d = Stats.diff (Stats.snapshot ()) before in
+              Alcotest.(check (list (list string)))
+                (Printf.sprintf "byte-identical at jobs=%d" jobs)
+                (dag_levels reference) (dag_levels spilled);
+              check "segments were written" true (d.Stats.spill_segments > 0);
+              check "keys were evicted" true (d.Stats.spill_keys > 0);
+              check_int "no degraded writes" 0 d.Stats.spill_write_failures;
+              check_int "no restarts" 0 d.Stats.spill_restarts;
+              check_int "spill dir left clean" 0
+                (Array.length (Sys.readdir dir)))))
+    [ 1; 4 ]
+
+let test_spilled_checkpoint_snapshots_identical () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      with_tmp_dir (fun dir ->
+          let capture snaps (snap : int Frontier.snapshot) =
+            snaps := (snap.Frontier.levels, snap.Frontier.committed) :: !snaps
+          in
+          let in_core = ref [] and spilled = ref [] in
+          let run ?spill sink =
+            Frontier.levels ?spill
+              ~checkpoint:{ Frontier.every = 3; save = capture sink }
+              pool ~succ:dag_succ ~key:dag_key ~depth:dag_depth 0
+          in
+          let a = run in_core in
+          let b = run ~spill:(forced dir) spilled in
+          check "both complete" true
+            (a.Budget.status = Budget.Complete
+            && b.Budget.status = Budget.Complete);
+          check "same snapshot count" true
+            (List.length !in_core = List.length !spilled);
+          check "snapshot contents identical under spill" true
+            (!in_core = !spilled)))
+
+let test_spill_resume_composes () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      with_tmp_dir (fun dir ->
+          let name = "resume" in
+          let reference =
+            Frontier.levels pool ~succ:dag_succ ~key:dag_key ~depth:dag_depth 0
+          in
+          let save (snap : int Frontier.snapshot) =
+            ignore
+              (Checkpoint.save ~dir ~name
+                 ~meta:
+                   (Checkpoint.make_meta
+                      ~progress:(List.length snap.Frontier.levels)
+                      ())
+                 ~payload:(Marshal.to_string snap []))
+          in
+          let budget = Budget.create ~max_states:60 () in
+          let interrupted =
+            Frontier.levels ~budget ~spill:(forced dir)
+              ~checkpoint:{ Frontier.every = 1; save }
+              pool ~succ:dag_succ ~key:dag_key ~depth:dag_depth 0
+          in
+          check "interrupted" true
+            (interrupted.Budget.status <> Budget.Complete);
+          let loaded = Option.get (Checkpoint.load_latest ~dir ~name) in
+          let snap =
+            (Marshal.from_string loaded.Checkpoint.payload 0
+              : int Frontier.snapshot)
+          in
+          let resumed =
+            Frontier.levels ~resume:snap ~spill:(forced dir) pool
+              ~succ:dag_succ ~key:dag_key ~depth:dag_depth 0
+          in
+          check "resumed completes" true
+            (resumed.Budget.status = Budget.Complete);
+          Alcotest.(check (list (list string)))
+            "resumed spilled run equals uninterrupted in-core run"
+            (dag_levels reference) (dag_levels resumed)))
+
+(* A lost segment rolls the traversal back to in-core re-exploration:
+   output is still byte-identical and the restart is counted. *)
+let test_segment_lost_restarts_in_core () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      with_tmp_dir (fun dir ->
+          let reference =
+            Frontier.levels pool ~succ:dag_succ ~key:dag_key ~depth:dag_depth 0
+          in
+          let before = Stats.snapshot () in
+          Fault.arm ~seed:0 Fault.Frontier_reload_corrupt;
+          let spilled =
+            Fun.protect ~finally:Fault.disarm (fun () ->
+                Frontier.levels ~spill:(forced dir) pool ~succ:dag_succ
+                  ~key:dag_key ~depth:dag_depth 0)
+          in
+          let d = Stats.diff (Stats.snapshot ()) before in
+          check "fault fired" true (Fault.fired () > 0);
+          Alcotest.(check (list (list string)))
+            "restarted run equals the in-core run" (dag_levels reference)
+            (dag_levels spilled);
+          check_int "restart counted" 1 d.Stats.spill_restarts))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "layered_spill"
+    [
+      ( "segments",
+        [
+          Alcotest.test_case "member is exact" `Quick test_spill_member_exact;
+          Alcotest.test_case "all_keys oldest-first" `Quick
+            test_spill_all_keys_ordered;
+          Alcotest.test_case "prefix roundtrip" `Quick
+            test_spill_prefix_roundtrip;
+          Alcotest.test_case "discard removes files" `Quick
+            test_spill_discard_removes_files;
+          Alcotest.test_case "failed write keeps data in core" `Quick
+            test_spill_write_failure_keeps_core;
+          Alcotest.test_case "torn write rejected, debris kept" `Quick
+            test_spill_torn_write_leaves_debris;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "spilled = in-core (jobs 1 and 4)" `Quick
+            test_spilled_equals_in_core;
+          Alcotest.test_case "checkpoint snapshots identical under spill"
+            `Quick test_spilled_checkpoint_snapshots_identical;
+          Alcotest.test_case "resume composes with live segments" `Quick
+            test_spill_resume_composes;
+          Alcotest.test_case "lost segment restarts in-core" `Quick
+            test_segment_lost_restarts_in_core;
+        ] );
+    ]
