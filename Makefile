@@ -26,7 +26,7 @@ bench-baseline:
 # One full round of the fault-injection matrix at a fixed seed: every
 # (site, oracle) cell must detect its armed fault and pass its control.
 chaos-smoke:
-	dune exec bin/main.exe -- chaos --seed 42 --trials 60
+	dune exec bin/main.exe -- chaos --seed 42 --trials 66
 
 # SIGKILL an `all --checkpoint-dir` run mid-flight, resume it, and
 # require the resumed report to be byte-identical to an uninterrupted

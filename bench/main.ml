@@ -538,22 +538,62 @@ let simgraph_bucketed () =
     (Sim_E.similarity_graph ~builder:Simgraph.Bucketed (Lazy.force simgraph_states))
 
 (* Valence cache keying: the same cold (3,1) classification with the
-   memo table keyed by rebuilt canonical key strings vs interned ids. *)
+   memo table keyed by rebuilt canonical key strings vs the packed
+   statevec identity, with successors answered from the precomputed
+   table ([st_tab]).  The valence recursion revisits states across
+   classify calls, which is exactly where the packed id + successor
+   memo pay off — CI asserts the crossover (interned strictly faster). *)
+(* Each round is a fresh analysis (its own valence cache) over one
+   shared engine — the registry's usage pattern.  The string-key leg
+   recomputes every successor list and rebuilds every memo key per
+   round; the interned leg answers successors from the engine's packed
+   successor table and keys its memo by the arena id. *)
+let valence_rounds = 5
+
 let valence_string_key () =
   let module E = (val make_sync_engine ~t:1) in
   let succ = E.st ~t:1 in
-  let v = Valence.create (E.valence_spec ~succ) in
-  List.iter
-    (fun x -> ignore (Valence.classify v ~depth:3 x))
-    (E.initial_states ~n:3 ~values)
+  for _ = 1 to valence_rounds do
+    let v = Valence.create (E.valence_spec ~succ) in
+    List.iter
+      (fun x -> ignore (Valence.classify v ~depth:4 x))
+      (E.initial_states ~n:4 ~values)
+  done
 
 let valence_interned () =
   let module E = (val make_sync_engine ~t:1) in
-  let succ = E.st ~t:1 in
-  let v = Valence.create ~ident:E.ident (E.valence_spec ~succ) in
-  List.iter
-    (fun x -> ignore (Valence.classify v ~depth:3 x))
-    (E.initial_states ~n:3 ~values)
+  let succ = E.st_tab ~t:1 in
+  for _ = 1 to valence_rounds do
+    let v = Valence.create ~ident:E.vec_ident (E.valence_spec ~succ) in
+    List.iter
+      (fun x -> ignore (Valence.classify v ~depth:4 x))
+      (E.initial_states ~n:4 ~values)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry reduction: the same IIS sweep unreduced vs quotiented by
+   role-respecting process renamings.  Reported rows are byte-identical
+   (orbit-weighted counts); the reduction shows up as strictly fewer
+   states expanded — the JSON "states" field CI gates on.  The oocore
+   pair runs the larger (5,1) instance through the pooled frontier; the
+   sym kernel must materialise strictly fewer states than its
+   unreduced twin. *)
+
+let with_symmetry sym f =
+  Canon.set_enabled sym;
+  Fun.protect ~finally:(fun () -> Canon.set_enabled false) f
+
+let symmetry_sweep ~sym () =
+  with_symmetry sym (fun () ->
+      ignore
+        (Layered_analysis.Sweep.run ~budget:(bench_budget ()) ~model:"iis" ~n:4
+           ~t:2 ~depth:4 ()))
+
+let oocore_iis ~sym jobs () =
+  with_symmetry sym (fun () ->
+      ignore
+        (Layered_analysis.Sweep.run ~pool:(pool jobs)
+           ~budget:(bench_budget ()) ~model:"iis" ~n:5 ~t:1 ~depth:2 ()))
 
 
 (* ------------------------------------------------------------------ *)
@@ -773,14 +813,19 @@ let kernels =
     { name = "ablation/e1-pool-jobs4"; n = 3; t = 1; depth = 3; fn = ablation_e1_pool 4 };
     { name = "simgraph/pairwise"; n = 4; t = 1; depth = 2; fn = simgraph_pairwise };
     { name = "simgraph/bucketed"; n = 4; t = 1; depth = 2; fn = simgraph_bucketed };
-    { name = "valence/string-key"; n = 3; t = 1; depth = 3; fn = valence_string_key };
-    { name = "valence/interned"; n = 3; t = 1; depth = 3; fn = valence_interned };
+    { name = "valence/string-key"; n = 4; t = 1; depth = 4; fn = valence_string_key };
+    { name = "valence/interned"; n = 4; t = 1; depth = 4; fn = valence_interned };
     { name = "checkpoint/write"; n = 4; t = 1; depth = 2; fn = checkpoint_write };
     { name = "checkpoint/restore"; n = 4; t = 1; depth = 2; fn = checkpoint_restore };
     { name = "oocore/smp6-serial"; n = 6; t = 1; depth = 2; fn = oocore_serial };
     { name = "oocore/smp6-jobs1"; n = 6; t = 1; depth = 2; fn = oocore_jobs 1 };
     { name = "oocore/smp6-jobs4"; n = 6; t = 1; depth = 2; fn = oocore_jobs 4 };
     { name = "oocore/smp6-spill-jobs4"; n = 6; t = 1; depth = 2; fn = oocore_spill };
+    { name = "ablation/symmetry-off"; n = 4; t = 2; depth = 4; fn = symmetry_sweep ~sym:false };
+    { name = "ablation/symmetry-on"; n = 4; t = 2; depth = 4; fn = symmetry_sweep ~sym:true };
+    { name = "oocore/iis5-serial"; n = 5; t = 1; depth = 2; fn = oocore_iis ~sym:false 1 };
+    { name = "oocore/iis5-jobs4"; n = 5; t = 1; depth = 2; fn = oocore_iis ~sym:false 4 };
+    { name = "oocore/iis5-sym-jobs4"; n = 5; t = 1; depth = 2; fn = oocore_iis ~sym:true 4 };
     { name = "serve/cold-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_cold };
     { name = "serve/warm-valence"; n = 3; t = 1; depth = 3; fn = serve_valence_warm };
     { name = "serve/warm-after-restart"; n = 3; t = 1; depth = 3; fn = serve_warm_after_restart };
@@ -807,9 +852,15 @@ let run_smoke () =
 let run_json () =
   force_fixtures ();
   print_string "[";
-  List.iteri
-    (fun i k ->
-      if i > 0 then print_string ",";
+  (* Header element: run-wide metadata.  Deliberately has no "kernel"
+     key — the sed/awk consumers (scripts/bench_compare.sh, the CI
+     gates) match per-kernel lines on "kernel" and skip this row. *)
+  Printf.printf "\n  {\"meta\": {\"cores\": %d, \"pool_jobs\": [%s]}}"
+    (Domain.recommended_domain_count ())
+    (String.concat ", " (List.map string_of_int pool_jobs));
+  List.iter
+    (fun k ->
+      print_string ",";
       Stats.reset ();
       Atomic.set last_ckpt_bytes 0;
       (* Settle the previous kernel's garbage so single-shot wall times
@@ -822,11 +873,13 @@ let run_json () =
       let s = Stats.snapshot () in
       Printf.printf
         "\n  {\"kernel\": %S, \"n\": %d, \"t\": %d, \"depth\": %d, \"wall_ns\": %.0f, \
-         \"states\": %d, \"bytes\": %d}"
+         \"states\": %d, \"bytes\": %d, \"statevec\": %d, \"arena_bytes\": %d, \
+         \"orbit_hits\": %d}"
         k.name k.n k.t k.depth
         ((t1 -. t0) *. 1e9)
         s.Stats.states_expanded
-        (Atomic.get last_ckpt_bytes))
+        (Atomic.get last_ckpt_bytes)
+        s.Stats.statevec_states s.Stats.arena_bytes s.Stats.orbit_hits)
     kernels;
   print_string "\n]\n"
 

@@ -167,6 +167,28 @@ let simgraph_arg =
            default) or $(b,pairwise) (the all-pairs reference, for ablation). \
            Output is identical; only construction cost differs.")
 
+(* Symmetry reduction is an opt-in because it changes which states are
+   materialised (orbit representatives) even though the printed report
+   is byte-identical; the flag is recorded in checkpoint meta so
+   snapshots never cross the setting. *)
+let symmetry_arg =
+  Arg.(
+    value & flag
+    & info [ "symmetry" ]
+        ~doc:
+          "Quotient the BFS frontier by role-respecting process-renaming \
+           symmetry (currently the $(b,iis) model, whose partition actions \
+           are renaming-closed and whose local states are pid-free).  One \
+           representative per orbit is explored; reported rows are \
+           byte-identical to the unreduced sweep (orbit-weighted counts), \
+           but strictly fewer states are materialised — see the $(b,orbit \
+           hits) and $(b,states expanded) counters under $(b,--stats).  \
+           Other models either embed process ids in their state parts or \
+           use prefix-blocked omission actions that leave partial orbits \
+           reachable, where the quotient is unsound; the flag is a no-op \
+           there.  Checkpoints record the setting and refuse to resume \
+           across it.")
+
 (* Every budgeted command gets a Budget.t even when no limit flag is
    given: the token doubles as the SIGINT cancellation point, and an
    unlimited budget costs nothing on the hot paths. *)
@@ -382,7 +404,7 @@ let layers_cmd =
              identical to an in-core run; a lost segment restarts the sweep \
              in-core.")
   in
-  let f model n t depth jobs stats budget ckpt spill_dir =
+  let f model n t depth jobs stats budget ckpt spill_dir symmetry =
     if ckpt_invalid ckpt then 2
     else begin
       let checkpoint =
@@ -397,21 +419,36 @@ let layers_cmd =
             { Frontier.spill_dir = dir; spill_mode = Frontier.Pressure })
           spill_dir
       in
+      Canon.set_enabled symmetry;
       Stats.reset ();
-      let sweep =
+      match
         Pool.with_pool ~jobs ~budget (fun pool ->
             Sweep.run ~pool ~budget ?checkpoint ?spill ~model ~n ~t ~depth ())
-      in
-      Format.printf "%a" Sweep.pp sweep;
-      ckpt_hint budget ckpt;
-      finish_stats ~stats budget;
-      match sweep.Sweep.status with Budget.Complete -> 0 | _ -> exit_trunc
+      with
+      | exception Layered_runtime.Checkpoint.Symmetry_mismatch
+            { saved; requested } ->
+          (* Structured refusal: the snapshot's committed keys belong to
+             the other dedup discipline; resuming would misread them. *)
+          Format.eprintf
+            "layered: error=checkpoint-symmetry-mismatch saved=%s \
+             requested=%s@.layered: rerun with the matching --symmetry \
+             setting or point --checkpoint-dir elsewhere.@."
+            (if saved then "on" else "off")
+            (if requested then "on" else "off");
+          2
+      | sweep ->
+          Format.printf "%a" Sweep.pp sweep;
+          ckpt_hint budget ckpt;
+          finish_stats ~stats budget;
+          (match sweep.Sweep.status with
+          | Budget.Complete -> 0
+          | _ -> exit_trunc)
     end
   in
   Cmd.v (Cmd.info "layers" ~doc)
     Term.(
       const f $ model $ n_arg $ t_arg $ depth $ jobs_arg $ stats_arg $ budget_term
-      $ ckpt_term $ spill_dir)
+      $ ckpt_term $ spill_dir $ symmetry_arg)
 
 let chain_cmd =
   let doc =

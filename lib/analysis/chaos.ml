@@ -12,17 +12,35 @@ type cell = {
 
 type report = { seed : int; trials : int; cells : cell list }
 
-(* Which oracles must catch which fault.  Three detectors per site; the
-   workloads are sized so any armed run visits the site at least three
-   times, covering every seed-derived firing index (< 3). *)
+(* Which oracles must catch which fault.  At least three detectors per
+   site; the workloads are sized so any armed run visits the site at
+   least three times, covering every seed-derived firing index (< 3). *)
 let pairings =
   [
     ( Fault.Drop_successor,
-      [ "serial-parallel/sync"; "serial-parallel/mobile"; "serial-parallel/tree" ] );
+      [
+        "serial-parallel/sync";
+        "serial-parallel/mobile";
+        "serial-parallel/tree";
+        "sym/orbit-eq";
+        "sym/report-eq";
+      ] );
     ( Fault.Duplicate_state,
-      [ "serial-parallel/sync"; "serial-parallel/mobile"; "serial-parallel/tree" ] );
+      [
+        "serial-parallel/sync";
+        "serial-parallel/mobile";
+        "serial-parallel/tree";
+        "sym/orbit-eq";
+        "sym/report-eq";
+      ] );
     ( Fault.Corrupt_dedup_shard,
-      [ "serial-parallel/sync"; "serial-parallel/mobile"; "conservation/sync" ] );
+      [
+        "serial-parallel/sync";
+        "serial-parallel/mobile";
+        "conservation/sync";
+        "sym/orbit-eq";
+        "sym/report-eq";
+      ] );
     ( Fault.Worker_raise,
       [ "containment/map"; "containment/frontier"; "containment/registry" ] );
     (Fault.Worker_stall, [ "timing/map"; "timing/frontier"; "timing/iter" ]);

@@ -764,6 +764,103 @@ let spill_resume_compose ~jobs =
                             fail "forced spill mode wrote no segments"
                           else pass_)))))
 
+(* ------------------------------------------------------------------ *)
+(* Symmetry: the orbit quotient must reconstruct the unreduced run.    *)
+(* Both oracles keep a serial [Explore] leg as ground truth — that is  *)
+(* where the Drop_successor/Duplicate_state sites live — while the     *)
+(* quotient leg runs through the pooled frontier, where the dedup      *)
+(* shard site lives, so every paired fault surfaces as a weighted      *)
+(* count or orbit-set mismatch.                                        *)
+
+module type SYM_INSTANCE = sig
+  type state
+
+  val depth : int
+  val x0 : state
+  val succ : state -> state list
+  val key : state -> string
+  val ckey : state -> string
+  val weight : state -> int
+end
+
+let sym_instance () =
+  let module P = (val Layered_protocols.Iis_voting.make ~horizon:2) in
+  let module E = Layered_iis.Engine.Make (P) in
+  let inputs = mixed_inputs 4 in
+  (module struct
+    type state = E.state
+
+    let depth = 2
+    let x0 = E.initial ~inputs
+    let succ = E.layer
+    let key = E.key
+    let roles = Canon.roles_of ~eq:Value.equal inputs
+    let ckey x = (E.canon ~roles x).Intern.cmeta.Intern.key
+    let weight x = (E.canon ~roles x).Intern.weight
+  end : SYM_INSTANCE)
+
+let sym_orbit_eq ~jobs =
+  let module I = (val sym_instance ()) in
+  let serial =
+    Explore.reachable { Explore.succ = I.succ; key = I.key } ~depth:I.depth I.x0
+  in
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let quotient =
+        (Frontier.reachable pool ~succ:I.succ ~key:I.key ~canon:I.ckey
+           ~depth:I.depth I.x0)
+          .Budget.value
+      in
+      let weighted = List.fold_left (fun a x -> a + I.weight x) 0 quotient in
+      let serial_orbits = List.sort_uniq compare (List.map I.ckey serial) in
+      let quotient_orbits = List.sort compare (List.map I.ckey quotient) in
+      if List.length quotient >= List.length serial then
+        fail
+          (Printf.sprintf "no reduction: %d representatives vs %d raw states"
+             (List.length quotient) (List.length serial))
+      else if weighted <> List.length serial then
+        fail
+          (Printf.sprintf "orbit weights sum to %d, serial BFS visited %d"
+             weighted (List.length serial))
+      else if serial_orbits <> quotient_orbits then
+        fail "representative orbits differ from the serial set's orbits"
+      else pass_)
+
+let sym_report_eq ~jobs =
+  Pool.with_pool ~jobs:(clamp jobs) (fun pool ->
+      let leg sym =
+        Canon.set_enabled sym;
+        Fun.protect
+          ~finally:(fun () -> Canon.set_enabled false)
+          (fun () ->
+            let before = RStats.snapshot () in
+            let sweep = Sweep.run ~pool ~model:"iis" ~n:4 ~t:1 ~depth:2 () in
+            let d = RStats.diff (RStats.snapshot ()) before in
+            (Format.asprintf "%a" Sweep.pp sweep, sweep, d.RStats.states_expanded))
+      in
+      let off_render, _, off_states = leg false in
+      let on_render, on_sweep, on_states = leg true in
+      let module I = (val sym_instance ()) in
+      let serial =
+        Explore.count_reachable { Explore.succ = I.succ; key = I.key }
+          ~depth:I.depth I.x0
+      in
+      let final_reachable =
+        match List.rev on_sweep.Sweep.levels with
+        | l :: _ -> l.Sweep.reachable
+        | [] -> -1
+      in
+      if on_render <> off_render then
+        fail "symmetry-on report differs from the unreduced report"
+      else if on_states >= off_states then
+        fail
+          (Printf.sprintf "symmetry expanded %d states, unreduced %d" on_states
+             off_states)
+      else if final_reachable <> serial then
+        fail
+          (Printf.sprintf "report says %d reachable, serial BFS visited %d"
+             final_reachable serial)
+      else pass_)
+
 let builtin =
   [
     {
@@ -916,6 +1013,18 @@ let builtin =
       what =
         "a checkpoint resume composes with live spill segments and reproduces the uninterrupted in-core run";
       check = spill_resume_compose;
+    };
+    {
+      name = "sym/orbit-eq";
+      what =
+        "orbit weights of the quotiented frontier reconstruct the serial unreduced reachable set (IIS, n=4 d=2)";
+      check = sym_orbit_eq;
+    };
+    {
+      name = "sym/report-eq";
+      what =
+        "--symmetry sweep reports byte-identical to unreduced with strictly fewer states expanded (IIS, n=4 d=2)";
+      check = sym_report_eq;
     };
   ]
 

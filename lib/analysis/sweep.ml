@@ -26,7 +26,17 @@ let mixed_inputs n = Array.init n (fun i -> if i = 0 then Value.zero else Value.
    over the states: a truncated run therefore never re-pays for work the
    budget already cut off.  Min/max are order-independent, so the
    accumulation is deterministic across job counts. *)
-let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
+(* Under [?canon] (symmetry reduction) the BFS explores one state per
+   orbit, so the raw level lists shrink — but every reported figure is
+   recovered exactly: [?size] sums orbit weights (|orbit| per
+   representative) instead of counting states, and layer min/max are
+   unchanged because |succ| is constant on orbits (the renaming action
+   is a bijection commuting with [succ]).  [~symmetry] is stamped into
+   checkpoint meta; resuming across a different setting raises
+   {!Ckpt.Symmetry_mismatch} — the committed keys of one discipline are
+   meaningless to the other. *)
+let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name ?canon
+    ?(size = List.length) ?(symmetry = false)
     ~(succ : a -> a list) ~(key : a -> string) ~(x0 : a) ~depth () =
   let cur_min = Atomic.make max_int and cur_max = Atomic.make 0 in
   let rec fold_atomic better a v =
@@ -51,7 +61,7 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
   let sizes = ref [] and stats = ref [] and last_level = ref [] in
   let f level =
     if !sizes <> [] then stats := harvest () :: !stats;
-    sizes := List.length level :: !sizes;
+    sizes := size level :: !sizes;
     last_level := level
   in
   (* The snapshot payload carries the frontier's own resume state plus
@@ -63,6 +73,10 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
         match Ckpt.load_latest ~dir ~name with
         | None -> None
         | Some loaded -> (
+            if loaded.Ckpt.meta.Ckpt.symmetry <> symmetry then
+              raise
+                (Ckpt.Symmetry_mismatch
+                   { saved = loaded.Ckpt.meta.Ckpt.symmetry; requested = symmetry });
             if loaded.Ckpt.rejected > 0 then
               Printf.eprintf
                 "warning: %s: rolled back past %d corrupt checkpoint \
@@ -76,7 +90,7 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
             with
             | exception _ -> None
             | snap, harvested ->
-                sizes := List.rev_map List.length snap.Frontier.levels;
+                sizes := List.rev_map size snap.Frontier.levels;
                 stats := List.rev harvested;
                 (match List.rev snap.Frontier.levels with
                 | last :: _ -> last_level := last
@@ -109,7 +123,7 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
               ignore
                 (Ckpt.save ~dir ~name
                    ~meta:
-                     (Ckpt.make_meta ?budget
+                     (Ckpt.make_meta ?budget ~symmetry
                         ~progress:(List.length snap.Frontier.levels)
                         ())
                    ~payload));
@@ -129,8 +143,8 @@ let sweep_generic (type a) ~pool ?budget ?ckpt ?spill ~name
     Atomic.set cur_max 0
   in
   let status =
-    Frontier.iter_levels ?budget ?checkpoint ?resume ?spill ~on_restart pool
-      ~succ:succ_counted ~key ~depth ~f x0
+    Frontier.iter_levels ?budget ?checkpoint ?resume ?spill ~on_restart ?canon
+      pool ~succ:succ_counted ~key ~depth ~f x0
   in
   let sizes = Array.of_list (List.rev !sizes) in
   let harvested = Array.of_list (List.rev !stats) in
@@ -183,9 +197,40 @@ let serial_pool = lazy (Layered_runtime.Pool.create ~jobs:1 ())
 let run ?pool ?budget ?checkpoint ?spill ~model ~n ~t ~depth () =
   let pool = match pool with Some p -> p | None -> Lazy.force serial_pool in
   let name = checkpoint_name ~model ~n ~t ~depth in
-  let sweep_generic ~succ ~key ~x0 ~depth =
-    sweep_generic ~pool ?budget ?ckpt:checkpoint ?spill ~name ~succ ~key ~x0
-      ~depth ()
+  let sweep_generic ?canon ?size ?symmetry ~succ ~key ~x0 ~depth () =
+    sweep_generic ~pool ?budget ?ckpt:checkpoint ?spill ~name ?canon ?size
+      ?symmetry ~succ ~key ~x0 ~depth ()
+  in
+  (* Symmetry reduction is sound exactly where (a) the interning parts
+     are pid-free AND (b) the action set is closed under role-respecting
+     process renamings, so that the raw reachable set is a disjoint
+     union of full orbits.  Only the IIS substrate satisfies both: its
+     actions are ALL ordered partitions of {1..n} (a renaming-closed
+     set) and its voting locals fold snapshot values only.  The sync
+     layerings parametrise omissions by receiver {e prefixes} {1..k} —
+     an asymmetric subset of the renaming closure — so their reachable
+     sets contain {e partial} orbits (e.g. "only receiver 2 missed v" is
+     reachable where "only receiver 3 missed v" is not) and orbit
+     weights would overcount; the mailbox/shared-memory/transit models
+     embed pids in their parts, where the part permutation is not even
+     the renaming action.  [--symmetry] is a documented no-op for all of
+     them (see Canon's docs and DESIGN §6). *)
+  let sym_for_model = Canon.enabled () && model = "iis" in
+  let orbit_canon (type s) ~(ident : s -> int)
+      ~(canon : roles:int array -> s -> Intern.canon) ~inputs =
+    if not sym_for_model then (None, None, false)
+    else begin
+      let roles = Canon.roles_of ~eq:Value.equal inputs in
+      let ckey x =
+        let c = canon ~roles x in
+        if c.Intern.cmeta.Intern.id <> ident x then Stats.add_orbit_hits 1;
+        c.Intern.cmeta.Intern.key
+      in
+      let level_weight level =
+        List.fold_left (fun a x -> a + (canon ~roles x).Intern.weight) 0 level
+      in
+      (Some ckey, Some level_weight, true)
+    end
   in
   let levels, status =
     match model with
@@ -193,32 +238,36 @@ let run ?pool ?budget ?checkpoint ?spill ~model ~n ~t ~depth () =
         let module P = (val Layered_protocols.Sync_floodset.make ~t) in
         let module E = Layered_sync.Engine.Make (P) in
         sweep_generic ~succ:(E.s1 ~record_failures:false) ~key:E.key
-          ~x0:(E.initial ~inputs:(mixed_inputs n)) ~depth
+          ~x0:(E.initial ~inputs:(mixed_inputs n)) ~depth ()
     | "sync" ->
         let module P = (val Layered_protocols.Sync_floodset.make ~t) in
         let module E = Layered_sync.Engine.Make (P) in
         sweep_generic ~succ:(E.st ~t) ~key:E.key
-          ~x0:(E.initial ~inputs:(mixed_inputs n)) ~depth
+          ~x0:(E.initial ~inputs:(mixed_inputs n)) ~depth ()
     | "sm" ->
         let module P = (val Layered_protocols.Sm_voting.make ~horizon:(t + 1)) in
         let module E = Layered_async_sm.Engine.Make (P) in
         sweep_generic ~succ:E.srw ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
-          ~depth
+          ~depth ()
     | "mp" ->
         let module P = (val Layered_protocols.Mp_floodset.make ~horizon:(t + 1)) in
         let module E = Layered_async_mp.Engine.Make (P) in
         sweep_generic ~succ:E.sper ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
-          ~depth
+          ~depth ()
     | "smp" ->
         let module P = (val Layered_protocols.Sync_floodset.make ~t) in
         let module E = Layered_async_mp.Synchronic.Make (P) in
         sweep_generic ~succ:E.smp ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
-          ~depth
+          ~depth ()
     | "iis" ->
         let module P = (val Layered_protocols.Iis_voting.make ~horizon:(t + 1)) in
         let module E = Layered_iis.Engine.Make (P) in
-        sweep_generic ~succ:E.layer ~key:E.key ~x0:(E.initial ~inputs:(mixed_inputs n))
-          ~depth
+        let inputs = mixed_inputs n in
+        let canon, size, symmetry =
+          orbit_canon ~ident:E.ident ~canon:E.canon ~inputs
+        in
+        sweep_generic ?canon ?size ~symmetry ~succ:E.layer ~key:E.key
+          ~x0:(E.initial ~inputs) ~depth ()
     | other -> invalid_arg (Printf.sprintf "Sweep.run: unknown model %S" other)
   in
   { model; n; levels; status }

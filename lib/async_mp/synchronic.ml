@@ -167,8 +167,23 @@ module Make (P : Layered_sync.Protocol.S) = struct
   let sim_adapter =
     { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness = (fun _ _ _ -> true) }
 
+  let sim_inc = Simgraph.Incremental.create ~rel:similar sim_adapter
+
   let similarity_graph ?builder states =
-    Simgraph.build ?builder ~rel:similar sim_adapter states
+    Simgraph.Incremental.build ?builder sim_inc states
+
+  (* Packed hot-path identity + precomputed successor table (small n). *)
+  let vec_table = Statevec.create ()
+  let vec_ident x = Statevec.id vec_table (meta x).Intern.parts
+  let succ_cache : state Statevec.Memo.cache = Statevec.Memo.create ()
+
+  let smp_tab x =
+    Statevec.Memo.find succ_cache ~ctx:0 ~id:(vec_ident x) ~compute:(fun () -> smp x)
+
+  (* Symmetry: transit packets in the header carry src/dst pids, so
+     quotienting by the part permutation is unsound in this model —
+     exposed for uniformity only. *)
+  let canon ~roles x = Intern.canon_meta intern_table ~roles x
 
   let explore_spec = { Explore.succ = smp; key }
   let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }

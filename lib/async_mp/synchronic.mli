@@ -64,6 +64,20 @@ module Make (P : Layered_sync.Protocol.S) : sig
   val similarity_graph :
     ?builder:Simgraph.builder -> state list -> state array * Graph.t
 
+  (** Packed identity: the part-id vector hash-consed in the statevec
+      arena.  Injective like {!ident}. *)
+  val vec_ident : state -> int
+
+  (** {!smp} answered from a precomputed successor table keyed on
+      {!vec_ident} (small instances only; falls back to computing). *)
+  val smp_tab : state -> state list
+
+  (** Orbit data for the canonical-form machinery.  {b Unsound to
+      quotient traversals by in this model}: transit packets in the
+      header part carry src/dst pids.  Exposed for uniformity and
+      testing only. *)
+  val canon : roles:int array -> state -> Intern.canon
+
   val explore_spec : state Explore.spec
   val valence_spec : succ:(state -> state list) -> state Valence.spec
   val pp : Format.formatter -> state -> unit

@@ -157,8 +157,20 @@ module Make (P : Protocol.S) = struct
   let sim_adapter =
     { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness = (fun _ _ _ -> true) }
 
+  let sim_inc = Simgraph.Incremental.create ~rel:similar sim_adapter
+
   let similarity_graph ?builder states =
-    Simgraph.build ?builder ~rel:similar sim_adapter states
+    Simgraph.Incremental.build ?builder sim_inc states
+
+  (* Packed hot-path identity + precomputed successor table (small n). *)
+  let vec_table = Statevec.create ()
+  let vec_ident x = Statevec.id vec_table (meta x).Intern.parts
+  let succ_cache : state Statevec.Memo.cache = Statevec.Memo.create ()
+
+  (* Symmetry: the register vector in the header part is indexed by
+     process, so permuting the per-process parts alone is not the
+     renaming action — exposed for uniformity, unsound to quotient by. *)
+  let canon ~roles x = Intern.canon_meta intern_table ~roles x
 
   let dedup states =
     let seen = Hashtbl.create 64 in
@@ -173,6 +185,9 @@ module Make (P : Protocol.S) = struct
       states
 
   let srw x = dedup (List.map (apply x) (actions ~n:(n_of x)))
+
+  let srw_tab x =
+    Statevec.Memo.find succ_cache ~ctx:0 ~id:(vec_ident x) ~compute:(fun () -> srw x)
 
   let explore_spec = { Explore.succ = srw; key }
   let valence_spec ~succ = { Valence.succ; key; decided = decided_vset; terminal }

@@ -86,6 +86,20 @@ module Make (P : Protocol.S) : sig
       [apply x a] over all actions. *)
   val srw : state -> state list
 
+  (** Packed identity: the part-id vector hash-consed in the statevec
+      arena.  Injective like {!ident}. *)
+  val vec_ident : state -> int
+
+  (** {!srw} answered from a precomputed successor table keyed on
+      {!vec_ident} (small instances only; falls back to computing). *)
+  val srw_tab : state -> state list
+
+  (** Orbit data for the canonical-form machinery.  {b Unsound to
+      quotient traversals by in this model}: the register vector in the
+      header part is indexed by process.  Exposed for uniformity and
+      testing only. *)
+  val canon : roles:int array -> state -> Intern.canon
+
   val explore_spec : state Explore.spec
   val valence_spec : succ:(state -> state list) -> state Valence.spec
   val pp : Format.formatter -> state -> unit

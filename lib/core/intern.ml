@@ -65,6 +65,40 @@ let intern t x =
           Stats.record_intern ~fresh:true;
           m)
 
+(* Intern a pre-rendered key/parts pair (the canonicalization path:
+   the canonical encoding is derived from another state's parts, not
+   rendered by [t.key]).  Caller holds the lock. *)
+let intern_rendered_locked t k sparts =
+  match Hashtbl.find_opt t.table k with
+  | Some m ->
+      Stats.record_intern ~fresh:false;
+      m
+  | None ->
+      let parts = Array.map (part_id t) sparts in
+      let m = { id = Hashtbl.length t.table; key = k; khash = Hashtbl.hash k; parts } in
+      Hashtbl.add t.table k m;
+      Stats.record_intern ~fresh:true;
+      m
+
+type canon = { cmeta : meta; witness : Canon.witness; weight : int }
+
+let canon_meta t ~roles x =
+  let sparts = t.parts x in
+  let cparts, witness = Canon.sort ~roles sparts in
+  let weight = Canon.weight ~roles sparts in
+  let ckey = Canon.render cparts in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> { cmeta = intern_rendered_locked t ckey cparts; witness; weight })
+
+let part_ids t x =
+  let sparts = t.parts x in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Array.map (part_id t) sparts)
+
 let memo t slot x =
   match Atomic.get slot with
   | Some (m, tok) when tok == t.token -> m

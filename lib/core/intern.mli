@@ -49,5 +49,23 @@ val intern : 'a t -> 'a -> meta
     fast path is one atomic read. *)
 val memo : 'a t -> slot -> 'a -> meta
 
+(** A state's orbit representative under process-permutation symmetry:
+    the canonical encoding interned as a meta of its own, the witness
+    permutation mapping the state's parts onto the representative's,
+    and the orbit size (see {!Canon}). *)
+type canon = { cmeta : meta; witness : Canon.witness; weight : int }
+
+(** [canon_meta t ~roles x] canonicalizes [x]'s part array under the
+    role-respecting permutation group and interns the canonical
+    encoding.  [cmeta.key] is the orbit's dedup key: two states map to
+    the same [cmeta] exactly when a role-respecting process renaming
+    carries one's parts onto the other's.  Soundness of quotienting a
+    traversal by this key is the caller's obligation ({!Canon}). *)
+val canon_meta : 'a t -> roles:int array -> 'a -> canon
+
+(** [part_ids t x] is [x]'s dense part-id vector — the {!Statevec}
+    basis — computed without rendering or interning the full key. *)
+val part_ids : 'a t -> 'a -> int array
+
 (** Number of distinct states interned so far. *)
 val size : 'a t -> int

@@ -45,16 +45,46 @@ let masked_equal p q j =
    in input order and false bucket-mates are filtered by the exact
    check, so only the content-determined agree-modulo pairs survive, in
    input order. *)
-let bucketed ad states =
+(* Reusable scratch for the bucketed builder: one bucket table per
+   maskable position plus the emitted-edge set.  A fresh build resets
+   the tables in place ([Hashtbl.reset] keeps capacity), so a traversal
+   that builds one graph per BFS level pays the table allocation once
+   instead of once per layer. *)
+type scratch = {
+  mutable tables : (int, int list) Hashtbl.t array;
+  scratch_emitted : (int, unit) Hashtbl.t;
+}
+
+let scratch () = { tables = [||]; scratch_emitted = Hashtbl.create 256 }
+
+let scratch_table s j m =
+  let have = Array.length s.tables in
+  if j >= have then
+    s.tables <-
+      Array.init (j + 1) (fun i ->
+          if i < have then s.tables.(i) else Hashtbl.create (2 * m));
+  let tbl = s.tables.(j) in
+  Hashtbl.reset tbl;
+  tbl
+
+let bucketed ?scratch:sc ad states =
   let arr = Array.of_list states in
   let m = Array.length arr in
   let parts = Array.map ad.parts arr in
   let nmask = Array.fold_left (fun acc p -> max acc (Array.length p - 1)) 0 parts in
   let edges = ref [] in
-  let emitted = Hashtbl.create (4 * m) in
+  let emitted =
+    match sc with
+    | None -> Hashtbl.create (4 * m)
+    | Some s ->
+        Hashtbl.reset s.scratch_emitted;
+        s.scratch_emitted
+  in
   let candidates = ref 0 in
   for j = 1 to nmask do
-    let buckets = Hashtbl.create (2 * m) in
+    let buckets =
+      match sc with None -> Hashtbl.create (2 * m) | Some s -> scratch_table s j m
+    in
     for i = 0 to m - 1 do
       let p = parts.(i) in
       if Array.length p > j then begin
@@ -84,3 +114,28 @@ let build ?builder ~rel ad states =
   match (match builder with Some b -> b | None -> default ()) with
   | Pairwise -> pairwise ~rel states
   | Bucketed -> bucketed ad states
+
+(* A persistent builder instance: the engine holds one and routes every
+   per-level graph construction through it, so consecutive levels reuse
+   the same scratch tables instead of rebuilding them per layer.  The
+   mutex makes concurrent builds safe (they serialize; builds from pool
+   workers are rare and short). *)
+module Incremental = struct
+  type 'a t = {
+    ad : 'a adapter;
+    rel : 'a -> 'a -> bool;
+    lock : Mutex.t;
+    sc : scratch;
+  }
+
+  let create ~rel ad = { ad; rel; lock = Mutex.create (); sc = scratch () }
+
+  let build ?builder t states =
+    match (match builder with Some b -> b | None -> default ()) with
+    | Pairwise -> pairwise ~rel:t.rel states
+    | Bucketed ->
+        Mutex.lock t.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.lock)
+          (fun () -> bucketed ~scratch:t.sc t.ad states)
+end

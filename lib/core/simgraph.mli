@@ -45,10 +45,30 @@ val masked_equal : int array -> int array -> int -> bool
     Returns the states as an array (graph nodes are its indices). *)
 val pairwise : rel:('a -> 'a -> bool) -> 'a list -> 'a array * Graph.t
 
+(** Reusable scratch tables for the bucketed builder (one bucket table
+    per maskable position + the emitted-edge set), reset in place per
+    build so per-layer constructions stop reallocating them. *)
+type scratch
+
+val scratch : unit -> scratch
+
 (** The bucketed construction; requires [rel x y] ⟺ ∃j maskable,
-    [masked_equal (parts x) (parts y) j && witness x y j]. *)
-val bucketed : 'a adapter -> 'a list -> 'a array * Graph.t
+    [masked_equal (parts x) (parts y) j && witness x y j].  With
+    [?scratch], reuses the given tables instead of allocating. *)
+val bucketed : ?scratch:scratch -> 'a adapter -> 'a list -> 'a array * Graph.t
 
 (** Dispatch on [builder], defaulting to {!default}. *)
 val build :
   ?builder:builder -> rel:('a -> 'a -> bool) -> 'a adapter -> 'a list -> 'a array * Graph.t
+
+(** A persistent builder: an engine holds one instance and routes every
+    per-level similarity graph through it, so a layered traversal
+    reuses one set of scratch tables across BFS levels rather than
+    rebuilding them per layer.  Identical output to {!build}
+    (mutex-guarded, safe from pool workers). *)
+module Incremental : sig
+  type 'a t
+
+  val create : rel:('a -> 'a -> bool) -> 'a adapter -> 'a t
+  val build : ?builder:builder -> 'a t -> 'a list -> 'a array * Graph.t
+end

@@ -1,0 +1,107 @@
+module Stats = Layered_runtime.Stats
+
+(* Packed-int state vectors, hash-consed in a Bytes arena.
+
+   The hot explore/valence paths need a cheap injective identity for a
+   state.  Rendering the full canonical key string and hashing it costs
+   an allocation plus a byte-wise hash per visit; but every engine
+   already decomposes a state into a handful of small non-negative ints
+   (round, failure bitset, one dense part id per process).  Packing
+   that vector into a fixed-width byte string and hash-consing the
+   bytes gives the same injectivity for a fraction of the rendering
+   work, and the packed bytes double as the arena storage whose size
+   the bench records report. *)
+
+type t = {
+  lock : Mutex.t;
+  table : (bytes, int) Hashtbl.t;
+  mutable count : int;
+  mutable bytes : int;
+}
+
+let create ?(slots = 1024) () =
+  { lock = Mutex.create (); table = Hashtbl.create slots; count = 0; bytes = 0 }
+
+(* Fixed-width little-endian slots; the width byte makes vectors of
+   different magnitude ranges self-delimiting, and equal vectors always
+   pack to equal bytes (the width is a function of the contents). *)
+let pack v =
+  let mx =
+    Array.fold_left
+      (fun acc x ->
+        if x < 0 then invalid_arg "Statevec.pack: negative slot";
+        max acc x)
+      0 v
+  in
+  let w =
+    if mx < 0x100 then 1 else if mx < 0x10000 then 2 else if mx < 0x4000_0000 then 4 else 8
+  in
+  let b = Bytes.create (1 + (w * Array.length v)) in
+  Bytes.unsafe_set b 0 (Char.unsafe_chr w);
+  Array.iteri
+    (fun i x ->
+      let off = 1 + (i * w) in
+      for k = 0 to w - 1 do
+        Bytes.unsafe_set b (off + k) (Char.unsafe_chr ((x lsr (8 * k)) land 0xff))
+      done)
+    v;
+  b
+
+let id t v =
+  let b = pack v in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.table b with
+      | Some i -> i
+      | None ->
+          let i = t.count in
+          t.count <- i + 1;
+          t.bytes <- t.bytes + Bytes.length b;
+          Hashtbl.add t.table b i;
+          Stats.record_statevec ~bytes:(Bytes.length b);
+          i)
+
+let count t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> t.count)
+
+let bytes t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> t.bytes)
+
+(* Successor memoization keyed by packed-vector id: the precomputed
+   successor tables for small (n, t).  Entries are only added below
+   [cap] — big sweeps fall through to direct computation so the memo
+   can never pin an out-of-core frontier in the heap.  [compute] runs
+   outside the lock (it calls protocol code); racing domains may both
+   compute, but the function is deterministic so the table converges. *)
+module Memo = struct
+  type 'a cache = {
+    lock : Mutex.t;
+    tbl : (int * int, 'a list) Hashtbl.t;
+    cap : int;
+  }
+
+  let create ?(cap = 1 lsl 16) () =
+    { lock = Mutex.create (); tbl = Hashtbl.create 1024; cap }
+
+  let find c ~ctx ~id ~compute =
+    let k = (ctx, id) in
+    let cached =
+      Mutex.lock c.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock c.lock)
+        (fun () -> Hashtbl.find_opt c.tbl k)
+    in
+    match cached with
+    | Some l -> l
+    | None ->
+        let l = compute () in
+        Mutex.lock c.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock c.lock)
+          (fun () -> if Hashtbl.length c.tbl < c.cap then Hashtbl.replace c.tbl k l);
+        l
+end

@@ -1,0 +1,42 @@
+(** Packed-int state vectors, hash-consed in a [Bytes] arena.
+
+    Engines decompose a state into a short vector of small non-negative
+    ints — round, failure bitset, one dense part id per process — and
+    [id] hash-conses the fixed-width packed encoding of that vector
+    into a dense integer identity.  Compared with interning the full
+    canonical key string, the packed path skips the per-visit string
+    render and hashes a handful of bytes, which is what lets the
+    valence/explore hot loops drop their per-successor allocation.
+
+    Tables are domain-safe (mutex-guarded inserts) and feed the
+    [statevec states] / [arena bytes] runtime counters. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+
+(** [id t v] is the dense id of vector [v] (equal vectors share it,
+    others never do).  All slots must be non-negative.  O(length v). *)
+val id : t -> int array -> int
+
+(** Distinct vectors packed so far. *)
+val count : t -> int
+
+(** Arena bytes consumed by the packed vectors. *)
+val bytes : t -> int
+
+(** [pack v] is the fixed-width encoding [id] keys on — exposed for
+    tests. *)
+val pack : int array -> bytes
+
+(** Precomputed successor tables for small (n, t): memoize a successor
+    list under a [(ctx, id)] key, where [ctx] disambiguates successor
+    functions sharing a cache (e.g. the fault bound [t]).  Entries stop
+    being added once the cache holds [cap] lists, so a big traversal
+    degrades to direct computation instead of pinning its frontier. *)
+module Memo : sig
+  type 'a cache
+
+  val create : ?cap:int -> unit -> 'a cache
+  val find : 'a cache -> ctx:int -> id:int -> compute:(unit -> 'a list) -> 'a list
+end

@@ -70,6 +70,19 @@ module Make (P : Protocol.S) : sig
   val similarity_graph :
     ?builder:Simgraph.builder -> state list -> state array * Graph.t
 
+  (** Packed identity: the part-id vector hash-consed in the statevec
+      arena.  Injective like {!ident}. *)
+  val vec_ident : state -> int
+
+  (** {!layer} answered from a precomputed successor table keyed on
+      {!vec_ident} (small instances only; falls back to computing). *)
+  val layer_tab : state -> state list
+
+  (** Orbit data under role-respecting process renamings: sound to
+      quotient by whenever the protocol's local keys are pid-free
+      (header = round, part i = local key).  See {!Layered_core.Canon}. *)
+  val canon : roles:int array -> state -> Intern.canon
+
   val explore_spec : state Explore.spec
   val valence_spec : succ:(state -> state list) -> state Valence.spec
   val pp : Format.formatter -> state -> unit

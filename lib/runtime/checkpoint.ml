@@ -1,4 +1,8 @@
-let current_version = 1
+(* Version 2: meta grew the [symmetry] flag.  Version-1 snapshots are
+   rejected as not-intact (fresh start) rather than misread — the first
+   meta field is the version int in both layouts, so the check below
+   reads clean even against an old body. *)
+let current_version = 2
 let magic = "LAYCKPT1"
 
 type meta = {
@@ -9,12 +13,27 @@ type meta = {
   deadline_remaining_s : float option;
   stats : Stats.snapshot;
   fault : (string * int) option;
+  symmetry : bool;
 }
+
+exception Symmetry_mismatch of { saved : bool; requested : bool }
+
+let () =
+  Printexc.register_printer (function
+    | Symmetry_mismatch { saved; requested } ->
+        Some
+          (Printf.sprintf
+             "checkpoint symmetry mismatch: snapshot was written with \
+              --symmetry %s but this run has --symmetry %s (rerun with the \
+              matching flag or remove the checkpoint directory)"
+             (if saved then "on" else "off")
+             (if requested then "on" else "off"))
+    | _ -> None)
 
 type saved = { generation : int; bytes : int }
 type loaded = { meta : meta; payload : string; generation : int; rejected : int }
 
-let make_meta ?budget ~progress () =
+let make_meta ?budget ?(symmetry = false) ~progress () =
   {
     version = current_version;
     created_s = Unix.gettimeofday ();
@@ -28,6 +47,7 @@ let make_meta ?budget ~progress () =
       Option.map
         (fun (site, seed) -> (Fault.site_name site, seed))
         (Fault.armed_with ());
+    symmetry;
   }
 
 (* ---- CRC-32 (IEEE 802.3, table-driven; no external deps) ------------- *)

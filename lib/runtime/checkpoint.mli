@@ -47,11 +47,24 @@ type meta = {
   fault : (string * int) option;
       (** armed fault site and seed, when the snapshot was written under
           chaos injection — lets a resumed run know it is tainted *)
+  symmetry : bool;
+      (** whether the traversal ran under symmetry reduction
+          ([--symmetry]): its committed dedup keys are orbit keys, which
+          an unreduced run cannot consume (and vice versa), so resume
+          must {!Symmetry_mismatch}-refuse to cross the setting *)
 }
 
-(** [make_meta ?budget ~progress ()] captures the current budget
-    consumption, {!Stats} counters and armed fault into a [meta]. *)
-val make_meta : ?budget:Budget.t -> progress:int -> unit -> meta
+(** Raised by consumers (e.g. [Sweep]) when a snapshot's {!meta}
+    [symmetry] flag disagrees with the resuming run's — resuming across
+    the setting would silently misinterpret the committed key set.
+    Carries both settings; registered with a [Printexc] printer. *)
+exception Symmetry_mismatch of { saved : bool; requested : bool }
+
+(** [make_meta ?budget ?symmetry ~progress ()] captures the current
+    budget consumption, {!Stats} counters and armed fault into a [meta].
+    [symmetry] (default [false]) records the run's symmetry-reduction
+    setting. *)
+val make_meta : ?budget:Budget.t -> ?symmetry:bool -> progress:int -> unit -> meta
 
 type saved = { generation : int; bytes : int }
 

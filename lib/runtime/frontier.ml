@@ -109,7 +109,14 @@ type spill = { spill_dir : string; spill_mode : spill_mode }
    also why the (heap-sampling, hence nondeterministic) trigger needs no
    cross-jobs coordination. *)
 let iter_levels ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
-    pool ~succ ~key ~depth ~f x0 =
+    ?canon pool ~succ ~key ~depth ~f x0 =
+  (* Dedup key: with [?canon], states are claimed by orbit representative
+     — the whole orbit shares one shard entry, so the traversal explores
+     one member per orbit (the minimum candidate index, deterministic
+     across job counts).  Committed keys, spill fingerprints and the
+     checkpoint's [committed] list all hold canon keys, which is what
+     makes snapshots refuse to cross a symmetry-setting change. *)
+  let dedup_key = match canon with Some c -> c | None -> key in
   let attempt ~spill () =
     let tbl = Shards.create ~shards:default_shards in
     let disk = Option.map (fun s -> (s, Spill.create ~dir:s.spill_dir)) spill in
@@ -120,7 +127,7 @@ let iter_levels ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
       Stats.add_states_expanded (List.length frontier);
       let candidates = List.concat (Pool.parallel_map ?budget pool succ frontier) in
       let cands = Array.of_list candidates in
-      let keys = Array.of_list (Pool.parallel_map ?budget pool key candidates) in
+      let keys = Array.of_list (Pool.parallel_map ?budget pool dedup_key candidates) in
       let idxs = List.init (Array.length cands) Fun.id in
       (* a key living in a spilled segment is committed: it never gets a
          candidate, so pass B's find-nothing answer is the right "no" *)
@@ -260,7 +267,7 @@ let iter_levels ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
             let d0 = List.length prefix - 1 in
             go d0 (List.nth prefix d0)
         | Some { levels = []; _ } | None -> (
-            Shards.commit tbl (key x0);
+            Shards.commit tbl (dedup_key x0);
             Budget.charge_opt budget 1;
             match f [ x0 ] with
             | exception Budget.Exhausted reason -> Some (reason, 0)
@@ -306,7 +313,7 @@ let iter_levels ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
    re-seed them via [on_restart] when a lost spill segment forces a
    fresh in-core traversal. *)
 let levels ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
-    pool ~succ ~key ~depth x0 =
+    ?canon pool ~succ ~key ~depth x0 =
   let initial () = match resume with Some r -> List.rev r.levels | None -> [] in
   let acc = ref (initial ()) in
   let status =
@@ -314,22 +321,22 @@ let levels ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
       ~on_restart:(fun () ->
         acc := initial ();
         on_restart ())
-      pool ~succ ~key ~depth
+      ?canon pool ~succ ~key ~depth
       ~f:(fun level -> acc := level :: !acc)
       x0
   in
   { Budget.value = List.rev !acc; status }
 
-let reachable ?budget ?checkpoint ?resume ?spill ?on_restart pool ~succ ~key
-    ~depth x0 =
+let reachable ?budget ?checkpoint ?resume ?spill ?on_restart ?canon pool ~succ
+    ~key ~depth x0 =
   let o =
-    levels ?budget ?checkpoint ?resume ?spill ?on_restart pool ~succ ~key
-      ~depth x0
+    levels ?budget ?checkpoint ?resume ?spill ?on_restart ?canon pool ~succ
+      ~key ~depth x0
   in
   { o with Budget.value = List.concat o.Budget.value }
 
 let count_reachable ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> ())
-    pool ~succ ~key ~depth x0 =
+    ?canon pool ~succ ~key ~depth x0 =
   let initial () =
     match resume with
     | Some r -> List.fold_left (fun a l -> a + List.length l) 0 r.levels
@@ -341,7 +348,7 @@ let count_reachable ?budget ?checkpoint ?resume ?spill ?(on_restart = fun () -> 
       ~on_restart:(fun () ->
         n := initial ();
         on_restart ())
-      pool ~succ ~key ~depth
+      ?canon pool ~succ ~key ~depth
       ~f:(fun level -> n := !n + List.length level)
       x0
   in

@@ -70,6 +70,17 @@ type snapshot = {
   spill_backpressure : int;
       (** level dispatches held back (compaction forced) because the
           heap was still above the watermark after spilling *)
+  orbit_hits : int;
+      (** candidate states merged into an already-claimed symmetry orbit
+          by the canon-keyed frontier dedup (states the unreduced run
+          would have explored separately) *)
+  statevec_states : int;
+      (** distinct packed state vectors hash-consed into
+          {!Layered_core.Statevec} arenas *)
+  arena_bytes : int;
+      (** bytes of packed state-vector storage across all statevec
+          arenas (the flat encoding backing the hot explore/valence
+          paths) *)
 }
 
 val reset : unit -> unit
@@ -109,6 +120,14 @@ val record_intern : fresh:bool -> unit
 
 val add_simgraph_maskings : int -> unit
 val add_simgraph_candidates : int -> unit
+
+(** [add_orbit_hits n] counts [n] candidates that dedup'd against an
+    already-claimed orbit representative under [--symmetry]. *)
+val add_orbit_hits : int -> unit
+
+(** [record_statevec ~bytes] counts one fresh packed vector of [bytes]
+    bytes hash-consed into a statevec arena. *)
+val record_statevec : bytes:int -> unit
 
 (** [record_result_cache ~hit] counts one keyed result-cache probe in
     the serve daemon: a replayed response when [hit], a fresh

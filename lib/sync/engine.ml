@@ -151,7 +151,17 @@ module Make (P : Protocol.S) = struct
     n = n_of y && List.exists (fun j -> agree_modulo x y j && witness x y j) (Pid.all n)
 
   let sim_adapter = { Simgraph.parts = (fun x -> (meta x).Intern.parts); witness }
-  let similarity_graph ?builder states = Simgraph.build ?builder ~rel:similar sim_adapter states
+  let sim_inc = Simgraph.Incremental.create ~rel:similar sim_adapter
+  let similarity_graph ?builder states = Simgraph.Incremental.build ?builder sim_inc states
+
+  (* Packed hot-path identity: part-id vector hash-consed in the
+     statevec arena — injective like [ident] (parts determine the key)
+     without rendering the full key string. *)
+  let vec_table = Statevec.create ()
+  let vec_ident x = Statevec.id vec_table (meta x).Intern.parts
+
+  (* Symmetry: orbit representative under role-respecting renamings. *)
+  let canon ~roles x = Intern.canon_meta intern_table ~roles x
 
   let dedup states =
     let seen = Hashtbl.create 64 in
@@ -195,6 +205,22 @@ module Make (P : Protocol.S) = struct
     end
 
   let st ~t x = dedup (List.map (apply ~record_failures:true x) (st_actions ~t x))
+
+  (* Precomputed successor tables for small (n, t): the [_tab] variants
+     answer repeat expansions of a state from the packed-id memo.
+     Distinct successor functions share the cache under distinct
+     contexts ([t >= 0] for [st], negative for the [s1] variants). *)
+  let succ_cache : state Statevec.Memo.cache = Statevec.Memo.create ()
+
+  let st_tab ~t x =
+    Statevec.Memo.find succ_cache ~ctx:t ~id:(vec_ident x)
+      ~compute:(fun () -> st ~t x)
+
+  let s1_tab ~record_failures x =
+    Statevec.Memo.find succ_cache
+      ~ctx:(if record_failures then -1 else -2)
+      ~id:(vec_ident x)
+      ~compute:(fun () -> s1 ~record_failures x)
 
   let s_multi_actions ~omitters x =
     let n = n_of x in

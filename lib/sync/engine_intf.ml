@@ -118,6 +118,32 @@ module type S = sig
       failure-free action. *)
   val all_actions : max_new:int -> remaining_failures:int -> state -> action list
 
+  (** {1 Packed hot-path identity}
+
+      The statevec path: the state's dense part-id vector hash-consed in
+      a packed [Bytes] arena.  [vec_ident] is injective exactly like
+      {!ident} (parts determine the key) but skips the full key render,
+      and the [_tab] successor functions memoize through the precomputed
+      successor table for small instances. *)
+
+  val vec_ident : state -> int
+
+  (** [st ~t], memoized by packed state id (t is the memo context). *)
+  val st_tab : t:int -> state -> state list
+
+  (** [s1 ~record_failures], memoized by packed state id. *)
+  val s1_tab : record_failures:bool -> state -> state list
+
+  (** {1 Symmetry}
+
+      Orbit representative of the state under role-respecting process
+      permutations ({!Intern.canon_meta}).  Sound for this engine
+      whenever the protocol's local keys are process-id-free: part [i]
+      is the failure bit + local key, the header is the round, so
+      permuting the part array is exactly the renaming action. *)
+
+  val canon : roles:int array -> state -> Intern.canon
+
   (** {1 Specs for the generic engines} *)
 
   val explore_spec : record_failures:bool -> state Explore.spec

@@ -88,6 +88,37 @@ if [ "$failures" -le 0 ]; then
 fi
 echo "oom-spill-smoke: ENOSPC OK ($failures failed write(s), fell back in-core, report identical)"
 
+# Symmetry leg: the orbit-quotiented IIS sweep composed with the spill
+# tier.  The --symmetry report must stay byte-identical to the
+# unreduced in-core reference while expanding strictly fewer states,
+# and the quotient must actually engage (orbit hits > 0).  IIS is the
+# renaming-closed substrate, so (5,1) is the large-instance analogue of
+# the smp leg above (fubini growth rules out n >= 7 entirely).
+SYM_INSTANCE=(layers -m iis -n 5 -t 1 -d 2)
+sym_ref="$WORK/sym-ref.txt"
+sym_ref_err="$WORK/sym-ref.err"
+sym_out="$WORK/sym-out.txt"
+sym_err="$WORK/sym-out.err"
+"$BIN" "${SYM_INSTANCE[@]}" --jobs 1 --stats > "$sym_ref" 2> "$sym_ref_err"
+"$BIN" "${SYM_INSTANCE[@]}" --jobs 4 --symmetry --mem-soft "$SOFT_MB" \
+  --spill-dir "$WORK/spill-sym" --stats > "$sym_out" 2> "$sym_err"
+if ! diff -u "$sym_ref" "$sym_out"; then
+  echo "oom-spill-smoke: --symmetry report differs from the unreduced run" >&2
+  exit 1
+fi
+ref_states=$(count "$sym_ref_err" "states expanded")
+sym_states=$(count "$sym_err" "states expanded")
+orbit_hits=$(count "$sym_err" "orbit hits")
+if [ "$sym_states" -ge "$ref_states" ]; then
+  echo "oom-spill-smoke: --symmetry expanded $sym_states states, unreduced $ref_states -- no reduction" >&2
+  exit 1
+fi
+if [ "$orbit_hits" -le 0 ]; then
+  echo "oom-spill-smoke: --symmetry run recorded no orbit hits" >&2
+  exit 1
+fi
+echo "oom-spill-smoke: symmetry OK ($sym_states < $ref_states states, $orbit_hits orbit hit(s), report identical)"
+
 # Hard-trip leg: the hard cap is not negotiable.  With --max-mem 1 and
 # no spill tier the sweep must truncate and exit 3.
 set +e

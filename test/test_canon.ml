@@ -1,0 +1,238 @@
+(* Tests for the symmetry-quotient machinery: Canon's canonical forms
+   (permutation invariance, idempotence, role respect, orbit-size
+   weights) as QCheck properties, plus end-to-end regressions — the
+   --symmetry IIS sweep reports byte-identically to the unreduced sweep
+   at jobs 1 and 4 while expanding strictly fewer states, and a
+   checkpoint written under one symmetry setting refuses to resume under
+   the other. *)
+
+open Layered_core
+module Sweep = Layered_analysis.Sweep
+module Pool = Layered_runtime.Pool
+module Stats = Layered_runtime.Stats
+module Ckpt = Layered_runtime.Checkpoint
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Generators: a role array (header slot -1, small role ids), a part
+   array over a tiny alphabet (so multiplicity collisions are common),
+   and a seed from which a role-respecting permutation is derived. *)
+
+let tiny_string =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (int_bound 2))
+
+let case_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    array_size (return n) (int_bound 2) >>= fun roles_tail ->
+    array_size (return n) tiny_string >>= fun parts_tail ->
+    tiny_string >>= fun header ->
+    int >>= fun seed ->
+    return
+      ( Array.append [| -1 |] roles_tail,
+        Array.append [| header |] parts_tail,
+        seed ))
+
+let case_print (roles, parts, seed) =
+  Printf.sprintf "roles=[%s] parts=[%s] seed=%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int roles)))
+    (String.concat ";" (Array.to_list parts))
+    seed
+
+let case_arb = QCheck.make ~print:case_print case_gen
+
+(* Positions 1.. grouped by role (the header never moves). *)
+let classes_of roles =
+  let tbl = Hashtbl.create 8 in
+  for i = Array.length roles - 1 downto 1 do
+    let c = try Hashtbl.find tbl roles.(i) with Not_found -> [] in
+    Hashtbl.replace tbl roles.(i) (i :: c)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+
+(* A role-respecting permutation: Fisher-Yates within each class. *)
+let role_respecting_perm st roles =
+  let perm = Array.init (Array.length roles) Fun.id in
+  List.iter
+    (fun members ->
+      let m = Array.of_list members in
+      for i = Array.length m - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = perm.(m.(i)) in
+        perm.(m.(i)) <- perm.(m.(j));
+        perm.(m.(j)) <- tmp
+      done)
+    (classes_of roles);
+  perm
+
+let permute parts p = Array.init (Array.length parts) (fun i -> parts.(p.(i)))
+
+let prop_canon_perm_invariant =
+  QCheck.Test.make ~name:"canon: key invariant under role-respecting renaming"
+    ~count:500 case_arb (fun (roles, parts, seed) ->
+      let st = Random.State.make [| seed |] in
+      let p = role_respecting_perm st roles in
+      String.equal (Canon.key ~roles parts) (Canon.key ~roles (permute parts p)))
+
+let prop_canon_idempotent =
+  QCheck.Test.make ~name:"canon: sort is idempotent" ~count:500 case_arb
+    (fun (roles, parts, _) ->
+      let canonical, _ = Canon.sort ~roles parts in
+      fst (Canon.sort ~roles canonical) = canonical)
+
+let prop_canon_witness_role_respecting =
+  QCheck.Test.make
+    ~name:"canon: witness is a role-respecting permutation onto the canonical form"
+    ~count:500 case_arb (fun (roles, parts, _) ->
+      let canonical, w = Canon.sort ~roles parts in
+      let len = Array.length parts in
+      w.(0) = 0
+      && List.sort compare (Array.to_list w) = List.init len Fun.id
+      && Array.for_all Fun.id (Array.init len (fun i -> roles.(w.(i)) = roles.(i)))
+      && Canon.apply_witness ~witness:w parts = canonical)
+
+(* Orbit enumerated the slow way: all role-respecting permutations,
+   distinct images counted. *)
+let all_perms_of_class members =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  List.map (fun p -> List.combine members p) (perms members)
+
+let prop_canon_weight_is_orbit_size =
+  QCheck.Test.make ~name:"canon: weight equals enumerated orbit size" ~count:200
+    case_arb (fun (roles, parts, _) ->
+      let assignments =
+        List.fold_left
+          (fun acc cls ->
+            List.concat_map
+              (fun partial -> List.map (fun a -> a @ partial) (all_perms_of_class cls))
+              acc)
+          [ [] ] (classes_of roles)
+      in
+      let image assignment =
+        let p = Array.init (Array.length parts) Fun.id in
+        List.iter (fun (i, j) -> p.(i) <- j) assignment;
+        Canon.render (permute parts p)
+      in
+      let distinct = List.sort_uniq compare (List.map image assignments) in
+      List.length distinct = Canon.weight ~roles parts)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the quotiented IIS sweep is report-equivalent.          *)
+
+let with_symmetry sym f =
+  Canon.set_enabled sym;
+  Fun.protect ~finally:(fun () -> Canon.set_enabled false) f
+
+let render sweep = Format.asprintf "%a" Sweep.pp sweep
+
+let sweep_leg ~pool ?checkpoint ~sym () =
+  with_symmetry sym (fun () ->
+      let before = Stats.snapshot () in
+      let s = Sweep.run ~pool ?checkpoint ~model:"iis" ~n:4 ~t:1 ~depth:2 () in
+      let d = Stats.diff (Stats.snapshot ()) before in
+      (render s, d.Stats.states_expanded))
+
+let test_symmetry_report_identical () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let off, off_states = sweep_leg ~pool ~sym:false () in
+          let on, on_states = sweep_leg ~pool ~sym:true () in
+          check_string (Printf.sprintf "jobs=%d report byte-identical" jobs) off on;
+          check
+            (Printf.sprintf "jobs=%d strictly fewer states (%d < %d)" jobs
+               on_states off_states)
+            true (on_states < off_states)))
+    [ 1; 4 ]
+
+let test_symmetry_noop_on_sync () =
+  (* Prefix-blocked omissions leave partial orbits reachable, so the
+     sync substrate must ignore the flag entirely. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let leg sym =
+        with_symmetry sym (fun () ->
+            let before = Stats.snapshot () in
+            let s = Sweep.run ~pool ~model:"sync" ~n:3 ~t:1 ~depth:2 () in
+            let d = Stats.diff (Stats.snapshot ()) before in
+            (render s, d.Stats.states_expanded))
+      in
+      let off, off_states = leg false in
+      let on, on_states = leg true in
+      check_string "sync report unchanged" off on;
+      Alcotest.(check int) "sync states unchanged" off_states on_states)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints refuse to cross the symmetry setting.                   *)
+
+let tmp_counter = ref 0
+
+let with_tmp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "canon-ckpt-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_checkpoint_symmetry_refusal () =
+  with_tmp_dir (fun dir ->
+      Pool.with_pool ~jobs:1 (fun pool ->
+          let write = { Sweep.dir; every = 1; resume = false } in
+          let resume = { Sweep.dir; every = 1; resume = true } in
+          ignore (sweep_leg ~pool ~checkpoint:write ~sym:true ());
+          Alcotest.check_raises "unreduced resume of a --symmetry snapshot"
+            (Ckpt.Symmetry_mismatch { saved = true; requested = false })
+            (fun () -> ignore (sweep_leg ~pool ~checkpoint:resume ~sym:false ()));
+          (* The matching setting resumes fine and reports identically. *)
+          let resumed, _ = sweep_leg ~pool ~checkpoint:resume ~sym:true () in
+          let fresh, _ = sweep_leg ~pool ~sym:true () in
+          check_string "matching resume reports identically" fresh resumed))
+
+let test_checkpoint_meta_records_symmetry () =
+  let m_off = Ckpt.make_meta ~progress:0 () in
+  let m_on = Ckpt.make_meta ~symmetry:true ~progress:0 () in
+  check "default meta is unreduced" false m_off.Ckpt.symmetry;
+  check "symmetry recorded" true m_on.Ckpt.symmetry
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "layered_canon"
+    [
+      ( "canon",
+        [
+          qt prop_canon_perm_invariant;
+          qt prop_canon_idempotent;
+          qt prop_canon_witness_role_respecting;
+          qt prop_canon_weight_is_orbit_size;
+        ] );
+      ( "symmetry-sweep",
+        [
+          Alcotest.test_case "report identical, fewer states" `Quick
+            test_symmetry_report_identical;
+          Alcotest.test_case "no-op on sync" `Quick test_symmetry_noop_on_sync;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "cross-setting resume refused" `Quick
+            test_checkpoint_symmetry_refusal;
+          Alcotest.test_case "meta records the flag" `Quick
+            test_checkpoint_meta_records_symmetry;
+        ] );
+    ]
